@@ -1,0 +1,24 @@
+"""Shared fixtures for the benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Each benchmark regenerates one paper table/figure (printing its rows on
+the first run) while pytest-benchmark times the regeneration.
+"""
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def printed():
+    """Tracks which experiment outputs were already printed."""
+    return set()
+
+
+def emit(printed, key: str, text: str) -> None:
+    if key not in printed:
+        printed.add(key)
+        print()
+        print(text)

@@ -1,0 +1,65 @@
+"""Ablation benches — the design choices DESIGN.md calls out.
+
+Each ablation disables one mechanism and measures how many of the
+predicated analysis's wins survive; the deltas quantify what each
+mechanism contributes to the TAB1 totals.
+"""
+
+from conftest import emit
+
+from repro.arraydf.options import AnalysisOptions
+from repro.experiments.common import WIN_STATUSES, format_table
+from repro.partests.driver import analyze_program
+from repro.suites import all_programs
+
+CONFIGS = {
+    "full": AnalysisOptions.predicated(),
+    "no-embedding": AnalysisOptions.predicated().without(embedding=False),
+    "no-extraction": AnalysisOptions.predicated().without(extraction=False),
+    "no-runtime-tests": AnalysisOptions.compile_time_only(),
+    "no-interprocedural": AnalysisOptions.predicated().without(
+        interprocedural=False
+    ),
+    "base": AnalysisOptions.base(),
+}
+
+
+def _wins(opts):
+    count = 0
+    for bench in all_programs():
+        res = analyze_program(bench.fresh_program(), opts)
+        base = analyze_program(bench.fresh_program(), AnalysisOptions.base())
+        base_status = {l.label: l.status for l in base.loops}
+        for l in res.loops:
+            if (
+                l.status in WIN_STATUSES
+                and base_status.get(l.label)
+                not in WIN_STATUSES + ("not_candidate",)
+            ):
+                count += 1
+    return count
+
+
+def _run_all():
+    return {name: _wins(opts) for name, opts in CONFIGS.items()}
+
+
+def test_ablations(benchmark, printed):
+    wins = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    rows = [[name, count] for name, count in wins.items()]
+    emit(
+        printed,
+        "ablations",
+        format_table(
+            ["configuration", "wins over base"], rows, title="Ablations"
+        ),
+    )
+    full = wins["full"]
+    assert full > 0
+    assert wins["base"] == 0
+    # every mechanism contributes: each ablation loses at least one win
+    for name in ("no-embedding", "no-extraction", "no-runtime-tests"):
+        assert wins[name] < full, name
+    # compile-time-only mode is the Gu/Li/Lee-style comparator: it keeps
+    # the correlation wins but loses every run-time test
+    assert wins["no-runtime-tests"] >= 1

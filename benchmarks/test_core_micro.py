@@ -1,0 +1,86 @@
+"""Micro-benchmarks of the analysis substrate hot paths.
+
+These time the kernels the whole-program analyses are built from —
+useful for profiling-guided work on the Fourier–Motzkin and feasibility
+layers (per the optimization-workflow guidance: measure first).
+"""
+
+import pytest
+
+from repro.linalg.constraint import Constraint
+from repro.linalg.feasibility import clear_cache, is_feasible
+from repro.linalg.fourier_motzkin import eliminate_all
+from repro.linalg.system import LinearSystem
+from repro.regions.region import ArrayRegion
+from repro.regions.subtract import subtract_region
+from repro.symbolic.affine import AffineExpr
+
+C = AffineExpr.const
+
+
+def _chain_system(n=8):
+    vs = [AffineExpr.var(f"x{i}") for i in range(n)]
+    cons = [Constraint.ge(vs[0], C(0)), Constraint.le(vs[-1], C(100))]
+    for a, b in zip(vs, vs[1:]):
+        cons.append(Constraint.le(a, b))
+        cons.append(Constraint.le(b, a + 3))
+    return LinearSystem(cons)
+
+
+def test_fourier_motzkin_chain(benchmark):
+    system = _chain_system()
+    variables = [f"x{i}" for i in range(1, 7)]
+    result = benchmark(eliminate_all, system, variables)
+    assert not result.is_trivially_empty()
+
+
+def test_feasibility_uncached(benchmark):
+    system = _chain_system()
+
+    def probe():
+        clear_cache()
+        return is_feasible(system)
+
+    assert benchmark(probe)
+
+
+def test_region_subtraction(benchmark):
+    d = AffineExpr.var("__d0")
+    n = AffineExpr.var("n")
+    a = ArrayRegion(
+        "a", 1, LinearSystem([Constraint.ge(d, C(1)), Constraint.le(d, n)])
+    )
+    b = ArrayRegion(
+        "a", 1, LinearSystem([Constraint.ge(d, C(5)), Constraint.le(d, n - 5)])
+    )
+    pieces = benchmark(subtract_region, a, b)
+    assert len(pieces) == 2
+
+
+def test_whole_program_analysis(benchmark):
+    from repro.arraydf.options import AnalysisOptions
+    from repro.partests.driver import analyze_program
+    from repro.suites import get_program
+
+    bench_prog = get_program("hydro2d")
+
+    def analyze():
+        return analyze_program(
+            bench_prog.fresh_program(), AnalysisOptions.predicated()
+        )
+
+    result = benchmark(analyze)
+    assert result.total_loops > 0
+
+
+def test_interpreter_throughput(benchmark):
+    from repro.lang.parser import parse_program
+    from repro.runtime.interp import run_program
+
+    program = parse_program(
+        "program t\ninteger n\nreal a(5000)\nread n\n"
+        "do r = 1, 5\n do i = 1, n\n  a(i) = a(i) * 0.5 + 1.0\n enddo\nenddo\n"
+        "end\n"
+    )
+    result = benchmark(run_program, program, [4000])
+    assert result.steps > 20000

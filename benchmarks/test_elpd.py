@@ -1,0 +1,43 @@
+"""ELPD bench — run the dynamic oracle over every suite program."""
+
+from conftest import emit
+
+from repro.experiments.common import format_table
+from repro.runtime.elpd import run_oracle
+from repro.suites import all_programs
+
+
+def _run_all():
+    rows = []
+    for bench in all_programs():
+        rep = run_oracle(bench.fresh_program(), bench.inputs)
+        counts = {"independent": 0, "privatizable": 0, "dependent": 0, "not_executed": 0}
+        for obs in rep.observations.values():
+            counts[obs.classification] += 1
+        rows.append(
+            [
+                bench.name,
+                counts["independent"],
+                counts["privatizable"],
+                counts["dependent"],
+                counts["not_executed"],
+            ]
+        )
+    return rows
+
+
+def test_elpd_oracle(benchmark, printed):
+    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    emit(
+        printed,
+        "elpd",
+        format_table(
+            ["program", "independent", "privatizable", "dependent", "not run"],
+            rows,
+            title="ELPD: dynamic classification per program",
+        ),
+    )
+    assert len(rows) == 30
+    # every program executes at least one loop dynamically
+    for r in rows:
+        assert r[1] + r[2] + r[3] > 0, r[0]

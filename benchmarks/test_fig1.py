@@ -1,0 +1,25 @@
+"""FIG1 bench — regenerate the four motivating examples."""
+
+from conftest import emit
+
+from repro.experiments import fig1_examples
+
+
+def test_fig1(benchmark, printed):
+    result = benchmark.pedantic(fig1_examples.run, rounds=1, iterations=1)
+    emit(printed, "fig1", result.format())
+    for name, statuses in result.statuses.items():
+        assert statuses["base"] == "serial", name
+        assert statuses["predicated"] in (
+            "parallel",
+            "parallel_private",
+            "runtime",
+        ), name
+    # each example's key mechanism is load-bearing: ablation loses the
+    # win outright or degrades a compile-time proof to a run-time test
+    assert result.statuses["fig1a"]["ablated"] == "serial"
+    assert result.statuses["fig1b"]["ablated"] == "serial"
+    assert result.statuses["fig1c"]["ablated"] in ("serial", "runtime")
+    assert result.statuses["fig1d"]["ablated"] == "serial"
+    assert "k" in result.runtime_tests["fig1b"]
+    assert "==" in result.runtime_tests["fig1d"]

@@ -1,0 +1,23 @@
+"""FIGO bench — analysis cost and run-time-test overhead."""
+
+from conftest import emit
+
+from repro.experiments import fig_overhead
+
+
+def test_fig_overhead(benchmark, printed):
+    result = benchmark.pedantic(fig_overhead.run, rounds=1, iterations=1)
+    emit(printed, "figo", result.format())
+    # the predicated analysis pays a modest compile-time premium
+    total_base = sum(c.base_seconds for c in result.suite_costs)
+    total_pred = sum(c.predicated_seconds for c in result.suite_costs)
+    assert total_pred < 6 * total_base
+    # derived tests are low-cost: a handful of atoms each, and far
+    # cheaper than an inspector over the loop's array accesses
+    assert result.test_costs
+    for row in result.test_costs:
+        assert row.test_atoms <= 12
+    advantages = [
+        r.inspector_cost / max(r.test_atoms, 1) for r in result.test_costs
+    ]
+    assert max(advantages) >= 10

@@ -1,0 +1,22 @@
+"""FIGS bench — regenerate the speedup comparison figures."""
+
+from conftest import emit
+
+from repro.experiments import fig_speedups
+
+
+def test_fig_speedups(benchmark, printed):
+    result = benchmark.pedantic(fig_speedups.run, rounds=1, iterations=1)
+    emit(printed, "figs", result.format())
+    improved = result.improved_programs()
+    # the paper's claim: improved speedups for 5 programs
+    assert len(improved) == 5
+    assert set(improved) == {"tomcatv", "su2cor", "appbt", "adm", "trfd"}
+    for r in result.results:
+        # predicated code is never catastrophically worse than base:
+        # the run-time tests are low-cost
+        assert r.predicated.at(8) > 0.75 * r.base.at(8), r.program
+        # speedups never exceed the processor count (sanity)
+        for p in (1, 2, 4, 8):
+            assert r.predicated.at(p) <= p + 0.5
+            assert r.base.at(p) <= p + 0.5

@@ -1,0 +1,52 @@
+"""Scalability micro-bench: analysis time versus program size.
+
+The paper reports its analysis scales to full benchmark suites; this
+bench tracks our wall-clock growth on generated programs of increasing
+loop counts (roughly linear per loop nest, thanks to the feasibility
+memo table and the guarded-list beams).
+"""
+
+import pytest
+
+from repro.arraydf.options import AnalysisOptions
+from repro.lang.parser import parse_program
+from repro.partests.driver import analyze_program
+
+
+def synth_program(nests: int) -> str:
+    """A program with `nests` independent work-array loop nests."""
+    lines = ["program scale", "  integer n"]
+    for k in range(nests):
+        lines.append(f"  real a{k}(32, 32), w{k}(32)")
+    lines.append("  read n")
+    for k in range(nests):
+        lines.extend(
+            [
+                f"  do j = 1, n",
+                f"    do i = 1, n",
+                f"      w{k}(i) = a{k}(i, j) * 2.0",
+                f"    enddo",
+                f"    do i = 1, n",
+                f"      a{k}(i, j) = w{k}(i) + 1.0",
+                f"    enddo",
+                f"  enddo",
+            ]
+        )
+    lines.append("end")
+    return "\n".join(lines) + "\n"
+
+
+@pytest.mark.parametrize("nests", [2, 8])
+def test_analysis_scaling(benchmark, nests):
+    source = synth_program(nests)
+
+    def run():
+        return analyze_program(
+            parse_program(source), AnalysisOptions.predicated()
+        )
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.total_loops == 3 * nests
+    assert all(
+        l.status in ("parallel", "parallel_private") for l in result.loops
+    )

@@ -1,0 +1,17 @@
+"""TAB3 bench — regenerate the category × mechanism breakdown."""
+
+from conftest import emit
+
+from repro.experiments import table3_categories
+
+
+def test_table3(benchmark, printed):
+    table = benchmark.pedantic(table3_categories.run, rounds=1, iterations=1)
+    emit(printed, "tab3", table.format())
+    ct, rt = table.total()
+    assert ct > 0 and rt > 0
+    assert table.uncategorized == 0
+    # run-time tests dominate the symbolic categories, compile-time wins
+    # the control-flow categories — the paper's qualitative split
+    assert table.counts.get("offset-symbolic", [0, 0])[1] > 0
+    assert table.counts.get("conditional-def", [0, 0])[0] > 0

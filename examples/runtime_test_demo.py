@@ -1,0 +1,61 @@
+"""Run-time test in action: the same two-version loop on three inputs.
+
+The compiler derives a predicate for ``a(i+k) = a(i) + 1`` under which
+the loop is safe to run in parallel; at run time the generated guard
+selects the parallel or the serial version.  This demo executes the
+two-version program on inputs that exercise both paths and shows the
+interpreter's record of which version ran.
+
+Run:  python examples/runtime_test_demo.py
+"""
+
+from repro.arraydf.options import AnalysisOptions
+from repro.codegen.plan import build_plan
+from repro.lang.parser import parse_program
+from repro.partests.driver import analyze_program
+from repro.runtime.interp import Interpreter
+
+SOURCE = """
+program demo
+  integer n, k
+  real a(400)
+  read n, k
+  do i = 1, n
+    a(i) = i * 1.0
+  enddo
+  do i = 1, n
+    a(i + k) = a(i) + 1.0
+  enddo
+  print a(1), a(n)
+end
+"""
+
+
+def main() -> None:
+    program = parse_program(SOURCE)
+    result = analyze_program(program, AnalysisOptions.predicated())
+    tested = next(l for l in result.loops if l.status == "runtime")
+    print(f"loop {tested.label} is parallel under the derived test:")
+    print(f"    {tested.runtime_test}")
+    print()
+
+    plan = build_plan(result)
+    for n, k, expectation in [
+        (100, 0, "aligned: test passes, parallel version runs"),
+        (100, 7, "0 < k < n: dependent, serial version runs"),
+        (100, 150, "k >= n: disjoint, parallel version runs"),
+    ]:
+        interp = Interpreter(program, [n, k], plan=plan)
+        res = interp.run()
+        event = next(
+            e for e in res.loop_events if e.nid == tested.loop.nid
+        )
+        version = "parallel" if event.ran_parallel_version else "serial"
+        print(
+            f"n={n:<4} k={k:<4} → {version:<8} version "
+            f"({expectation}); output: {res.outputs[0]}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""repro — Predicated Array Data-Flow Analysis for Automatic Parallelization.
+
+A from-scratch reproduction of Moon & Hall, *Evaluation of Predicated Array
+Data-Flow Analysis for Automatic Parallelization* (PPoPP 1999).
+
+The package is organized bottom-up:
+
+``repro.symbolic``
+    Exact affine-expression algebra over named variables.
+``repro.linalg``
+    Integer linear-inequality systems, Fourier–Motzkin elimination,
+    feasibility and implication tests.
+``repro.predicates``
+    The predicate language (boolean formulas over affine atoms and opaque
+    run-time-evaluable atoms), simplification and evaluation.
+``repro.lang``
+    A mini-Fortran front end: lexer, parser, AST, pretty printer and a
+    programmatic builder DSL.
+``repro.ir``
+    Hierarchical program representation: region graph, call graph, symbol
+    tables and loop normalization.
+``repro.regions``
+    Array region representation (systems of linear inequalities over
+    subscript variables) and the region operations (union, intersection,
+    subtraction, projection, interprocedural reshape).
+``repro.arraydf``
+    The array data-flow analyses: the non-predicated SUIF-style baseline
+    and the paper's predicated analysis with predicate embedding and
+    extraction.
+``repro.partests``
+    Dependence and privatization tests, run-time test derivation and the
+    parallelization driver.
+``repro.codegen``
+    Two-version loop generation and parallel-loop annotation.
+``repro.runtime``
+    An interpreter for the mini language plus the ELPD dynamic
+    parallelization oracle.
+``repro.machine``
+    A deterministic multiprocessor cost simulator used for speedup
+    experiments.
+``repro.suites``
+    Thirty synthetic benchmark programs calibrated to the paper's
+    benchmark suites (Specfp95, NAS, Perfect + 1 extra).
+``repro.experiments``
+    One harness per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "AnalysisOptions",
+    "analyze_program",
+    "parse_program",
+    "format_report",
+    "run_program",
+    "run_oracle",
+]
+
+_LAZY = {
+    "AnalysisOptions": ("repro.arraydf.options", "AnalysisOptions"),
+    "analyze_program": ("repro.partests.driver", "analyze_program"),
+    "parse_program": ("repro.lang.parser", "parse_program"),
+    "format_report": ("repro.codegen.report", "format_report"),
+    "run_program": ("repro.runtime.interp", "run_program"),
+    "run_oracle": ("repro.runtime.elpd", "run_oracle"),
+}
+
+
+def __getattr__(name):
+    """Lazy top-level convenience re-exports (PEP 562)."""
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)

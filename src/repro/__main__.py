@@ -1,0 +1,141 @@
+"""Command-line driver.
+
+Usage::
+
+    python -m repro analyze FILE [--base] [--report] [--emit]
+    python -m repro run FILE [inputs...]
+    python -m repro elpd FILE [inputs...]
+    python -m repro experiments [fig1|tab1|tab2|tab3|figs|figo|all]
+
+``analyze`` parses a mini-Fortran source file and prints the
+parallelization report (``--base`` switches to the non-predicated
+analysis; ``--emit`` additionally prints the two-version transformed
+source).  ``run`` interprets the program, reading ``read`` inputs from
+the command line.  ``elpd`` runs the dynamic oracle.  ``experiments``
+regenerates paper tables/figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_analyze(args) -> int:
+    from repro.arraydf.options import AnalysisOptions
+    from repro.codegen.plan import build_plan
+    from repro.codegen.report import format_report
+    from repro.codegen.twoversion import transform_program
+    from repro.lang.parser import parse_program
+    from repro.lang.prettyprint import pretty
+    from repro.partests.driver import analyze_program
+
+    source = open(args.file).read()
+    opts = AnalysisOptions.base() if args.base else AnalysisOptions.predicated()
+    program = parse_program(source)
+    result = analyze_program(program, opts)
+    print(format_report(result, title=args.file))
+    if args.emit:
+        plan = build_plan(result)
+        print()
+        print(pretty(transform_program(program, plan)))
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro.lang.parser import parse_program
+    from repro.runtime.interp import run_program
+
+    program = parse_program(open(args.file).read())
+    inputs = [int(v) if "." not in v else float(v) for v in args.inputs]
+    result = run_program(program, inputs)
+    for line in result.outputs:
+        print(line)
+    print(f"[{result.steps} steps]", file=sys.stderr)
+    return 0
+
+
+def _cmd_elpd(args) -> int:
+    from repro.lang.parser import parse_program
+    from repro.runtime.elpd import run_oracle
+
+    program = parse_program(open(args.file).read())
+    inputs = [int(v) if "." not in v else float(v) for v in args.inputs]
+    report = run_oracle(program, inputs)
+    for label in sorted(report.observations):
+        obs = report.observations[label]
+        extras = []
+        if obs.conflict_arrays:
+            extras.append(f"conflicts: {', '.join(sorted(obs.conflict_arrays))}")
+        if obs.flow_arrays:
+            extras.append(f"flow: {', '.join(sorted(obs.flow_arrays))}")
+        suffix = f"  [{'; '.join(extras)}]" if extras else ""
+        print(f"{label:<24} {obs.classification}{suffix}")
+    return 0
+
+
+def _cmd_experiments(args) -> int:
+    from repro.experiments import (
+        fig1_examples,
+        fig_overhead,
+        fig_speedups,
+        table1_loops,
+        table2_programs,
+        table3_categories,
+    )
+
+    modules = {
+        "fig1": fig1_examples,
+        "tab1": table1_loops,
+        "tab2": table2_programs,
+        "tab3": table3_categories,
+        "figs": fig_speedups,
+        "figo": fig_overhead,
+    }
+    chosen = modules.values() if args.which == "all" else [modules[args.which]]
+    for mod in chosen:
+        print(mod.run().format())
+        print()
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Predicated array data-flow analysis (PPoPP'99 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="analyze a source file")
+    p.add_argument("file")
+    p.add_argument("--base", action="store_true", help="base analysis only")
+    p.add_argument(
+        "--emit", action="store_true", help="print two-version output"
+    )
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("run", help="interpret a program")
+    p.add_argument("file")
+    p.add_argument("inputs", nargs="*", default=[])
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("elpd", help="run the ELPD dynamic oracle")
+    p.add_argument("file")
+    p.add_argument("inputs", nargs="*", default=[])
+    p.set_defaults(func=_cmd_elpd)
+
+    p = sub.add_parser("experiments", help="regenerate paper tables/figures")
+    p.add_argument(
+        "which",
+        nargs="?",
+        default="all",
+        choices=["fig1", "tab1", "tab2", "tab3", "figs", "figo", "all"],
+    )
+    p.set_defaults(func=_cmd_experiments)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

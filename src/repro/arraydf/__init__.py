@@ -1,0 +1,28 @@
+"""Array data-flow analyses.
+
+``repro.arraydf`` implements both analyses the paper compares:
+
+* the **base** SUIF-style interprocedural array data-flow analysis
+  (``AnalysisOptions.base()``), which computes for every program region
+  the may-read ``R``, may-write ``W``, must-write ``M`` and upward-exposed
+  read ``E`` summary sets; and
+* the paper's **predicated** analysis (``AnalysisOptions.predicated()``),
+  which attaches predicates to the must-write and exposed-read values,
+  embeds affine predicates into region systems (*predicate embedding*),
+  extracts breaking conditions from region subtraction and
+  interprocedural reshape (*predicate extraction*), and produces the
+  guarded values from which run-time parallelization tests are derived.
+"""
+
+from repro.arraydf.values import AccessValue, GuardedSummary
+from repro.arraydf.options import AnalysisOptions
+from repro.arraydf.analysis import ArrayDataflow, LoopSummary, UnitSummary
+
+__all__ = [
+    "AccessValue",
+    "GuardedSummary",
+    "AnalysisOptions",
+    "ArrayDataflow",
+    "LoopSummary",
+    "UnitSummary",
+]

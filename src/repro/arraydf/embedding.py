@@ -1,0 +1,138 @@
+"""Predicate embedding.
+
+Affine predicate atoms live in the same integer-linear domain as region
+constraints, so a guard like ``i > 5`` can be *embedded* — conjoined
+into the region systems of the guarded summary — after which the guard
+is discharged.  "In a framework that supports both predicate embedding
+and extraction, it is equivalent for integer constraints to appear
+either in the predicate or in the data-flow value" (Section 5).
+
+Embedding is what lets iteration-dependent guards survive loop
+projection: the guard becomes part of the projected region instead of
+being weakened away.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.linalg.system import LinearSystem
+from repro.predicates.atoms import LinAtom
+from repro.predicates.formula import (
+    AndPred,
+    Atom,
+    Predicate,
+    TRUE,
+    p_and,
+)
+from repro.regions.summary import SummarySet
+
+
+def split_linear_conjuncts(
+    pred: Predicate,
+) -> Optional[Tuple[LinearSystem, Predicate]]:
+    """Split a conjunction into (embeddable linear system, residue).
+
+    Works on TRUE, single literals and conjunctions; returns ``None``
+    for disjunctive shapes (embedding a disjunction would require region
+    splitting, which the budget disallows).
+    """
+    if pred.is_true():
+        return LinearSystem.universe(), TRUE
+    if isinstance(pred, Atom):
+        if isinstance(pred.atom, LinAtom):
+            return LinearSystem([pred.atom.constraint]), TRUE
+        return LinearSystem.universe(), pred
+    if isinstance(pred, AndPred):
+        constraints = []
+        residue: List[Predicate] = []
+        for op in pred.operands:
+            if isinstance(op, Atom) and isinstance(op.atom, LinAtom):
+                constraints.append(op.atom.constraint)
+            else:
+                residue.append(op)
+        return LinearSystem(constraints), p_and(*residue)
+    if pred.is_false():
+        return None
+    # NotPred over opaque/div, OrPred: not embeddable as a conjunction
+    if hasattr(pred, "operand") or hasattr(pred, "operands"):
+        return LinearSystem.universe(), pred
+    return None
+
+
+def embed_into_summary(
+    pred: Predicate, summary: SummarySet
+) -> Tuple[Predicate, SummarySet]:
+    """Embed the linear conjuncts of *pred* into *summary*.
+
+    Returns the residual (non-embeddable) predicate and the constrained
+    summary.  On non-conjunctive predicates, returns the input unchanged.
+
+    NOTE: this transformation alone is only sound for *must* (under-
+    approximating) summaries — restricting to the iterations where the
+    guard held can only shrink a must-set.  For over-approximating
+    summaries use :func:`split_guard_cases`, which also covers the
+    complement iterations with the default summary.
+    """
+    split = split_linear_conjuncts(pred)
+    if split is None:
+        return pred, summary
+    system, residue = split
+    if system.is_universe():
+        return residue, summary
+    return residue, summary.conjoin_all(system)
+
+
+def split_guard_cases(
+    pred: Predicate,
+    summary: SummarySet,
+    default_summary: SummarySet,
+    volatile: frozenset,
+    embedding: bool,
+):
+    """Decompose a guarded over-approximation for use across a loop.
+
+    A pair ⟨p, S⟩ bounds accesses only on iterations where ``p`` holds.
+    When ``p`` mentions loop-varying names (*volatile*), it cannot serve
+    as a loop-entry guard; its index-dependent **linear** conjuncts
+    ``L`` are instead *embedded*, yielding case systems that partition
+    the iterations::
+
+        [(S, L)] + [(default, ¬L piece_k)]     (disjoint pieces of ¬L)
+
+    Returns ``(residual_pred, [(summary, system), …])`` where the
+    residual predicate is loop-invariant and the cases jointly bound
+    every iteration, or ``None`` when the alternative is unusable (a
+    volatile non-linear conjunct, or embedding disabled).
+    """
+    from repro.predicates.atoms import LinAtom
+
+    if pred.is_true() or not (pred.variables() & volatile):
+        return pred, [(summary, LinearSystem.universe())]
+    operands = list(pred.operands) if isinstance(pred, AndPred) else [pred]
+    kept: List[Predicate] = []
+    constraints = []
+    for op in operands:
+        if not (op.variables() & volatile):
+            kept.append(op)
+            continue
+        if (
+            embedding
+            and isinstance(op, Atom)
+            and isinstance(op.atom, LinAtom)
+        ):
+            constraints.append(op.atom.constraint)
+        else:
+            return None
+    L = LinearSystem(constraints)
+    cases = [(summary.conjoin_all(L), L)]
+    # disjoint complement pieces: ¬(c1 ∧ … ∧ ck) = ⋃k c1…c(k-1) ∧ ¬ck
+    from repro.regions.subtract import _complement_pieces
+
+    prefix = LinearSystem.universe()
+    for c in L:
+        for neg in _complement_pieces(c):
+            piece = prefix & LinearSystem([neg])
+            cases.append((default_summary.conjoin_all(piece), piece))
+        prefix = prefix & LinearSystem([c])
+    return p_and(*kept), cases

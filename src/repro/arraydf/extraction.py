@@ -1,0 +1,97 @@
+"""Predicate extraction.
+
+``pred_subtract`` is the predicated counterpart of the exposed-read
+subtraction ``E − M``.  Beyond the exact difference it *extracts* the
+breaking condition under which the difference is empty:
+
+    each residual piece is non-empty only if its projection onto the
+    symbolic parameters (dimension variables eliminated) is satisfiable;
+    the conjunction of the negated piece-conditions is therefore a
+    sufficient condition for ``E − M = ∅``.
+
+This is how the analysis discovers conditions like ``d >= 2`` ("the
+first loop containing the writes to help would not execute if d < 2",
+Figure 1 of the paper) without any pattern matching — they fall out of
+the region algebra.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.arraydf.options import AnalysisOptions
+from repro.linalg.fourier_motzkin import eliminate_all
+from repro.linalg.system import LinearSystem
+from repro.predicates.atoms import LinAtom
+from repro.predicates.formula import (
+    Predicate,
+    TRUE,
+    p_and,
+    p_atom,
+    p_not,
+)
+from repro.regions.region import ArrayRegion
+from repro.regions.summary import SummarySet
+from repro.symbolic.terms import is_dim_var
+
+# Extraction gives up beyond this many residual pieces / atoms — huge
+# breaking conditions would never be profitable as run-time tests.
+MAX_PIECES = 6
+MAX_ATOMS = 8
+
+
+def breaking_condition(pieces: List[ArrayRegion]) -> Optional[Predicate]:
+    """The extracted condition under which every piece is empty.
+
+    Returns ``None`` when extraction fails (a piece is unconditionally
+    non-empty, or the condition would be too large).
+    """
+    if len(pieces) > MAX_PIECES:
+        return None
+    negations: List[Predicate] = []
+    for piece in pieces:
+        dim_vars = [v for v in piece.system.variables() if is_dim_var(v)]
+        param_sys = eliminate_all(piece.system, dim_vars)
+        if param_sys.is_universe():
+            return None  # piece non-empty for every parameter value
+        if len(param_sys) > MAX_ATOMS:
+            return None
+        conj = p_and(*(p_atom(LinAtom(c)) for c in param_sys))
+        negations.append(p_not(conj))
+    return p_and(*negations)
+
+
+def pred_subtract(
+    exposed: SummarySet, must_writes: SummarySet, opts: AnalysisOptions
+) -> List[Tuple[Predicate, SummarySet]]:
+    """Guarded alternatives for ``exposed − must_writes``.
+
+    Always includes the exact unguarded difference; with extraction
+    enabled and a non-empty difference, additionally the ⟨breaking
+    condition, ∅⟩ alternative.
+    """
+    difference = exposed.subtract(must_writes)
+    if difference.is_empty():
+        return [(TRUE, difference)]
+    out: List[Tuple[Predicate, SummarySet]] = []
+    if opts.predicates and opts.extraction:
+        all_pieces: List[ArrayRegion] = list(difference.all_regions())
+        cond = breaking_condition(all_pieces)
+        if cond is not None and not cond.is_false() and not cond.is_true():
+            out.append((cond, SummarySet.empty()))
+    out.append((TRUE, difference))
+    return out
+
+
+def coverage_condition(
+    exposed: SummarySet, must_writes: SummarySet
+) -> Optional[Predicate]:
+    """The extracted condition under which *must_writes* covers *exposed*.
+
+    ``TRUE`` when coverage holds outright; ``None`` when extraction
+    fails.  Used by the privatization test.
+    """
+    difference = exposed.subtract(must_writes)
+    if difference.is_empty():
+        return TRUE
+    return breaking_condition(list(difference.all_regions()))

@@ -1,0 +1,74 @@
+"""Analysis configuration.
+
+One option set drives both analyses and every ablation in the benchmark
+harness; the named constructors are the configurations the paper
+evaluates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class AnalysisOptions:
+    """Switches for the array data-flow analysis.
+
+    ``predicates``
+        Master switch: attach predicates to data-flow values at control
+        flow (the predicated analysis).  Off = base SUIF analysis.
+    ``embedding``
+        Predicate embedding: fold affine predicate atoms into region
+        inequality systems before projection/subtraction.
+    ``extraction``
+        Predicate extraction: derive breaking conditions from region
+        subtraction and size/divisibility conditions from reshape.
+    ``runtime_tests``
+        Derive run-time tests from residual predicates (off = use
+        predicates for compile-time proofs only, the Gu/Li/Lee-style
+        comparator).
+    ``interprocedural``
+        Translate callee summaries at call sites (off = calls
+        conservatively touch every argument array).
+    ``scalar_propagation``
+        Forward-propagate straight-line scalar definitions before the
+        array analysis (the scalar symbolic analysis SUIF ran first).
+    ``max_guarded``
+        Beam width for guarded-alternative lists.
+    ``region_budget``
+        Per-array region budget before hull widening.
+    """
+
+    predicates: bool = True
+    embedding: bool = True
+    extraction: bool = True
+    runtime_tests: bool = True
+    interprocedural: bool = True
+    scalar_propagation: bool = True
+    max_guarded: int = 6
+    region_budget: int = 12
+
+    @staticmethod
+    def base() -> "AnalysisOptions":
+        """The non-predicated SUIF baseline (scalar propagation stays on:
+        SUIF had symbolic scalar analysis before predicates existed)."""
+        return AnalysisOptions(
+            predicates=False,
+            embedding=False,
+            extraction=False,
+            runtime_tests=False,
+        )
+
+    @staticmethod
+    def predicated() -> "AnalysisOptions":
+        """The paper's full analysis."""
+        return AnalysisOptions()
+
+    @staticmethod
+    def compile_time_only() -> "AnalysisOptions":
+        """Predicated analysis without run-time tests (prior-work mode)."""
+        return AnalysisOptions(runtime_tests=False)
+
+    def without(self, **kwargs) -> "AnalysisOptions":
+        """Ablation helper: ``opts.without(embedding=False)``."""
+        return replace(self, **kwargs)

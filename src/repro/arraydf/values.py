@@ -1,0 +1,358 @@
+"""Predicated data-flow values and their composition operations.
+
+An :class:`AccessValue` summarizes one program region's array accesses:
+
+``r`` : :class:`SummarySet`
+    may-read — over-approximation, unguarded (a guard would only ever be
+    weakened to TRUE for soundness, so we keep TRUE throughout);
+``w`` : :class:`SummarySet`
+    may-write — over-approximation, unguarded, used by the dependence
+    tests where *missing* a write would be unsound;
+``w_alts`` : tuple of :class:`GuardedSummary`
+    guarded may-write refinements: «if the guard holds at region entry,
+    the writes are *contained in* the summary».  The unguarded ``w``
+    always appears as the TRUE default.  These power predicated
+    independence proofs (Figure 1(a) of the paper);
+``m`` : tuple of :class:`GuardedSummary`
+    must-write alternatives: «if the guard holds at region entry, the
+    region definitely writes (at least) the summary».  Multiple guarded
+    alternatives realize the paper's ⟨predicate, value⟩ pairs;
+``e`` : tuple of :class:`GuardedSummary`
+    exposed-read alternatives: «if the guard holds at region entry, the
+    upward-exposed reads are *contained in* the summary».  Always ends
+    with an unguarded (TRUE) default.
+
+``scalar_writes`` records which scalars the region may write — guards of
+a following region that mention them cannot be hoisted across this one
+and are weakened (PredUnion/PredSubtract's modified-variable rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.arraydf.options import AnalysisOptions
+from repro.predicates.formula import (
+    Predicate,
+    TRUE,
+    p_and,
+    p_not,
+)
+from repro.predicates.simplify import is_unsat
+from repro.regions.summary import SummarySet
+
+
+@dataclass(frozen=True)
+class GuardedSummary:
+    """One ⟨predicate, summary⟩ pair."""
+
+    pred: Predicate
+    summary: SummarySet
+
+    def is_default(self) -> bool:
+        return self.pred.is_true()
+
+
+def _guard_ok(pred: Predicate, clobbered: FrozenSet[str]) -> bool:
+    """May *pred* be interpreted at an earlier program point, given the
+    set of variables written in between?"""
+    return not (pred.variables() & clobbered)
+
+
+def _dedup_guarded(
+    items: Iterable[GuardedSummary], cap: int, keep: str = "first"
+) -> Tuple[GuardedSummary, ...]:
+    """Drop unsatisfiable guards and syntactic duplicates; cap the list.
+
+    The TRUE default is always kept and placed last.  When several TRUE
+    entries compete, *keep* selects the winner: ``"min"`` prefers the
+    summary covered by the incumbent (tightest over-approximation, for
+    exposed/write bounds), ``"max"`` the covering one (largest must-
+    write), ``"first"`` keeps the first seen.
+    """
+    default: Optional[GuardedSummary] = None
+    out: List[GuardedSummary] = []
+    seen = set()
+    for g in items:
+        if g.pred.is_false() or is_unsat(g.pred):
+            continue
+        if g.pred.is_true():
+            if default is None:
+                default = g
+            elif keep == "min" and default.summary.covers(g.summary):
+                default = g
+            elif keep == "max" and g.summary.covers(default.summary):
+                default = g
+            continue
+        key = (g.pred, g.summary)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(g)
+    out = out[: cap - (1 if default is not None else 0)]
+    if default is not None:
+        out.append(default)
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class AccessValue:
+    """The data-flow value of one program region."""
+
+    r: SummarySet
+    w: SummarySet
+    m: Tuple[GuardedSummary, ...]
+    e: Tuple[GuardedSummary, ...]
+    w_alts: Tuple[GuardedSummary, ...] = ()
+    scalar_writes: FrozenSet[str] = frozenset()
+
+    def __post_init__(self):
+        if not self.w_alts:
+            object.__setattr__(
+                self, "w_alts", (GuardedSummary(TRUE, self.w),)
+            )
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def empty() -> "AccessValue":
+        return _EMPTY
+
+    @staticmethod
+    def leaf(
+        reads: SummarySet,
+        writes: SummarySet,
+        scalar_writes: FrozenSet[str] = frozenset(),
+    ) -> "AccessValue":
+        """Value of a single statement: reads happen before writes, so
+        every read is exposed; the write is unconditional."""
+        return AccessValue(
+            r=reads,
+            w=writes,
+            m=(GuardedSummary(TRUE, writes),),
+            e=(GuardedSummary(TRUE, reads),),
+            scalar_writes=scalar_writes,
+        )
+
+    # ------------------------------------------------------------------
+    # defaults
+    # ------------------------------------------------------------------
+    def must_default(self) -> SummarySet:
+        """The unguarded must-write summary (∅ if no TRUE alternative)."""
+        for g in self.m:
+            if g.is_default():
+                return g.summary
+        return SummarySet.empty()
+
+    def exposed_default(self) -> SummarySet:
+        """The unguarded exposed-read over-approximation."""
+        for g in self.e:
+            if g.is_default():
+                return g.summary
+        # e must always carry a default; fall back to r for safety
+        return self.r
+
+    def guard_variables(self) -> FrozenSet[str]:
+        vs: set = set()
+        for g in self.m + self.e:
+            vs |= g.pred.variables()
+        return frozenset(vs)
+
+    def clobbered_names(self) -> FrozenSet[str]:
+        """Names whose value this region may change (scalars + arrays)."""
+        return self.scalar_writes | frozenset(self.w.arrays())
+
+
+_EMPTY = AccessValue(
+    r=SummarySet.empty(),
+    w=SummarySet.empty(),
+    m=(GuardedSummary(TRUE, SummarySet.empty()),),
+    e=(GuardedSummary(TRUE, SummarySet.empty()),),
+)
+
+
+# ----------------------------------------------------------------------
+# sequential composition
+# ----------------------------------------------------------------------
+
+
+def seq_compose(
+    v1: AccessValue, v2: AccessValue, opts: AnalysisOptions
+) -> AccessValue:
+    """Value of ``v1 ; v2`` (both always execute, in order).
+
+    ``R = R1 ∪ R2``;  ``W = W1 ∪ W2``;
+    ``M = M1 ∪ M2`` per guarded pair (guards of v2 must survive v1's
+    writes); ``E = E1 ∪ (E2 − M1)`` with the predicated subtraction
+    supplied by :mod:`repro.arraydf.extraction`.
+    """
+    from repro.arraydf.extraction import pred_subtract
+
+    budget = opts.region_budget
+    clobbered = v1.clobbered_names()
+
+    r = v1.r.union(v2.r, budget)
+    w = v1.w.union(v2.w, budget)
+
+    # guarded may-writes
+    w_alts: List[GuardedSummary] = []
+    for g1 in v1.w_alts:
+        for g2 in v2.w_alts:
+            if not _guard_ok(g2.pred, clobbered):
+                # under g1's guard the writes stay within S1 ∪ (all of v2)
+                w_alts.append(
+                    GuardedSummary(g1.pred, g1.summary.union(v2.w, budget))
+                )
+                continue
+            w_alts.append(
+                GuardedSummary(
+                    p_and(g1.pred, g2.pred),
+                    g1.summary.union(g2.summary, budget),
+                )
+            )
+    if not any(g.is_default() for g in w_alts):
+        w_alts.append(GuardedSummary(TRUE, w))
+
+    # must-writes
+    m_alts: List[GuardedSummary] = []
+    for g1 in v1.m:
+        for g2 in v2.m:
+            if not _guard_ok(g2.pred, clobbered):
+                # g2 cannot be hoisted to v1's entry: weaken to ∅
+                m_alts.append(GuardedSummary(g1.pred, g1.summary))
+                continue
+            pred = p_and(g1.pred, g2.pred)
+            m_alts.append(
+                GuardedSummary(pred, g1.summary.union(g2.summary, budget))
+            )
+    if not any(g.is_default() for g in m_alts):
+        m_alts.append(GuardedSummary(TRUE, v1.must_default()))
+
+    # exposed reads: E1 ∪ (E2 − M1)
+    e_alts: List[GuardedSummary] = []
+    for g1e in v1.e:
+        for g1m in v1.m:
+            for g2e in v2.e:
+                if not _guard_ok(g2e.pred, clobbered):
+                    continue
+                base_pred = p_and(g1e.pred, g1m.pred, g2e.pred)
+                if base_pred.is_false():
+                    continue
+                for sub_pred, subtracted in pred_subtract(
+                    g2e.summary, g1m.summary, opts
+                ):
+                    pred = p_and(base_pred, sub_pred)
+                    if pred.is_false():
+                        continue
+                    e_alts.append(
+                        GuardedSummary(
+                            pred, g1e.summary.union(subtracted, budget)
+                        )
+                    )
+    # unconditional default: E1_def ∪ (E2_def − M1_def)
+    default_e = v1.exposed_default().union(
+        v2.exposed_default().subtract(v1.must_default()), budget
+    )
+    e_alts.append(GuardedSummary(TRUE, default_e))
+
+    return AccessValue(
+        r=r,
+        w=w,
+        m=_dedup_guarded(m_alts, opts.max_guarded, keep="max"),
+        e=_dedup_guarded(e_alts, opts.max_guarded, keep="min"),
+        w_alts=_dedup_guarded(w_alts, opts.max_guarded, keep="min"),
+        scalar_writes=v1.scalar_writes | v2.scalar_writes,
+    )
+
+
+def seq_compose_all(
+    values: Iterable[AccessValue], opts: AnalysisOptions
+) -> AccessValue:
+    acc = AccessValue.empty()
+    for v in values:
+        acc = seq_compose(acc, v, opts)
+    return acc
+
+
+# ----------------------------------------------------------------------
+# control-flow join (if/else)
+# ----------------------------------------------------------------------
+
+
+def branch_join(
+    cond: Predicate,
+    v_then: AccessValue,
+    v_else: AccessValue,
+    opts: AnalysisOptions,
+) -> AccessValue:
+    """PredUnion at a structured conditional.
+
+    May-information unions the branches.  With predicates enabled, the
+    must/exposed alternatives of each branch are guarded by the branch
+    condition (⟨p, v_then⟩ ⊎ ⟨¬p, v_else⟩), and the classic unguarded
+    meet (``M_then ∩ M_else``, ``E_then ∪ E_else``) is kept as the
+    default.
+    """
+    budget = opts.region_budget
+    r = v_then.r.union(v_else.r, budget)
+    w = v_then.w.union(v_else.w, budget)
+
+    default_m = v_then.must_default().intersect_pairwise(v_else.must_default())
+    default_e = v_then.exposed_default().union(v_else.exposed_default(), budget)
+
+    m_alts: List[GuardedSummary] = []
+    e_alts: List[GuardedSummary] = []
+    w_alts: List[GuardedSummary] = []
+    if opts.predicates and not cond.is_true() and not cond.is_false():
+        ncond = p_not(cond)
+        for g in v_then.m:
+            m_alts.append(GuardedSummary(p_and(cond, g.pred), g.summary))
+        for g in v_else.m:
+            m_alts.append(GuardedSummary(p_and(ncond, g.pred), g.summary))
+        for g in v_then.e:
+            e_alts.append(GuardedSummary(p_and(cond, g.pred), g.summary))
+        for g in v_else.e:
+            e_alts.append(GuardedSummary(p_and(ncond, g.pred), g.summary))
+        for g in v_then.w_alts:
+            w_alts.append(GuardedSummary(p_and(cond, g.pred), g.summary))
+        for g in v_else.w_alts:
+            w_alts.append(GuardedSummary(p_and(ncond, g.pred), g.summary))
+    m_alts.append(GuardedSummary(TRUE, default_m))
+    e_alts.append(GuardedSummary(TRUE, default_e))
+    w_alts.append(GuardedSummary(TRUE, w))
+
+    return AccessValue(
+        r=r,
+        w=w,
+        m=_dedup_guarded(m_alts, opts.max_guarded, keep="max"),
+        e=_dedup_guarded(e_alts, opts.max_guarded, keep="min"),
+        w_alts=_dedup_guarded(w_alts, opts.max_guarded, keep="min"),
+        scalar_writes=v_then.scalar_writes | v_else.scalar_writes,
+    )
+
+
+# ----------------------------------------------------------------------
+# guarded-alternative merge (call sites, reshape results)
+# ----------------------------------------------------------------------
+
+
+def guarded_value(
+    alternatives: List[Tuple[Predicate, SummarySet]],
+    may: SummarySet,
+    kind: str,
+    opts: AnalysisOptions,
+) -> Tuple[GuardedSummary, ...]:
+    """Package reshape alternatives into a guarded list.
+
+    *kind* is ``"must"`` (default ∅ unless provided) or ``"exposed"``
+    (default = *may*).
+    """
+    out = [GuardedSummary(p, s) for p, s in alternatives]
+    if not any(g.is_default() for g in out):
+        default = SummarySet.empty() if kind == "must" else may
+        out.append(GuardedSummary(TRUE, default))
+    if not opts.predicates:
+        out = [g for g in out if g.is_default()]
+    return _dedup_guarded(out, opts.max_guarded)

@@ -1,0 +1,30 @@
+"""Parallel code generation.
+
+Two artifacts are produced from a
+:class:`~repro.partests.driver.ProgramResult`:
+
+* a :class:`~repro.codegen.plan.ParallelPlan` — the machine-facing
+  schedule (which loops run parallel, under which run-time predicate,
+  with which privatized storage) consumed by the interpreter and the
+  multiprocessor cost simulator;
+* a transformed AST (:mod:`repro.codegen.twoversion`) where each
+  run-time-tested loop becomes the paper's two-version form::
+
+      if (<derived predicate>) then
+        <parallel version>
+      else
+        <original serial version>
+      endif
+"""
+
+from repro.codegen.plan import LoopPlan, ParallelPlan, build_plan
+from repro.codegen.twoversion import transform_program
+from repro.codegen.report import format_report
+
+__all__ = [
+    "LoopPlan",
+    "ParallelPlan",
+    "build_plan",
+    "transform_program",
+    "format_report",
+]

@@ -1,0 +1,93 @@
+"""The parallel execution plan.
+
+A :class:`ParallelPlan` maps loops (by their stable ``nid``) to how the
+generated code would execute them.  The interpreter and the machine
+simulator consume this instead of a rewritten AST, keeping dynamic
+measurements (ELPD, speedups) decoupled from source-to-source rewriting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.lang.astnodes import DoLoop, Program
+from repro.partests.driver import LoopResult, ProgramResult
+from repro.predicates.formula import Predicate
+
+
+@dataclass
+class LoopPlan:
+    """Execution schedule for one loop."""
+
+    label: str
+    nid: int
+    mode: str  # "parallel" | "two_version" | "serial"
+    runtime_pred: Optional[Predicate] = None
+    runtime_cost: int = 0
+    private_arrays: List[str] = field(default_factory=list)
+    private_scalars: List[str] = field(default_factory=list)
+    reduction_scalars: List[str] = field(default_factory=list)
+    enclosed: bool = False
+
+    @property
+    def parallelizable(self) -> bool:
+        return self.mode in ("parallel", "two_version")
+
+
+@dataclass
+class ParallelPlan:
+    """Per-loop schedules for a whole program."""
+
+    program: Program
+    loops: Dict[int, LoopPlan] = field(default_factory=dict)
+
+    def plan_for(self, loop: DoLoop) -> Optional[LoopPlan]:
+        return self.loops.get(loop.nid)
+
+    def parallel_count(self) -> int:
+        return sum(1 for p in self.loops.values() if p.parallelizable)
+
+    def two_version_count(self) -> int:
+        return sum(1 for p in self.loops.values() if p.mode == "two_version")
+
+    def outer_parallel_labels(self) -> List[str]:
+        return sorted(
+            p.label
+            for p in self.loops.values()
+            if p.parallelizable and not p.enclosed
+        )
+
+
+def build_plan(result: ProgramResult) -> ParallelPlan:
+    """Lower driver decisions into an execution plan.
+
+    Only the outermost parallelized loop of each nest actually runs in
+    parallel ("SUIF only exploits a single level of parallelism");
+    enclosed loops keep their decision for reporting but execute
+    serially.
+    """
+    plan = ParallelPlan(result.program)
+    for lr in result.loops:
+        plan.loops[lr.loop.nid] = _lower(lr)
+    return plan
+
+
+def _lower(lr: LoopResult) -> LoopPlan:
+    if lr.status in ("parallel", "parallel_private"):
+        mode = "parallel"
+    elif lr.status == "runtime":
+        mode = "two_version"
+    else:
+        mode = "serial"
+    return LoopPlan(
+        label=lr.label,
+        nid=lr.loop.nid,
+        mode=mode,
+        runtime_pred=lr.condition if lr.status == "runtime" else None,
+        runtime_cost=lr.runtime_cost,
+        private_arrays=list(lr.private_arrays),
+        private_scalars=list(lr.private_scalars),
+        reduction_scalars=list(lr.reduction_scalars),
+        enclosed=lr.enclosed,
+    )

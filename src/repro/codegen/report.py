@@ -1,0 +1,53 @@
+"""Human-readable compiler report (what `-listing` style output shows)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.partests.driver import ProgramResult
+
+_STATUS_TAGS = {
+    "parallel": "PARALLEL",
+    "parallel_private": "PARALLEL (privatized)",
+    "runtime": "PARALLEL under run-time test",
+    "serial": "serial",
+    "not_candidate": "not a candidate",
+}
+
+
+def format_report(result: ProgramResult, title: str = "") -> str:
+    """A per-loop listing of the parallelization decisions."""
+    lines: List[str] = []
+    header = title or result.program.name
+    lines.append(f"=== {header} ===")
+    lines.append(
+        f"loops: {result.total_loops}  candidates: {result.candidate_loops}  "
+        f"parallelized: {result.parallelized}  "
+        f"(run-time tested: {result.runtime_tested})  "
+        f"analysis: {result.analysis_seconds * 1000:.1f} ms"
+    )
+    for l in result.loops:
+        tag = _STATUS_TAGS.get(l.status, l.status)
+        extras = []
+        if l.private_arrays:
+            extras.append(f"private: {', '.join(l.private_arrays)}")
+        if l.reduction_scalars:
+            extras.append(f"reductions: {', '.join(l.reduction_scalars)}")
+        if l.runtime_test:
+            extras.append(f"test: {l.runtime_test}")
+        if l.enclosed:
+            extras.append("enclosed")
+        if l.reason:
+            extras.append(l.reason)
+        suffix = f"  [{'; '.join(extras)}]" if extras else ""
+        lines.append(f"  {l.label:<24} {tag}{suffix}")
+        # "derivation of regions in privatizable arrays requiring
+        # initialization" — the copy-in regions per privatized array
+        if l.verdict is not None:
+            for name in l.private_arrays:
+                av = l.verdict.array_verdicts.get(name)
+                if av is not None and av.copy_in and not av.copy_in.is_empty():
+                    lines.append(
+                        f"      copy-in {name}: {av.copy_in}"
+                    )
+    return "\n".join(lines)

@@ -1,0 +1,104 @@
+"""Source-to-source two-version loop generation.
+
+Run-time-tested loops are rewritten into the paper's guarded form —
+an ``if`` on the derived predicate selecting between a parallel version
+and the original serial loop.  Parallel loops keep their body and gain a
+comment-visible label suffix so the output is inspectable.
+
+The transform preserves semantics by construction (both versions carry
+identical bodies); ``tests/codegen`` verifies this by interpreting the
+original and transformed programs on random inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.codegen.plan import ParallelPlan
+from repro.lang.astnodes import (
+    DoLoop,
+    Expr,
+    If,
+    Program,
+    Stmt,
+    Subroutine,
+    assign_nids,
+)
+from repro.lang.builder import clone_body, clone_stmt
+from repro.lang.errors import ParseError
+from repro.lang.parser import _Parser
+from repro.lang.lexer import tokenize
+from repro.partests.runtime_tests import render_predicate
+from repro.predicates.formula import Predicate
+
+
+def parse_condition(text: str) -> Expr:
+    """Parse a rendered predicate back into an AST expression."""
+    parser = _Parser(tokenize(text))
+    expr = parser.parse_expr()
+    return expr
+
+
+def predicate_to_expr(pred: Predicate) -> Expr:
+    """Predicate → AST condition via the renderer/parser round trip."""
+    return parse_condition(render_predicate(pred))
+
+
+def transform_program(program: Program, plan: ParallelPlan) -> Program:
+    """Clone *program*, rewriting run-time-tested loops two-version.
+
+    The returned program has fresh statement identities and renumbered
+    nids; the original is untouched.
+    """
+    new_units: Dict[str, Subroutine] = {}
+    for name, unit in program.units.items():
+        new_units[name] = Subroutine(
+            name=unit.name,
+            params=list(unit.params),
+            decls=dict(unit.decls),
+            body=_transform_body(unit.body, plan),
+            is_main=unit.is_main,
+        )
+    out = Program(program.name, new_units, program.main)
+    assign_nids(out, relabel=False)
+    return out
+
+
+def _transform_body(body: List[Stmt], plan: ParallelPlan) -> List[Stmt]:
+    out: List[Stmt] = []
+    for stmt in body:
+        out.append(_transform_stmt(stmt, plan))
+    return out
+
+
+def _transform_stmt(stmt: Stmt, plan: ParallelPlan) -> Stmt:
+    if isinstance(stmt, DoLoop):
+        lp = plan.plan_for(stmt)
+        inner_body = _transform_body(stmt.body, plan)
+        loop = DoLoop(stmt.var, stmt.lo, stmt.hi, stmt.step, inner_body)
+        loop.line = stmt.line
+        loop.label = stmt.label
+        if lp is not None and lp.mode == "two_version" and lp.runtime_pred is not None:
+            try:
+                cond = predicate_to_expr(lp.runtime_pred)
+            except (ParseError, TypeError):
+                return loop  # unrenderable predicate: keep serial form
+            par = clone_stmt(loop)
+            par.label = f"{stmt.label}_par"
+            seq = clone_stmt(loop)
+            seq.label = f"{stmt.label}_seq"
+            guard = If(cond, [par], [seq])
+            guard.line = stmt.line
+            return guard
+        if lp is not None and lp.mode == "parallel":
+            loop.label = f"{stmt.label}_par"
+        return loop
+    if isinstance(stmt, If):
+        new = If(
+            stmt.cond,
+            _transform_body(stmt.then_body, plan),
+            _transform_body(stmt.else_body, plan),
+        )
+        new.line = stmt.line
+        return new
+    return clone_stmt(stmt)

@@ -1,0 +1,33 @@
+"""Experiment harnesses — one per paper table/figure.
+
+Each module exposes ``run()`` returning a structured result with a
+``format()`` text rendering that prints the same rows/series the paper
+reports.  See EXPERIMENTS.md for the paper-vs-measured record.
+
+==========  =========================================================
+FIG1        the four motivating examples of Figure 1
+TAB1        per-program loop parallelization statistics
+TAB2        detail of the newly parallelized (outer) loops
+TAB3        category × mechanism breakdown
+FIGS        speedup curves (base vs predicated, P = 1..8)
+FIGO        analysis cost and run-time test overhead
+==========  =========================================================
+"""
+
+from repro.experiments import (  # noqa: F401
+    fig1_examples,
+    fig_overhead,
+    fig_speedups,
+    table1_loops,
+    table2_programs,
+    table3_categories,
+)
+
+__all__ = [
+    "fig1_examples",
+    "table1_loops",
+    "table2_programs",
+    "table3_categories",
+    "fig_speedups",
+    "fig_overhead",
+]

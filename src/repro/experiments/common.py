@@ -1,0 +1,55 @@
+"""Shared plumbing for the experiment harnesses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
+
+from repro.arraydf.options import AnalysisOptions
+from repro.partests.driver import ProgramResult, analyze_program
+from repro.suites import all_programs
+from repro.suites.compose import BenchmarkProgram
+
+WIN_STATUSES = ("parallel", "parallel_private", "runtime")
+
+
+@lru_cache(maxsize=None)
+def analyzed(name: str, config: str) -> ProgramResult:
+    """Memoized driver run for one (program, configuration)."""
+    from repro.suites import get_program
+
+    options = {
+        "base": AnalysisOptions.base(),
+        "predicated": AnalysisOptions.predicated(),
+        "compile_time_only": AnalysisOptions.compile_time_only(),
+        "no_embedding": AnalysisOptions.predicated().without(embedding=False),
+        "no_extraction": AnalysisOptions.predicated().without(extraction=False),
+        "no_interproc": AnalysisOptions.predicated().without(
+            interprocedural=False
+        ),
+    }[config]
+    return analyze_program(get_program(name).fresh_program(), options)
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str = ""
+) -> str:
+    """Fixed-width text table (the paper-style row rendering)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def percent(num: int, den: int) -> str:
+    return f"{100 * num / den:.0f}%" if den else "-"

@@ -1,0 +1,138 @@
+"""FIGO — analysis cost and run-time-test overhead.
+
+Two of the paper's quantified claims:
+
+* the predicated analysis costs more compile time than the base
+  analysis, but the blowup stays modest (per-suite wall-clock ratio);
+* the derived run-time tests are **low-cost** — a handful of scalar
+  predicate atoms, versus an inspector/executor whose overhead is "on
+  the order of the aggregate size of the arrays" involved.  We measure
+  both quantities for every run-time-tested loop.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.arraydf.options import AnalysisOptions
+from repro.experiments.common import format_table
+from repro.partests.driver import analyze_program
+from repro.suites import SUITE_NAMES, all_programs
+
+
+@dataclass
+class SuiteCost:
+    suite: str
+    base_seconds: float = 0.0
+    predicated_seconds: float = 0.0
+
+    @property
+    def ratio(self) -> float:
+        return (
+            self.predicated_seconds / self.base_seconds
+            if self.base_seconds
+            else float("inf")
+        )
+
+
+@dataclass
+class TestCostRow:
+    program: str
+    label: str
+    test_atoms: int  # cost of the derived scalar test
+    inspector_cost: int  # aggregate array elements an inspector touches
+
+
+@dataclass
+class FigOverhead:
+    suite_costs: List[SuiteCost] = field(default_factory=list)
+    test_costs: List[TestCostRow] = field(default_factory=list)
+
+    def format(self) -> str:
+        body = [
+            [
+                c.suite,
+                f"{c.base_seconds * 1000:.0f} ms",
+                f"{c.predicated_seconds * 1000:.0f} ms",
+                f"{c.ratio:.2f}x",
+            ]
+            for c in self.suite_costs
+        ]
+        out = format_table(
+            ["suite", "base analysis", "predicated analysis", "ratio"],
+            body,
+            title="FIGO-a: compile-time analysis cost",
+        )
+        body2 = [
+            [
+                r.program,
+                r.label,
+                r.test_atoms,
+                r.inspector_cost,
+                f"{r.inspector_cost / max(r.test_atoms, 1):.0f}x",
+            ]
+            for r in self.test_costs
+        ]
+        out += "\n\n" + format_table(
+            [
+                "program",
+                "loop",
+                "test atoms",
+                "inspector elements",
+                "advantage",
+            ],
+            body2,
+            title="FIGO-b: run-time test cost vs inspector/executor",
+        )
+        return out
+
+
+def _inspector_cost(bench, label: str) -> int:
+    """Elements an inspector would shadow: the dynamic access count of
+    the loop's arrays (measured with the ELPD instrumentation itself)."""
+    from repro.runtime.elpd import run_elpd
+
+    rep = run_elpd(bench.fresh_program(), bench.inputs, target_labels=[label])
+    obs = rep.observations.get(label)
+    if obs is None:
+        return 0
+    return obs.total_iterations  # per-iteration at least one access
+
+
+def run() -> FigOverhead:
+    out = FigOverhead()
+    per_suite: Dict[str, SuiteCost] = {
+        s: SuiteCost(s) for s in SUITE_NAMES
+    }
+    for bench in all_programs():
+        t0 = time.perf_counter()
+        analyze_program(bench.fresh_program(), AnalysisOptions.base())
+        t1 = time.perf_counter()
+        pred = analyze_program(
+            bench.fresh_program(), AnalysisOptions.predicated()
+        )
+        t2 = time.perf_counter()
+        per_suite[bench.suite].base_seconds += t1 - t0
+        per_suite[bench.suite].predicated_seconds += t2 - t1
+        for l in pred.loops:
+            if l.status == "runtime":
+                out.test_costs.append(
+                    TestCostRow(
+                        bench.name,
+                        l.label,
+                        l.runtime_cost,
+                        _inspector_cost(bench, l.label),
+                    )
+                )
+    out.suite_costs = [per_suite[s] for s in SUITE_NAMES]
+    return out
+
+
+def main() -> None:
+    print(run().format())
+
+
+if __name__ == "__main__":
+    main()

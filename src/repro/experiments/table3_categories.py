@@ -1,0 +1,78 @@
+"""TAB3 — category × mechanism breakdown of the predicated wins.
+
+The paper classifies the newly parallelized loops by the categories of
+[So, Moon & Hall]; here every win is bucketed by its ground-truth
+category (from the pattern that generated it) and by the *measured*
+delivery (compile-time proof vs run-time test).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.experiments.common import WIN_STATUSES, analyzed, format_table
+from repro.suites import all_programs
+
+CATEGORIES = (
+    "conditional-def",
+    "boundary",
+    "offset-symbolic",
+    "reshape",
+)
+
+
+@dataclass
+class Table3:
+    # (category) -> [compile-time count, run-time count]
+    counts: Dict[str, List[int]] = field(default_factory=dict)
+    uncategorized: int = 0
+
+    def total(self) -> Tuple[int, int]:
+        ct = sum(v[0] for v in self.counts.values())
+        rt = sum(v[1] for v in self.counts.values())
+        return ct, rt
+
+    def format(self) -> str:
+        headers = ["category", "compile-time", "run-time test", "total"]
+        body = []
+        for cat in CATEGORIES:
+            ct, rt = self.counts.get(cat, [0, 0])
+            body.append([cat, ct, rt, ct + rt])
+        ct, rt = self.total()
+        body.append(["TOTAL", ct, rt, ct + rt])
+        return format_table(
+            headers, body, title="TAB3: win categories (So/Moon/Hall classes)"
+        )
+
+
+def run() -> Table3:
+    table = Table3()
+    for bench in all_programs():
+        pred = analyzed(bench.name, "predicated")
+        base = analyzed(bench.name, "base")
+        base_status = {l.label: l.status for l in base.loops}
+        for l in pred.loops:
+            if l.status not in WIN_STATUSES:
+                continue
+            if base_status.get(l.label) in WIN_STATUSES + ("not_candidate",):
+                continue
+            exp = bench.expectations.get(l.label)
+            category = exp.category if exp else ""
+            if category not in CATEGORIES:
+                table.uncategorized += 1
+                continue
+            bucket = table.counts.setdefault(category, [0, 0])
+            if l.status == "runtime":
+                bucket[1] += 1
+            else:
+                bucket[0] += 1
+    return table
+
+
+def main() -> None:
+    print(run().format())
+
+
+if __name__ == "__main__":
+    main()

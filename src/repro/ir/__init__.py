@@ -1,0 +1,41 @@
+"""Hierarchical program representation.
+
+The SUIF analysis operates on a *region graph*: a tree of program regions
+(basic block, loop body, loop, procedure call, procedure body) overlaid on
+the AST.  This package builds that tree, the interprocedural call graph,
+per-unit symbol tables, loop metadata, and the AST→affine /
+AST→predicate translators used by every analysis.
+"""
+
+from repro.ir.regiongraph import (
+    CallRegion,
+    IfRegion,
+    LoopRegion,
+    ProcRegion,
+    Region,
+    SeqRegion,
+    StmtRegion,
+    build_region_tree,
+)
+from repro.ir.callgraph import CallGraph
+from repro.ir.symboltable import SymbolTable
+from repro.ir.loopinfo import LoopInfo, collect_loop_info
+from repro.ir.exprtools import to_affine, cond_to_predicate, scalars_read
+
+__all__ = [
+    "Region",
+    "StmtRegion",
+    "CallRegion",
+    "IfRegion",
+    "LoopRegion",
+    "SeqRegion",
+    "ProcRegion",
+    "build_region_tree",
+    "CallGraph",
+    "SymbolTable",
+    "LoopInfo",
+    "collect_loop_info",
+    "to_affine",
+    "cond_to_predicate",
+    "scalars_read",
+]

@@ -1,0 +1,66 @@
+"""Interprocedural call graph.
+
+The front end guarantees the call graph is acyclic (Fortran-77
+non-recursive model), so a reverse topological order exists and drives the
+bottom-up interprocedural summary computation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.lang.astnodes import Call, Program, walk_stmts
+
+
+class CallGraph:
+    """Call graph over the units of one program."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.edges: Dict[str, Set[str]] = {name: set() for name in program.units}
+        self.call_sites: Dict[str, List[Call]] = {name: [] for name in program.units}
+        for name, unit in program.units.items():
+            for stmt in walk_stmts(unit.body):
+                if isinstance(stmt, Call):
+                    self.edges[name].add(stmt.name)
+                    self.call_sites[name].append(stmt)
+
+    def callees(self, name: str) -> Set[str]:
+        return self.edges[name]
+
+    def callers(self, name: str) -> Set[str]:
+        return {u for u, outs in self.edges.items() if name in outs}
+
+    def bottom_up_order(self) -> List[str]:
+        """Units ordered so every callee precedes its callers."""
+        order: List[str] = []
+        visited: Set[str] = set()
+
+        def visit(u: str) -> None:
+            if u in visited:
+                return
+            visited.add(u)
+            for v in sorted(self.edges[u]):
+                visit(v)
+            order.append(u)
+
+        for u in sorted(self.program.units):
+            visit(u)
+        return order
+
+    def reachable_from_main(self) -> Set[str]:
+        seen: Set[str] = set()
+        stack = [self.program.main]
+        while stack:
+            u = stack.pop()
+            if u in seen:
+                continue
+            seen.add(u)
+            stack.extend(self.edges[u])
+        return seen
+
+    def edge_list(self) -> List[Tuple[str, str]]:
+        return sorted((u, v) for u, outs in self.edges.items() for v in outs)
+
+    def __repr__(self) -> str:
+        return f"CallGraph({len(self.edges)} units, {len(self.edge_list())} edges)"

@@ -1,0 +1,174 @@
+"""AST expression → analysis-domain translators.
+
+``to_affine`` maps integer-valued expressions into the exact affine
+algebra (returning ``None`` for anything non-affine — products of
+variables, real arithmetic, array elements, intrinsics).
+
+``cond_to_predicate`` maps a boolean condition into the predicate
+language: affine comparisons become :class:`LinAtom`, ``mod(e, k) == 0``
+becomes :class:`DivAtom`, everything else becomes an :class:`OpaqueAtom`
+keyed by its source text — exactly the paper's "run-time evaluable
+predicates consisting of arbitrary program statements".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.lang.astnodes import (
+    ArrayRef,
+    BinOp,
+    Expr,
+    Intrinsic,
+    Num,
+    RELOPS,
+    UnOp,
+    VarRef,
+    expr_variables,
+)
+from repro.lang.prettyprint import expr_str
+from repro.predicates.atoms import DivAtom, LinAtom, OpaqueAtom
+from repro.predicates.formula import (
+    Predicate,
+    p_and,
+    p_atom,
+    p_not,
+    p_or,
+)
+from repro.symbolic.affine import AffineExpr
+
+
+def to_affine(expr: Expr) -> Optional[AffineExpr]:
+    """Translate an integer expression to affine form, or ``None``."""
+    if isinstance(expr, Num):
+        if isinstance(expr.value, int):
+            return AffineExpr.const(expr.value)
+        return None  # real literal: not part of the affine index domain
+    if isinstance(expr, VarRef):
+        return AffineExpr.var(expr.name)
+    if isinstance(expr, UnOp):
+        if expr.op == "-":
+            inner = to_affine(expr.operand)
+            return -inner if inner is not None else None
+        return None
+    if isinstance(expr, BinOp):
+        if expr.op == "+" or expr.op == "-":
+            left = to_affine(expr.left)
+            right = to_affine(expr.right)
+            if left is None or right is None:
+                return None
+            return left + right if expr.op == "+" else left - right
+        if expr.op == "*":
+            left = to_affine(expr.left)
+            right = to_affine(expr.right)
+            if left is None or right is None:
+                return None
+            if left.is_constant():
+                return right * left.constant
+            if right.is_constant():
+                return left * right.constant
+            return None  # product of variables
+        if expr.op == "/":
+            # Fortran integer division truncates; only exact constant
+            # division is affine.
+            left = to_affine(expr.left)
+            right = to_affine(expr.right)
+            if left is None or right is None or not right.is_constant():
+                return None
+            d = right.constant
+            if d == 0:
+                return None
+            q = left / d
+            return q if q.is_integral() else None
+        if expr.op == "**":
+            left = to_affine(expr.left)
+            right = to_affine(expr.right)
+            if (
+                left is not None
+                and right is not None
+                and left.is_constant()
+                and right.is_constant()
+                and right.constant.denominator == 1
+                and right.constant >= 0
+            ):
+                return AffineExpr.const(
+                    left.constant ** int(right.constant)
+                )
+            return None
+        return None
+    return None  # ArrayRef, Intrinsic
+
+
+def _mod_divisibility(expr: BinOp) -> Optional[Predicate]:
+    """Recognize ``mod(e, k) == 0`` / ``mod(e, k) != 0`` patterns."""
+    if expr.op not in ("==", "!="):
+        return None
+    for mod_side, zero_side in ((expr.left, expr.right), (expr.right, expr.left)):
+        if (
+            isinstance(mod_side, Intrinsic)
+            and mod_side.name == "mod"
+            and len(mod_side.args) == 2
+            and isinstance(zero_side, Num)
+            and zero_side.value == 0
+        ):
+            base = to_affine(mod_side.args[0])
+            k = to_affine(mod_side.args[1])
+            if (
+                base is not None
+                and base.is_integral()
+                and k is not None
+                and k.is_constant()
+                and k.constant.denominator == 1
+                and int(k.constant) > 1
+            ):
+                atom = p_atom(DivAtom(base, int(k.constant)))
+                return atom if expr.op == "==" else p_not(atom)
+    return None
+
+
+def _opaque(expr: Expr) -> Predicate:
+    """Fallback: an uninterpreted run-time-evaluable atom."""
+    return p_atom(OpaqueAtom(expr_str(expr), tuple(expr_variables(expr))))
+
+
+def cond_to_predicate(expr: Expr) -> Predicate:
+    """Translate a boolean condition into the predicate language."""
+    if isinstance(expr, BinOp):
+        if expr.op == "and":
+            return p_and(cond_to_predicate(expr.left), cond_to_predicate(expr.right))
+        if expr.op == "or":
+            return p_or(cond_to_predicate(expr.left), cond_to_predicate(expr.right))
+        if expr.op in RELOPS:
+            div = _mod_divisibility(expr)
+            if div is not None:
+                return div
+            left = to_affine(expr.left)
+            right = to_affine(expr.right)
+            if left is not None and right is not None:
+                ctor = {
+                    "<": LinAtom.lt,
+                    "<=": LinAtom.le,
+                    ">": LinAtom.gt,
+                    ">=": LinAtom.ge,
+                    "==": LinAtom.eq,
+                }.get(expr.op)
+                if ctor is not None:
+                    return p_atom(ctor(left, right))
+                # '!=' : ¬(==), which splits into two strict sides
+                return p_not(p_atom(LinAtom.eq(left, right)))
+            return _opaque(expr)
+    if isinstance(expr, UnOp) and expr.op == "not":
+        return p_not(cond_to_predicate(expr.operand))
+    return _opaque(expr)
+
+
+def scalars_read(expr: Expr) -> frozenset:
+    """Names of all variables (scalar or array) consulted by *expr*."""
+    return expr_variables(expr)
+
+
+def reads_arrays(expr: Expr) -> bool:
+    """Does *expr* reference any array element?"""
+    from repro.lang.astnodes import walk_exprs
+
+    return any(isinstance(e, ArrayRef) for e in walk_exprs(expr))

@@ -1,0 +1,89 @@
+"""Per-unit symbol tables.
+
+Wraps the declaration map of a :class:`~repro.lang.astnodes.Subroutine`
+with the queries analyses need: scalar/array classification, formal
+parameter positions, affine array extents and declared sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.lang.astnodes import ASSUMED, Decl, Expr, Subroutine
+from repro.symbolic.affine import AffineExpr
+
+
+class SymbolTable:
+    """Symbol information for one program unit."""
+
+    def __init__(self, unit: Subroutine) -> None:
+        self.unit = unit
+        self._param_pos: Dict[str, int] = {
+            name: k for k, name in enumerate(unit.params)
+        }
+
+    # -- classification ------------------------------------------------
+    def is_declared(self, name: str) -> bool:
+        return name in self.unit.decls
+
+    def is_array(self, name: str) -> bool:
+        d = self.unit.decls.get(name)
+        return d is not None and d.is_array
+
+    def is_scalar(self, name: str) -> bool:
+        d = self.unit.decls.get(name)
+        return d is not None and not d.is_array
+
+    def is_formal(self, name: str) -> bool:
+        return name in self._param_pos
+
+    def formal_position(self, name: str) -> int:
+        return self._param_pos[name]
+
+    def is_integer(self, name: str) -> bool:
+        d = self.unit.decls.get(name)
+        return d is not None and d.typ == "integer"
+
+    # -- arrays ----------------------------------------------------------
+    def rank(self, name: str) -> int:
+        d = self.unit.decls.get(name)
+        if d is None or not d.is_array:
+            raise KeyError(f"{name!r} is not a declared array")
+        return d.rank
+
+    def extents(self, name: str) -> Tuple[Union[Expr, str], ...]:
+        d = self.unit.decls.get(name)
+        if d is None or not d.is_array:
+            raise KeyError(f"{name!r} is not a declared array")
+        return d.dims
+
+    def affine_extents(self, name: str) -> List[Optional[AffineExpr]]:
+        """Extent of each dimension as an affine expression.
+
+        ``None`` marks an assumed-size (``*``) or non-affine extent.
+        """
+        from repro.ir.exprtools import to_affine
+
+        out: List[Optional[AffineExpr]] = []
+        for dim in self.extents(name):
+            if dim == ASSUMED:
+                out.append(None)
+            else:
+                out.append(to_affine(dim))
+        return out
+
+    def declared_arrays(self) -> List[str]:
+        return sorted(n for n, d in self.unit.decls.items() if d.is_array)
+
+    def declared_scalars(self) -> List[str]:
+        return sorted(n for n, d in self.unit.decls.items() if not d.is_array)
+
+    def decl(self, name: str) -> Optional[Decl]:
+        return self.unit.decls.get(name)
+
+    def __repr__(self) -> str:
+        return (
+            f"SymbolTable({self.unit.name}: "
+            f"{len(self.declared_scalars())} scalars, "
+            f"{len(self.declared_arrays())} arrays)"
+        )

@@ -1,0 +1,63 @@
+"""Mini-Fortran front end.
+
+The analysis substrate SUIF provided was a Fortran-77 front end producing
+a structured intermediate form.  This package implements the equivalent:
+a small Fortran-flavoured language with
+
+* ``program``/``subroutine`` units, non-recursive ``call``;
+* ``do`` loops with affine (or symbolic) bounds and optional step;
+* structured ``if``/``else``;
+* multi-dimensional arrays with declared or assumed (``*``) extents;
+* ``read`` statements modelling run-time inputs (symbolic unknowns to the
+  compiler, concrete values to the interpreter);
+* arithmetic with the intrinsics ``mod``, ``min``, ``max``, ``abs``.
+
+GOTO and recursion are intentionally absent (see DESIGN.md §7).
+"""
+
+from repro.lang.astnodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Decl,
+    DoLoop,
+    If,
+    Intrinsic,
+    Num,
+    PrintStmt,
+    Program,
+    ReadStmt,
+    Subroutine,
+    UnOp,
+    VarRef,
+)
+from repro.lang.errors import LangError, LexError, ParseError, SemanticError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_program
+from repro.lang.prettyprint import pretty
+
+__all__ = [
+    "parse_program",
+    "tokenize",
+    "pretty",
+    "Program",
+    "Subroutine",
+    "Decl",
+    "Assign",
+    "DoLoop",
+    "If",
+    "Call",
+    "ReadStmt",
+    "PrintStmt",
+    "Num",
+    "VarRef",
+    "ArrayRef",
+    "BinOp",
+    "UnOp",
+    "Intrinsic",
+    "LangError",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+]

@@ -1,0 +1,212 @@
+"""Programmatic AST construction helpers.
+
+Used by the code generator (to synthesize two-version loops) and by tests
+that build ASTs directly.  For whole benchmark programs prefer source text
+through :func:`repro.lang.parser.parse_program` — it is more readable and
+exercises the front end.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.lang.astnodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    DoLoop,
+    Expr,
+    If,
+    Intrinsic,
+    Num,
+    PrintStmt,
+    ReadStmt,
+    Return,
+    Stmt,
+    UnOp,
+    VarRef,
+)
+
+ExprLike = Union[Expr, int, float, str]
+
+
+def as_expr(value: ExprLike) -> Expr:
+    """Coerce ints/floats to literals and strings to variable references."""
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return Num(value)
+    if isinstance(value, str):
+        return VarRef(value)
+    return value
+
+
+def var(name: str) -> VarRef:
+    return VarRef(name)
+
+
+def num(value: Union[int, float]) -> Num:
+    return Num(value)
+
+
+def aref(name: str, *subscripts: ExprLike) -> ArrayRef:
+    return ArrayRef(name, tuple(as_expr(s) for s in subscripts))
+
+
+def binop(op: str, left: ExprLike, right: ExprLike) -> BinOp:
+    return BinOp(op, as_expr(left), as_expr(right))
+
+
+def add(a: ExprLike, b: ExprLike) -> BinOp:
+    return binop("+", a, b)
+
+
+def sub(a: ExprLike, b: ExprLike) -> BinOp:
+    return binop("-", a, b)
+
+
+def mul(a: ExprLike, b: ExprLike) -> BinOp:
+    return binop("*", a, b)
+
+
+def div(a: ExprLike, b: ExprLike) -> BinOp:
+    return binop("/", a, b)
+
+
+def neg(a: ExprLike) -> UnOp:
+    return UnOp("-", as_expr(a))
+
+
+def lnot(a: ExprLike) -> UnOp:
+    return UnOp("not", as_expr(a))
+
+
+def land(a: ExprLike, b: ExprLike) -> BinOp:
+    return binop("and", a, b)
+
+
+def lor(a: ExprLike, b: ExprLike) -> BinOp:
+    return binop("or", a, b)
+
+
+def lt(a: ExprLike, b: ExprLike) -> BinOp:
+    return binop("<", a, b)
+
+
+def le(a: ExprLike, b: ExprLike) -> BinOp:
+    return binop("<=", a, b)
+
+
+def gt(a: ExprLike, b: ExprLike) -> BinOp:
+    return binop(">", a, b)
+
+
+def ge(a: ExprLike, b: ExprLike) -> BinOp:
+    return binop(">=", a, b)
+
+
+def eq(a: ExprLike, b: ExprLike) -> BinOp:
+    return binop("==", a, b)
+
+
+def ne(a: ExprLike, b: ExprLike) -> BinOp:
+    return binop("!=", a, b)
+
+
+def mod(a: ExprLike, b: ExprLike) -> Intrinsic:
+    return Intrinsic("mod", (as_expr(a), as_expr(b)))
+
+
+def assign(target: Union[VarRef, ArrayRef, str], value: ExprLike, line: int = 0) -> Assign:
+    if isinstance(target, str):
+        target = VarRef(target)
+    stmt = Assign(target, as_expr(value))
+    stmt.line = line
+    return stmt
+
+
+def do(
+    index: str,
+    lo: ExprLike,
+    hi: ExprLike,
+    body: Sequence[Stmt],
+    step: Optional[ExprLike] = None,
+    line: int = 0,
+) -> DoLoop:
+    stmt = DoLoop(
+        index,
+        as_expr(lo),
+        as_expr(hi),
+        as_expr(step) if step is not None else None,
+        list(body),
+    )
+    stmt.line = line
+    return stmt
+
+
+def if_(
+    cond: ExprLike,
+    then_body: Sequence[Stmt],
+    else_body: Sequence[Stmt] = (),
+    line: int = 0,
+) -> If:
+    stmt = If(as_expr(cond), list(then_body), list(else_body))
+    stmt.line = line
+    return stmt
+
+
+def call(name: str, *args: ExprLike, line: int = 0) -> Call:
+    stmt = Call(name, [as_expr(a) for a in args])
+    stmt.line = line
+    return stmt
+
+
+def read(*names: str, line: int = 0) -> ReadStmt:
+    stmt = ReadStmt(list(names))
+    stmt.line = line
+    return stmt
+
+
+def ret(line: int = 0) -> Return:
+    stmt = Return()
+    stmt.line = line
+    return stmt
+
+
+def clone_stmt(stmt: Stmt) -> Stmt:
+    """Deep-copy a statement tree (fresh identity, nids reset to -1).
+
+    Expressions are immutable and shared; only statement nodes are copied.
+    """
+    if isinstance(stmt, Assign):
+        new: Stmt = Assign(stmt.target, stmt.value)
+    elif isinstance(stmt, DoLoop):
+        new = DoLoop(
+            stmt.var,
+            stmt.lo,
+            stmt.hi,
+            stmt.step,
+            [clone_stmt(s) for s in stmt.body],
+            label=stmt.label,
+        )
+    elif isinstance(stmt, If):
+        new = If(
+            stmt.cond,
+            [clone_stmt(s) for s in stmt.then_body],
+            [clone_stmt(s) for s in stmt.else_body],
+        )
+    elif isinstance(stmt, Call):
+        new = Call(stmt.name, list(stmt.args))
+    elif isinstance(stmt, ReadStmt):
+        new = ReadStmt(list(stmt.names))
+    elif isinstance(stmt, PrintStmt):
+        new = PrintStmt(list(stmt.args))
+    elif isinstance(stmt, Return):
+        new = Return()
+    else:
+        raise TypeError(f"unknown statement {stmt!r}")
+    new.line = stmt.line
+    return new
+
+
+def clone_body(body: Iterable[Stmt]) -> List[Stmt]:
+    return [clone_stmt(s) for s in body]

@@ -1,0 +1,25 @@
+"""Front-end error hierarchy."""
+
+from __future__ import annotations
+
+
+class LangError(Exception):
+    """Base class for all front-end errors."""
+
+    def __init__(self, message: str, line: int = 0) -> None:
+        self.line = line
+        if line:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class LexError(LangError):
+    """Raised on an unrecognized character sequence."""
+
+
+class ParseError(LangError):
+    """Raised on a syntax error."""
+
+
+class SemanticError(LangError):
+    """Raised on declaration/use inconsistencies, recursion, etc."""

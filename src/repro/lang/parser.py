@@ -1,0 +1,609 @@
+"""Recursive-descent parser for the mini-Fortran language.
+
+``parse_program`` is the single entry point: it lexes, parses every
+program unit, runs the semantic checks (declaration/rank/call/recursion)
+and assigns statement ids.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.lang.astnodes import (
+    ASSUMED,
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    Decl,
+    DoLoop,
+    Expr,
+    If,
+    INTRINSICS,
+    Intrinsic,
+    Num,
+    PrintStmt,
+    Program,
+    ReadStmt,
+    Return,
+    Stmt,
+    Subroutine,
+    UnOp,
+    VarRef,
+    assign_nids,
+    walk_exprs,
+    walk_stmts,
+    stmt_exprs,
+)
+from repro.lang.errors import ParseError, SemanticError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokKind, Token
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing -------------------------------------------------
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        tok = self.cur
+        if tok.kind is not TokKind.EOF:
+            self.pos += 1
+        return tok
+
+    def expect_kw(self, word: str) -> Token:
+        if not self.cur.is_kw(word):
+            raise ParseError(f"expected {word!r}, found {self.cur}", self.cur.line)
+        return self.advance()
+
+    def expect(self, kind: TokKind) -> Token:
+        if self.cur.kind is not kind:
+            raise ParseError(
+                f"expected {kind.value}, found {self.cur}", self.cur.line
+            )
+        return self.advance()
+
+    def expect_op(self, op: str) -> Token:
+        if not self.cur.is_op(op):
+            raise ParseError(f"expected {op!r}, found {self.cur}", self.cur.line)
+        return self.advance()
+
+    def eat_newlines(self) -> None:
+        while self.cur.kind is TokKind.NEWLINE:
+            self.advance()
+
+    def end_stmt(self) -> None:
+        if self.cur.kind is TokKind.EOF:
+            return
+        self.expect(TokKind.NEWLINE)
+        self.eat_newlines()
+
+    # -- units -----------------------------------------------------------
+    def parse_program(self, default_name: str) -> Program:
+        self.eat_newlines()
+        units: Dict[str, Subroutine] = {}
+        main: Optional[str] = None
+        prog_name = default_name
+        while self.cur.kind is not TokKind.EOF:
+            unit = self.parse_unit()
+            if unit.name in units:
+                raise SemanticError(f"duplicate unit {unit.name!r}")
+            units[unit.name] = unit
+            if unit.is_main:
+                if main is not None:
+                    raise SemanticError("multiple program units")
+                main = unit.name
+                prog_name = unit.name
+            self.eat_newlines()
+        if main is None:
+            raise SemanticError("no 'program' unit found")
+        return Program(prog_name, units, main)
+
+    def parse_unit(self) -> Subroutine:
+        line = self.cur.line
+        if self.cur.is_kw("program"):
+            self.advance()
+            name = self.expect(TokKind.NAME).value
+            params: List[str] = []
+            is_main = True
+        elif self.cur.is_kw("subroutine"):
+            self.advance()
+            name = self.expect(TokKind.NAME).value
+            params = []
+            self.expect(TokKind.LPAREN)
+            if self.cur.kind is not TokKind.RPAREN:
+                params.append(self.expect(TokKind.NAME).value)
+                while self.cur.kind is TokKind.COMMA:
+                    self.advance()
+                    params.append(self.expect(TokKind.NAME).value)
+            self.expect(TokKind.RPAREN)
+            is_main = False
+        else:
+            raise ParseError(
+                f"expected 'program' or 'subroutine', found {self.cur}", line
+            )
+        self.end_stmt()
+
+        decls: Dict[str, Decl] = {}
+        while self.cur.is_kw("integer") or self.cur.is_kw("real"):
+            for d in self.parse_decl_line():
+                if d.name in decls:
+                    raise SemanticError(f"duplicate declaration of {d.name!r}")
+                decls[d.name] = d
+        body = self.parse_stmts(terminators=("end",))
+        self.expect_kw("end")
+        if self.cur.kind is TokKind.NEWLINE:
+            self.eat_newlines()
+        return Subroutine(name, params, decls, body, is_main=is_main)
+
+    def parse_decl_line(self) -> List[Decl]:
+        typ = self.advance().value  # 'integer' | 'real'
+        out: List[Decl] = []
+        while True:
+            name = self.expect(TokKind.NAME).value
+            dims: Optional[Tuple[Union[Expr, str], ...]] = None
+            if self.cur.kind is TokKind.LPAREN:
+                self.advance()
+                extents: List[Union[Expr, str]] = [self.parse_dim()]
+                while self.cur.kind is TokKind.COMMA:
+                    self.advance()
+                    extents.append(self.parse_dim())
+                self.expect(TokKind.RPAREN)
+                for e in extents[:-1]:
+                    if e == ASSUMED:
+                        raise SemanticError(
+                            f"assumed size '*' only allowed in the last "
+                            f"dimension of {name!r}"
+                        )
+                dims = tuple(extents)
+            out.append(Decl(name, typ, dims))
+            if self.cur.kind is not TokKind.COMMA:
+                break
+            self.advance()
+        self.end_stmt()
+        return out
+
+    def parse_dim(self) -> Union[Expr, str]:
+        if self.cur.is_op("*"):
+            self.advance()
+            return ASSUMED
+        return self.parse_expr()
+
+    # -- statements --------------------------------------------------------
+    def parse_stmts(self, terminators: Tuple[str, ...]) -> List[Stmt]:
+        stmts: List[Stmt] = []
+        self.eat_newlines()
+        while True:
+            if self.cur.kind is TokKind.EOF:
+                raise ParseError(
+                    f"unexpected end of input, expected one of {terminators}",
+                    self.cur.line,
+                )
+            if self.cur.kind is TokKind.KEYWORD and self.cur.value in terminators:
+                return stmts
+            stmts.append(self.parse_stmt())
+            self.eat_newlines()
+
+    def parse_stmt(self) -> Stmt:
+        tok = self.cur
+        if tok.is_kw("do"):
+            return self.parse_do()
+        if tok.is_kw("if"):
+            return self.parse_if()
+        if tok.is_kw("call"):
+            return self.parse_call()
+        if tok.is_kw("read"):
+            return self.parse_read()
+        if tok.is_kw("print"):
+            return self.parse_print()
+        if tok.is_kw("return"):
+            self.advance()
+            self.end_stmt()
+            stmt = Return()
+            stmt.line = tok.line
+            return stmt
+        if tok.kind is TokKind.NAME:
+            return self.parse_assign()
+        raise ParseError(f"unexpected token {tok}", tok.line)
+
+    def parse_do(self) -> DoLoop:
+        line = self.cur.line
+        self.expect_kw("do")
+        var = self.expect(TokKind.NAME).value
+        self.expect_op("=")
+        lo = self.parse_expr()
+        self.expect(TokKind.COMMA)
+        hi = self.parse_expr()
+        step: Optional[Expr] = None
+        if self.cur.kind is TokKind.COMMA:
+            self.advance()
+            step = self.parse_expr()
+        self.end_stmt()
+        body = self.parse_stmts(terminators=("enddo",))
+        self.expect_kw("enddo")
+        self.end_stmt()
+        loop = DoLoop(var, lo, hi, step, body)
+        loop.line = line
+        return loop
+
+    def parse_if(self) -> If:
+        line = self.cur.line
+        self.expect_kw("if")
+        self.expect(TokKind.LPAREN)
+        cond = self.parse_expr()
+        self.expect(TokKind.RPAREN)
+        self.expect_kw("then")
+        self.end_stmt()
+        then_body = self.parse_stmts(terminators=("else", "elseif", "endif"))
+        else_body: List[Stmt] = []
+        if self.cur.is_kw("elseif"):
+            # parse the rest as a nested If inside else_body
+            nested = self.parse_elseif()
+            else_body = [nested]
+        elif self.cur.is_kw("else"):
+            self.advance()
+            self.end_stmt()
+            else_body = self.parse_stmts(terminators=("endif",))
+            self.expect_kw("endif")
+            self.end_stmt()
+        else:
+            self.expect_kw("endif")
+            self.end_stmt()
+        stmt = If(cond, then_body, else_body)
+        stmt.line = line
+        return stmt
+
+    def parse_elseif(self) -> If:
+        line = self.cur.line
+        self.expect_kw("elseif")
+        self.expect(TokKind.LPAREN)
+        cond = self.parse_expr()
+        self.expect(TokKind.RPAREN)
+        self.expect_kw("then")
+        self.end_stmt()
+        then_body = self.parse_stmts(terminators=("else", "elseif", "endif"))
+        else_body: List[Stmt] = []
+        if self.cur.is_kw("elseif"):
+            else_body = [self.parse_elseif()]
+        elif self.cur.is_kw("else"):
+            self.advance()
+            self.end_stmt()
+            else_body = self.parse_stmts(terminators=("endif",))
+            self.expect_kw("endif")
+            self.end_stmt()
+        else:
+            self.expect_kw("endif")
+            self.end_stmt()
+        stmt = If(cond, then_body, else_body)
+        stmt.line = line
+        return stmt
+
+    def parse_call(self) -> Call:
+        line = self.cur.line
+        self.expect_kw("call")
+        name = self.expect(TokKind.NAME).value
+        args: List[Expr] = []
+        self.expect(TokKind.LPAREN)
+        if self.cur.kind is not TokKind.RPAREN:
+            args.append(self.parse_expr())
+            while self.cur.kind is TokKind.COMMA:
+                self.advance()
+                args.append(self.parse_expr())
+        self.expect(TokKind.RPAREN)
+        self.end_stmt()
+        stmt = Call(name, args)
+        stmt.line = line
+        return stmt
+
+    def parse_read(self) -> ReadStmt:
+        line = self.cur.line
+        self.expect_kw("read")
+        names = [self.expect(TokKind.NAME).value]
+        while self.cur.kind is TokKind.COMMA:
+            self.advance()
+            names.append(self.expect(TokKind.NAME).value)
+        self.end_stmt()
+        stmt = ReadStmt(names)
+        stmt.line = line
+        return stmt
+
+    def parse_print(self) -> PrintStmt:
+        line = self.cur.line
+        self.expect_kw("print")
+        args: List[Expr] = []
+        if self.cur.kind is not TokKind.NEWLINE:
+            args.append(self.parse_print_arg())
+            while self.cur.kind is TokKind.COMMA:
+                self.advance()
+                args.append(self.parse_print_arg())
+        self.end_stmt()
+        stmt = PrintStmt(args)
+        stmt.line = line
+        return stmt
+
+    def parse_print_arg(self) -> Expr:
+        if self.cur.kind is TokKind.STRING:
+            # strings only appear in print; model as a Num-free VarRef-ish
+            tok = self.advance()
+            return Num(0) if tok.value == "" else _StringArg(tok.value)
+        return self.parse_expr()
+
+    def parse_assign(self) -> Assign:
+        line = self.cur.line
+        target = self.parse_primary()
+        if not isinstance(target, (VarRef, ArrayRef)):
+            raise ParseError("invalid assignment target", line)
+        if isinstance(target, ArrayRef) and target.name in INTRINSICS:
+            raise ParseError(f"cannot assign to intrinsic {target.name!r}", line)
+        self.expect_op("=")
+        value = self.parse_expr()
+        self.end_stmt()
+        stmt = Assign(target, value)
+        stmt.line = line
+        return stmt
+
+    # -- expressions ---------------------------------------------------
+    # precedence (loosest to tightest): or, and, not, relational,
+    # additive, multiplicative, unary-, power, primary
+
+    def parse_expr(self) -> Expr:
+        return self.parse_or()
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.cur.is_op("or"):
+            self.advance()
+            left = BinOp("or", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_not()
+        while self.cur.is_op("and"):
+            self.advance()
+            left = BinOp("and", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Expr:
+        if self.cur.is_op("not"):
+            self.advance()
+            return UnOp("not", self.parse_not())
+        return self.parse_relational()
+
+    def parse_relational(self) -> Expr:
+        left = self.parse_additive()
+        if self.cur.kind is TokKind.OP and self.cur.value in (
+            "<",
+            "<=",
+            ">",
+            ">=",
+            "==",
+            "!=",
+        ):
+            op = self.advance().value
+            right = self.parse_additive()
+            return BinOp(op, left, right)
+        return left
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while self.cur.kind is TokKind.OP and self.cur.value in ("+", "-"):
+            op = self.advance().value
+            left = BinOp(op, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while self.cur.kind is TokKind.OP and self.cur.value in ("*", "/"):
+            op = self.advance().value
+            left = BinOp(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.cur.is_op("-"):
+            self.advance()
+            return UnOp("-", self.parse_unary())
+        if self.cur.is_op("+"):
+            self.advance()
+            return self.parse_unary()
+        return self.parse_power()
+
+    def parse_power(self) -> Expr:
+        base = self.parse_primary()
+        if self.cur.is_op("**"):
+            self.advance()
+            # right associative
+            return BinOp("**", base, self.parse_unary())
+        return base
+
+    def parse_primary(self) -> Expr:
+        tok = self.cur
+        if tok.kind is TokKind.INT or tok.kind is TokKind.REAL:
+            self.advance()
+            return Num(tok.value)
+        if tok.kind is TokKind.LPAREN:
+            self.advance()
+            e = self.parse_expr()
+            self.expect(TokKind.RPAREN)
+            return e
+        if tok.kind is TokKind.NAME:
+            name = self.advance().value
+            if self.cur.kind is TokKind.LPAREN:
+                self.advance()
+                args: List[Expr] = []
+                if self.cur.kind is not TokKind.RPAREN:
+                    args.append(self.parse_expr())
+                    while self.cur.kind is TokKind.COMMA:
+                        self.advance()
+                        args.append(self.parse_expr())
+                self.expect(TokKind.RPAREN)
+                if name in INTRINSICS:
+                    return Intrinsic(name, tuple(args))
+                return ArrayRef(name, tuple(args))
+            return VarRef(name)
+        raise ParseError(f"unexpected token {tok}", tok.line)
+
+
+class _StringArg:
+    """A print-only string literal; kept out of the Expr union on purpose."""
+
+    __slots__ = ("text",)
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+
+    def __repr__(self) -> str:
+        return f"_StringArg({self.text!r})"
+
+    def __eq__(self, other):
+        return isinstance(other, _StringArg) and other.text == self.text
+
+    def __hash__(self):
+        return hash(("_StringArg", self.text))
+
+
+# ----------------------------------------------------------------------
+# semantic checks
+# ----------------------------------------------------------------------
+
+_IMPLICIT_INT_PREFIX = "ijklmn"
+
+
+def _implicit_decl(name: str) -> Decl:
+    typ = "integer" if name[0] in _IMPLICIT_INT_PREFIX else "real"
+    return Decl(name, typ, None)
+
+
+def check_semantics(program: Program) -> None:
+    """Declaration, rank, call-signature and non-recursion checks.
+
+    Undeclared *scalars* receive Fortran implicit typing (``i``–``n`` →
+    integer, else real) and are added to the unit's declaration table.
+    Undeclared or rank-mismatched *array* references are errors.
+    """
+    for unit in program.units.values():
+        _check_unit(program, unit)
+    _check_no_recursion(program)
+
+
+def _check_unit(program: Program, unit: Subroutine) -> None:
+    for p in unit.params:
+        if p not in unit.decls:
+            unit.decls[p] = _implicit_decl(p)
+
+    def note_expr(e: Expr, line: int) -> None:
+        for sub in walk_exprs(e):
+            if isinstance(sub, VarRef):
+                decl = unit.decls.get(sub.name)
+                if decl is None:
+                    unit.decls[sub.name] = _implicit_decl(sub.name)
+                elif decl.is_array:
+                    raise SemanticError(
+                        f"array {sub.name!r} used without subscripts", line
+                    )
+            elif isinstance(sub, ArrayRef):
+                decl = unit.decls.get(sub.name)
+                if decl is None:
+                    raise SemanticError(
+                        f"undeclared array {sub.name!r}", line
+                    )
+                if not decl.is_array:
+                    raise SemanticError(
+                        f"scalar {sub.name!r} subscripted", line
+                    )
+                if decl.rank != len(sub.subscripts):
+                    raise SemanticError(
+                        f"array {sub.name!r} has rank {decl.rank}, "
+                        f"referenced with {len(sub.subscripts)} subscripts",
+                        line,
+                    )
+
+    for stmt in walk_stmts(unit.body):
+        if isinstance(stmt, DoLoop):
+            if stmt.var not in unit.decls:
+                unit.decls[stmt.var] = Decl(stmt.var, "integer", None)
+            elif unit.decls[stmt.var].is_array:
+                raise SemanticError(
+                    f"loop index {stmt.var!r} is an array", stmt.line
+                )
+        if isinstance(stmt, ReadStmt):
+            for nm in stmt.names:
+                if nm not in unit.decls:
+                    unit.decls[nm] = _implicit_decl(nm)
+                elif unit.decls[nm].is_array:
+                    raise SemanticError(
+                        f"read into array {nm!r} not supported", stmt.line
+                    )
+        if isinstance(stmt, Call):
+            callee = program.units.get(stmt.name)
+            if callee is None:
+                raise SemanticError(f"call to unknown unit {stmt.name!r}", stmt.line)
+            if callee.is_main:
+                raise SemanticError(f"cannot call program unit {stmt.name!r}", stmt.line)
+            if len(callee.params) != len(stmt.args):
+                raise SemanticError(
+                    f"{stmt.name!r} expects {len(callee.params)} args, "
+                    f"got {len(stmt.args)}",
+                    stmt.line,
+                )
+            # a bare VarRef argument may legally name a whole array
+            for a in stmt.args:
+                if isinstance(a, VarRef):
+                    if a.name not in unit.decls:
+                        unit.decls[a.name] = _implicit_decl(a.name)
+                else:
+                    note_expr(a, stmt.line)
+            continue
+        for e in stmt_exprs(stmt):
+            if isinstance(e, _StringArg):
+                continue
+            note_expr(e, stmt.line)
+
+    # declared dimension expressions may also reference scalars
+    for decl in list(unit.decls.values()):
+        if decl.dims:
+            for d in decl.dims:
+                if d != "*":
+                    note_expr(d, 0)
+
+
+def _check_no_recursion(program: Program) -> None:
+    """Reject call-graph cycles (Fortran-77 non-recursive model)."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {name: WHITE for name in program.units}
+
+    def visit(name: str, stack: List[str]) -> None:
+        color[name] = GRAY
+        unit = program.units[name]
+        for stmt in walk_stmts(unit.body):
+            if isinstance(stmt, Call):
+                callee = stmt.name
+                if color[callee] == GRAY:
+                    cycle = " -> ".join(stack + [name, callee])
+                    raise SemanticError(f"recursive call cycle: {cycle}")
+                if color[callee] == WHITE:
+                    visit(callee, stack + [name])
+        color[name] = BLACK
+
+    visit(program.main, [])
+    for name in program.units:
+        if color[name] == WHITE:
+            visit(name, [])
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+
+
+def parse_program(source: str, default_name: str = "main") -> Program:
+    """Parse, semantically check and number a program."""
+    parser = _Parser(tokenize(source))
+    program = parser.parse_program(default_name)
+    check_semantics(program)
+    assign_nids(program)
+    return program

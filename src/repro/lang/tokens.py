@@ -1,0 +1,79 @@
+"""Token definitions for the mini-Fortran lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Union
+
+
+class TokKind(enum.Enum):
+    NAME = "name"
+    INT = "int"
+    REAL = "real"
+    STRING = "string"
+    OP = "op"          # + - * / ** relational, logical
+    LPAREN = "("
+    RPAREN = ")"
+    COMMA = ","
+    NEWLINE = "newline"
+    EOF = "eof"
+    KEYWORD = "keyword"
+
+
+KEYWORDS = frozenset(
+    {
+        "program",
+        "subroutine",
+        "end",
+        "do",
+        "enddo",
+        "if",
+        "then",
+        "else",
+        "elseif",
+        "endif",
+        "call",
+        "read",
+        "print",
+        "integer",
+        "real",
+        "parameter",
+        "return",
+    }
+)
+
+# Multi-character operators first so the lexer can do longest-match.
+OPERATORS = (
+    "**",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "/=",
+    "<",
+    ">",
+    "=",
+    "+",
+    "-",
+    "*",
+    "/",
+)
+
+LOGICAL_WORDS = frozenset({"and", "or", "not"})
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokKind
+    value: Union[str, int, float]
+    line: int
+
+    def is_kw(self, word: str) -> bool:
+        return self.kind is TokKind.KEYWORD and self.value == word
+
+    def is_op(self, op: str) -> bool:
+        return self.kind is TokKind.OP and self.value == op
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}:{self.value!r}@{self.line}"

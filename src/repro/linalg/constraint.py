@@ -1,0 +1,182 @@
+"""Single linear constraints, normalized for structural sharing.
+
+A constraint is ``expr REL 0`` with ``REL`` one of ``<=`` or ``==``.
+Strict inequalities over the integers are normalized away at construction:
+``e < 0`` becomes ``e + 1 <= 0`` (valid because all region/predicate
+constraints in this system range over integer-valued program quantities).
+"""
+
+from __future__ import annotations
+
+import enum
+from fractions import Fraction
+from typing import Mapping, Union
+
+from repro.symbolic.affine import AffineExpr
+from repro.symbolic.simplify import integerize, tighten_le
+
+Number = Union[int, Fraction]
+
+
+class Rel(enum.Enum):
+    """Constraint relation against zero."""
+
+    LE = "<="
+    EQ = "=="
+
+
+class Constraint:
+    """An immutable, normalized linear constraint ``expr REL 0``.
+
+    Normalization:
+
+    * coefficients and constant are scaled to integers with content 1;
+    * for ``<=`` constraints, integer tightening divides out the gcd of
+      the variable coefficients and floors the constant;
+    * for ``==`` constraints with variable-coefficient gcd ``g``, if the
+      constant is not divisible by ``g`` the constraint is recorded as
+      trivially false (it has no integer solutions).
+    """
+
+    __slots__ = ("expr", "rel", "_hash", "_sort_key", "_trivial")
+
+    def __init__(self, expr: AffineExpr, rel: Rel = Rel.LE) -> None:
+        if rel is Rel.LE:
+            expr = tighten_le(expr)
+        else:
+            expr = integerize(expr)
+        object.__setattr__(self, "expr", expr)
+        object.__setattr__(self, "rel", rel)
+        object.__setattr__(self, "_hash", hash((expr, rel)))
+        object.__setattr__(self, "_sort_key", None)
+        object.__setattr__(self, "_trivial", None)
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Constraint is immutable")
+
+    # ------------------------------------------------------------------
+    # constructors mirroring source-level comparisons
+    # ------------------------------------------------------------------
+    @staticmethod
+    def le(lhs: AffineExpr, rhs: AffineExpr) -> "Constraint":
+        """``lhs <= rhs``"""
+        return Constraint(lhs - rhs, Rel.LE)
+
+    @staticmethod
+    def lt(lhs: AffineExpr, rhs: AffineExpr) -> "Constraint":
+        """``lhs < rhs`` over the integers: ``lhs - rhs + 1 <= 0``."""
+        return Constraint(lhs - rhs + 1, Rel.LE)
+
+    @staticmethod
+    def ge(lhs: AffineExpr, rhs: AffineExpr) -> "Constraint":
+        """``lhs >= rhs``"""
+        return Constraint(rhs - lhs, Rel.LE)
+
+    @staticmethod
+    def gt(lhs: AffineExpr, rhs: AffineExpr) -> "Constraint":
+        """``lhs > rhs`` over the integers."""
+        return Constraint(rhs - lhs + 1, Rel.LE)
+
+    @staticmethod
+    def eq(lhs: AffineExpr, rhs: AffineExpr) -> "Constraint":
+        """``lhs == rhs``"""
+        return Constraint(lhs - rhs, Rel.EQ)
+
+    # ------------------------------------------------------------------
+    # classification (computed once; constraints are immutable)
+    # ------------------------------------------------------------------
+    def _classify(self) -> str:
+        if self.expr.is_constant():
+            c = self.expr.constant
+            if self.rel is Rel.LE:
+                return "taut" if c <= 0 else "contra"
+            return "taut" if c == 0 else "contra"
+        if self.rel is Rel.EQ:
+            # integer-infeasible equality: gcd of coefficients does not
+            # divide the constant (expr already integerized)
+            from math import gcd
+
+            g = 0
+            for _, c in self.expr.terms():
+                g = gcd(g, abs(int(c)))
+            if g > 1 and int(self.expr.constant) % g != 0:
+                return "contra"
+        return "open"
+
+    def _classification(self) -> str:
+        if self._trivial is None:
+            object.__setattr__(self, "_trivial", self._classify())
+        return self._trivial
+
+    def is_tautology(self) -> bool:
+        """True iff the constraint holds for every assignment."""
+        return self._classification() == "taut"
+
+    def is_contradiction(self) -> bool:
+        """True iff the constraint holds for no integer assignment."""
+        return self._classification() == "contra"
+
+    def sort_key(self):
+        """A cheap deterministic ordering key (structural, not textual)."""
+        if self._sort_key is None:
+            key = (
+                self.rel.value,
+                tuple(
+                    (v, c.numerator, c.denominator)
+                    for v, c in self.expr.terms()
+                ),
+                self.expr.constant.numerator,
+                self.expr.constant.denominator,
+            )
+            object.__setattr__(self, "_sort_key", key)
+        return self._sort_key
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def negate(self) -> "Constraint":
+        """Negation of a ``<=`` constraint over the integers.
+
+        ``not (e <= 0)`` is ``e >= 1`` i.e. ``-e + 1 <= 0``.  Negating an
+        equality is not convex; callers handle ``==`` at the formula level
+        (it splits into two ``<`` branches).
+        """
+        if self.rel is Rel.EQ:
+            raise ValueError("cannot negate an equality into one constraint")
+        return Constraint(-self.expr + 1, Rel.LE)
+
+    def substitute(
+        self, bindings: Mapping[str, Union[AffineExpr, Number]]
+    ) -> "Constraint":
+        return Constraint(self.expr.substitute(bindings), self.rel)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Constraint":
+        return Constraint(self.expr.rename(mapping), self.rel)
+
+    def evaluate(self, env: Mapping[str, Number]) -> bool:
+        v = self.expr.evaluate(env)
+        return v <= 0 if self.rel is Rel.LE else v == 0
+
+    def variables(self):
+        return self.expr.variables()
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Constraint):
+            return NotImplemented
+        return self.rel is other.rel and self.expr == other.expr
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Constraint({self})"
+
+    def __str__(self) -> str:
+        return f"{self.expr} {self.rel.value} 0"
+
+
+TRUE = Constraint(AffineExpr.ZERO, Rel.LE)
+FALSE = Constraint(AffineExpr.ONE, Rel.LE)

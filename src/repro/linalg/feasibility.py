@@ -1,0 +1,54 @@
+"""Emptiness testing for linear systems.
+
+``is_rationally_feasible`` runs Fourier–Motzkin to the ground and checks
+the resulting variable-free constraints.  ``is_feasible`` is the public
+entry point used by the dependence and privatization tests; it is the
+rational test plus the gcd-based integer tightening already built into
+constraint normalization, i.e. it may answer *feasible* for an
+integer-empty system (conservative toward reporting dependences) but never
+answers *infeasible* for a system with integer points.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.linalg.fourier_motzkin import eliminate_all
+from repro.linalg.system import LinearSystem
+
+
+@lru_cache(maxsize=16384)
+def _feasible_cached(system: LinearSystem) -> bool:
+    if system.is_universe():
+        return True
+    if system.is_trivially_empty():
+        return False
+    ground = eliminate_all(system, system.variables())
+    # After eliminating every variable only constant constraints remain;
+    # LinearSystem construction already folds tautologies/contradictions.
+    return not ground.is_trivially_empty()
+
+
+def is_rationally_feasible(system: LinearSystem) -> bool:
+    """True iff the system has a rational solution."""
+    return _feasible_cached(system)
+
+
+def is_feasible(system: LinearSystem) -> bool:
+    """Conservative integer feasibility (superset of the truth).
+
+    Sound for the analysis: an ``False`` answer guarantees the system has
+    no integer points.
+    """
+    return _feasible_cached(system)
+
+
+def clear_cache() -> None:
+    """Reset the feasibility memo table (used by benchmarks)."""
+    _feasible_cached.cache_clear()
+
+
+def cache_stats():
+    """(hits, misses, currsize) of the feasibility memo table."""
+    info = _feasible_cached.cache_info()
+    return info.hits, info.misses, info.currsize

@@ -1,0 +1,145 @@
+"""Fourier–Motzkin variable elimination.
+
+Projection is **exact over the rationals** and a **superset over the
+integers** (the real shadow).  Both directions the analysis relies on are
+sound with this choice:
+
+* *independence / coverage proofs* show a system infeasible; rational
+  infeasibility implies integer infeasibility, so proofs are never wrong;
+* *dependence reports* may be conservative (a rationally-feasible but
+  integer-empty conflict system reports a dependence that does not exist),
+  which can only suppress a parallelization, never break one.
+
+Constraint normalization in :class:`~repro.linalg.constraint.Constraint`
+additionally applies gcd-based integer tightening to every produced
+inequality, which recovers exactness for the common single-variable cases
+(e.g. ``2*i <= 5`` becomes ``i <= 2``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.linalg.constraint import Constraint, Rel
+from repro.linalg.system import LinearSystem
+
+# Pair-combination blowup guard: systems beyond this many constraints fall
+# back to dropping the variable's constraints entirely (a coarser but still
+# sound superset).
+MAX_CONSTRAINTS = 600
+
+
+def _split_bounds(
+    system: LinearSystem, var: str
+) -> Tuple[List[Constraint], List[Constraint], List[Constraint], List[Constraint]]:
+    """Partition constraints by their relation to *var*.
+
+    Returns (lower bounds, upper bounds, equalities containing var,
+    constraints not mentioning var).  For a ``<=`` constraint
+    ``a*var + rest <= 0``: ``a > 0`` makes it an upper bound on var,
+    ``a < 0`` a lower bound.
+    """
+    lowers: List[Constraint] = []
+    uppers: List[Constraint] = []
+    eqs: List[Constraint] = []
+    others: List[Constraint] = []
+    for c in system:
+        a = c.expr.coeff(var)
+        if a == 0:
+            others.append(c)
+        elif c.rel is Rel.EQ:
+            eqs.append(c)
+        elif a > 0:
+            uppers.append(c)
+        else:
+            lowers.append(c)
+    return lowers, uppers, eqs, others
+
+
+def eliminate(system: LinearSystem, var: str) -> LinearSystem:
+    """Project *var* out of *system*.
+
+    Strategy: if an equality pins ``var`` with a unit coefficient, solve
+    and substitute (exact over the integers).  Otherwise rewrite remaining
+    equalities as inequality pairs and combine every lower bound with every
+    upper bound.
+    """
+    if var not in system.variables():
+        return system
+    lowers, uppers, eqs, others = _split_bounds(system, var)
+
+    # Exact substitution via a unit-coefficient equality.
+    from repro.symbolic.affine import AffineExpr
+
+    for eq in eqs:
+        a = eq.expr.coeff(var)
+        if abs(a) == 1:
+            # a*var + rest == 0  =>  var = -rest/a  (a is ±1)
+            rest = eq.expr + AffineExpr.var(var, -a)
+            solution = -rest if a == 1 else rest
+            remaining = [c for c in system if c is not eq]
+            return LinearSystem(
+                c.substitute({var: solution}) for c in remaining
+            )
+
+    # Demote equalities to inequality pairs.
+    for eq in eqs:
+        a = eq.expr.coeff(var)
+        le = Constraint(eq.expr, Rel.LE)
+        ge = Constraint(-eq.expr, Rel.LE)
+        if a > 0:
+            uppers.append(le)
+            lowers.append(ge)
+        else:
+            lowers.append(le)
+            uppers.append(ge)
+
+    if len(lowers) * len(uppers) > MAX_CONSTRAINTS * 4:
+        # Combinatorial blowup: drop the variable's constraints (sound
+        # superset).  In practice region systems stay tiny.
+        return LinearSystem(others)
+
+    combined: List[Constraint] = list(others)
+    for lo in lowers:
+        a_lo = lo.expr.coeff(var)  # negative
+        for up in uppers:
+            a_up = up.expr.coeff(var)  # positive
+            # lo: a_lo*var + r_lo <= 0  =>  var >= r_lo / (-a_lo)
+            # up: a_up*var + r_up <= 0  =>  var <= -r_up / a_up
+            # combine: a_up * r_lo - a_lo * r_up <= 0 (note -a_lo > 0)
+            new_expr = lo.expr * a_up - up.expr * a_lo
+            # the var terms cancel: a_lo*a_up - a_up*a_lo = 0
+            combined.append(Constraint(new_expr, Rel.LE))
+    result = LinearSystem(combined)
+    if len(result) > MAX_CONSTRAINTS:
+        result = result.simplified()
+    return result
+
+
+def eliminate_all(system: LinearSystem, variables: Iterable[str]) -> LinearSystem:
+    """Project out *variables* one at a time, fewest-occurrences first.
+
+    The ordering heuristic keeps intermediate systems small.
+    """
+    todo = [v for v in variables if v in system.variables()]
+    current = system
+    while todo:
+        # re-rank each round: elimination changes occurrence counts
+        counts = {}
+        live = current.variables()
+        todo = [v for v in todo if v in live]
+        if not todo:
+            break
+        for v in todo:
+            n_lo = n_up = 0
+            for c in current:
+                a = c.expr.coeff(v)
+                if a > 0:
+                    n_up += 1
+                elif a < 0:
+                    n_lo += 1
+            counts[v] = n_lo * n_up
+        todo.sort(key=lambda v: (counts[v], v))
+        var = todo.pop(0)
+        current = eliminate(current, var)
+    return current

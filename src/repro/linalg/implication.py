@@ -1,0 +1,69 @@
+"""Entailment and containment between systems.
+
+All proofs go through infeasibility of a conjunction with a negated
+constraint; since rational infeasibility implies integer infeasibility,
+every ``True`` answer is a real proof.  ``False`` means "could not prove",
+never "disproved".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.linalg.constraint import Constraint, Rel
+from repro.linalg.feasibility import is_feasible
+from repro.linalg.system import LinearSystem
+
+
+def entails(system: LinearSystem, constraint: Constraint) -> bool:
+    """Does every integer point of *system* satisfy *constraint*?
+
+    Proven by showing ``system ∧ ¬constraint`` infeasible.  Equalities
+    split into the two strict sides.
+    """
+    if constraint.is_tautology():
+        return True
+    if system.is_trivially_empty():
+        return True
+    if constraint.rel is Rel.EQ:
+        lt = Constraint(constraint.expr + 1, Rel.LE)  # expr <= -1
+        gt = Constraint(-constraint.expr + 1, Rel.LE)  # expr >= 1
+        return not is_feasible(system.conjoin(lt)) and not is_feasible(
+            system.conjoin(gt)
+        )
+    return not is_feasible(system.conjoin(constraint.negate()))
+
+
+def system_implies(antecedent: LinearSystem, consequent: LinearSystem) -> bool:
+    """Does *antecedent* ⊆ *consequent* hold (as point sets)?"""
+    return all(entails(antecedent, c) for c in consequent)
+
+
+def systems_equivalent(a: LinearSystem, b: LinearSystem) -> bool:
+    """Mutual containment."""
+    return system_implies(a, b) and system_implies(b, a)
+
+
+def remove_redundant(system: LinearSystem) -> LinearSystem:
+    """Drop constraints entailed by the remaining ones.
+
+    Quadratic in the number of constraints with a feasibility call per
+    candidate; used when canonicalizing summaries for display and for
+    structural comparisons, not on the analysis hot path.
+    """
+    kept = list(system.constraints)
+    changed = True
+    while changed:
+        changed = False
+        for i, c in enumerate(kept):
+            rest = LinearSystem(kept[:i] + kept[i + 1 :])
+            if entails(rest, c):
+                kept.pop(i)
+                changed = True
+                break
+    return LinearSystem(kept)
+
+
+def any_entailed(system: LinearSystem, candidates: Iterable[Constraint]) -> bool:
+    """True if *system* entails at least one of *candidates*."""
+    return any(entails(system, c) for c in candidates)

@@ -1,0 +1,198 @@
+"""Conjunctions of linear constraints (convex integer polyhedra).
+
+A :class:`LinearSystem` is the workhorse of the region representation: an
+array region is a system over the dimension variables, loop indices and
+symbolic parameters.  Systems are immutable; all operations return new
+systems.  Redundant duplicate constraints are removed at construction and a
+cheap pairwise-redundancy sweep is available via :meth:`simplified`.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import FrozenSet, Iterable, Iterator, Mapping, Optional, Tuple, Union
+
+from repro.linalg.constraint import Constraint, Rel
+from repro.symbolic.affine import AffineExpr
+
+Number = Union[int, Fraction]
+
+
+class LinearSystem:
+    """An immutable conjunction of :class:`Constraint`.
+
+    The empty conjunction is the universe (always true).  A system that
+    contains a contradictory constraint normalizes to the canonical
+    *false* system.
+    """
+
+    __slots__ = ("_constraints", "_hash")
+
+    def __init__(self, constraints: Iterable[Constraint] = ()) -> None:
+        kept = []
+        seen = set()
+        false = False
+        for c in constraints:
+            if c.is_tautology():
+                continue
+            if c.is_contradiction():
+                false = True
+                break
+            if c not in seen:
+                seen.add(c)
+                kept.append(c)
+        if false:
+            from repro.linalg.constraint import FALSE
+
+            kept = [FALSE]
+        kept.sort(key=Constraint.sort_key)
+        object.__setattr__(self, "_constraints", tuple(kept))
+        object.__setattr__(self, "_hash", hash(self._constraints))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("LinearSystem is immutable")
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def universe() -> "LinearSystem":
+        return _UNIVERSE
+
+    @staticmethod
+    def empty() -> "LinearSystem":
+        """The canonical infeasible system."""
+        return _EMPTY
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def constraints(self) -> Tuple[Constraint, ...]:
+        return self._constraints
+
+    def is_universe(self) -> bool:
+        return not self._constraints
+
+    def is_trivially_empty(self) -> bool:
+        """Syntactic check: contains the canonical false constraint.
+
+        For a semantic emptiness test use
+        :func:`repro.linalg.feasibility.is_feasible`.
+        """
+        return any(c.is_contradiction() for c in self._constraints)
+
+    def variables(self) -> FrozenSet[str]:
+        vs: set = set()
+        for c in self._constraints:
+            vs.update(c.variables())
+        return frozenset(vs)
+
+    def __iter__(self) -> Iterator[Constraint]:
+        return iter(self._constraints)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+    def conjoin(self, other: Union["LinearSystem", Constraint]) -> "LinearSystem":
+        """Conjunction (polyhedron intersection)."""
+        if isinstance(other, Constraint):
+            return LinearSystem(self._constraints + (other,))
+        return LinearSystem(self._constraints + other._constraints)
+
+    __and__ = conjoin
+
+    def substitute(
+        self, bindings: Mapping[str, Union[AffineExpr, Number]]
+    ) -> "LinearSystem":
+        return LinearSystem(c.substitute(bindings) for c in self._constraints)
+
+    def rename(self, mapping: Mapping[str, str]) -> "LinearSystem":
+        return LinearSystem(c.rename(mapping) for c in self._constraints)
+
+    def evaluate(self, env: Mapping[str, Number]) -> bool:
+        return all(c.evaluate(env) for c in self._constraints)
+
+    def partition_by_vars(
+        self, vars_of_interest: FrozenSet[str]
+    ) -> Tuple["LinearSystem", "LinearSystem"]:
+        """Split into (constraints touching *vars_of_interest*, the rest)."""
+        touching, rest = [], []
+        for c in self._constraints:
+            if any(v in vars_of_interest for v in c.variables()):
+                touching.append(c)
+            else:
+                rest.append(c)
+        return LinearSystem(touching), LinearSystem(rest)
+
+    # ------------------------------------------------------------------
+    # simplification
+    # ------------------------------------------------------------------
+    def simplified(self) -> "LinearSystem":
+        """Drop constraints pairwise implied by a single other constraint.
+
+        Two ``<=`` constraints with the same variable part keep only the
+        tighter one; a ``<=`` implied by an ``==`` on the same expression
+        is dropped.  This is the cheap O(n²) sweep used after unions and
+        substitutions; full redundancy elimination (via feasibility) is
+        done lazily by :func:`repro.linalg.implication.remove_redundant`.
+        """
+        by_varpart = {}
+        eqs = []
+        for c in self._constraints:
+            var_part = c.expr - c.expr.constant
+            if c.rel is Rel.EQ:
+                eqs.append(c)
+                continue
+            key = var_part
+            prev = by_varpart.get(key)
+            if prev is None or c.expr.constant > prev.expr.constant:
+                # larger constant = tighter upper bound for e + c <= 0
+                by_varpart[key] = c
+        eq_exprs = {c.expr - c.expr.constant: c.expr.constant for c in eqs}
+        kept = list(eqs)
+        for var_part, c in sorted(
+            by_varpart.items(), key=lambda kv: kv[0].sort_key()
+        ):
+            if var_part in eq_exprs and -eq_exprs[var_part] >= -c.expr.constant:
+                # equality pins e == -k; the inequality e <= -c is implied
+                # when -k <= -c.expr.constant  <=>  k >= c.expr.constant
+                if eq_exprs[var_part] >= c.expr.constant:
+                    continue
+            neg = -var_part
+            if neg in eq_exprs:
+                # e == k implies -e <= -k i.e. covers var_part = -e
+                if -eq_exprs[neg] >= c.expr.constant:
+                    continue
+            kept.append(c)
+        return LinearSystem(kept)
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinearSystem):
+            return NotImplemented
+        return self._constraints == other._constraints
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        if self.is_universe():
+            return "LinearSystem(universe)"
+        return f"LinearSystem({{{'; '.join(map(str, self._constraints))}}})"
+
+    def __str__(self) -> str:
+        if self.is_universe():
+            return "true"
+        return " ∧ ".join(map(str, self._constraints))
+
+
+_UNIVERSE = LinearSystem(())
+from repro.linalg.constraint import FALSE as _FALSE_C  # noqa: E402
+
+_EMPTY = LinearSystem((_FALSE_C,))

@@ -1,0 +1,23 @@
+"""Deterministic multiprocessor execution-cost simulator.
+
+Substitute for the paper's 8-processor DEC AlphaServer runs: one
+instrumented interpretation records, for every dynamic instance of a
+parallelized loop, its serial work and iteration count; closed-form
+accounting then yields execution time for any processor count —
+``work/P`` plus fork/join and scheduling overheads, plus the cost of
+evaluating derived run-time tests.  Speedup *shape* (who improves, where
+curves saturate) depends only on these quantities, which is why the
+substitution preserves the paper's comparisons (see DESIGN.md §2).
+"""
+
+from repro.machine.costmodel import MachineModel
+from repro.machine.simulate import MachineResult, simulate
+from repro.machine.speedup import SpeedupCurve, speedup_comparison
+
+__all__ = [
+    "MachineModel",
+    "MachineResult",
+    "simulate",
+    "SpeedupCurve",
+    "speedup_comparison",
+]

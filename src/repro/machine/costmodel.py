@@ -1,0 +1,45 @@
+"""Machine cost parameters.
+
+Unit of time: one interpreter step (≈ one executed statement).  The
+defaults model a late-90s bus-based SMP in the spirit of the paper's
+AlphaServer 8400: forking a parallel region costs hundreds of statement
+times, per-iteration scheduling a couple, and a derived run-time test a
+handful per predicate atom (the paper's "low-cost" property — compare
+with an inspector, which costs on the order of the loop body itself).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Parameters of the simulated multiprocessor."""
+
+    fork_overhead: float = 200.0  # per parallel loop instance
+    sched_per_iteration: float = 0.1  # static chunked scheduling cost
+    test_cost_per_atom: float = 4.0  # run-time predicate evaluation
+    imbalance_factor: float = 0.03  # fractional load imbalance per proc
+    profit_threshold: float = 600.0  # min serial work worth forking
+
+    def parallel_time(
+        self, serial_work: float, iterations: int, processors: int
+    ) -> float:
+        """Execution time of one parallel loop instance on P processors."""
+        if processors <= 1:
+            return serial_work
+        if iterations <= 0:
+            return self.fork_overhead
+        p_eff = min(processors, iterations)
+        chunk = serial_work / p_eff
+        imbalance = chunk * self.imbalance_factor * (p_eff - 1)
+        return (
+            chunk
+            + imbalance
+            + self.fork_overhead
+            + self.sched_per_iteration * (iterations / p_eff)
+        )
+
+    def test_time(self, atoms: int) -> float:
+        return self.test_cost_per_atom * atoms

@@ -1,0 +1,77 @@
+"""Speedup curves comparing compiled versions of the same program."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.arraydf.options import AnalysisOptions
+from repro.codegen.plan import build_plan
+from repro.lang.astnodes import Program
+from repro.machine.costmodel import MachineModel
+from repro.machine.simulate import MachineResult, simulate
+from repro.partests.driver import analyze_program
+
+Number = Union[int, float]
+
+DEFAULT_PROCESSORS = (1, 2, 4, 8)
+
+
+@dataclass
+class SpeedupCurve:
+    """Speedup over the 1-processor serial program, per processor count."""
+
+    name: str
+    points: Dict[int, float] = field(default_factory=dict)
+
+    def at(self, processors: int) -> float:
+        return self.points[processors]
+
+    def best(self) -> float:
+        return max(self.points.values())
+
+
+def curve_from_result(
+    name: str,
+    result: MachineResult,
+    serial_steps: float,
+    model: MachineModel,
+    processors: Sequence[int] = DEFAULT_PROCESSORS,
+) -> SpeedupCurve:
+    curve = SpeedupCurve(name)
+    for p in processors:
+        t = result.time(p, model)
+        curve.points[p] = serial_steps / t if t > 0 else float("inf")
+    return curve
+
+
+def speedup_comparison(
+    program: Program,
+    inputs: Sequence[Number] = (),
+    processors: Sequence[int] = DEFAULT_PROCESSORS,
+    model: Optional[MachineModel] = None,
+    configurations: Optional[Dict[str, AnalysisOptions]] = None,
+    max_steps: int = 10_000_000,
+) -> Dict[str, SpeedupCurve]:
+    """Simulated speedups of base-compiled vs predicated-compiled code.
+
+    The reference time is the uninstrumented serial execution, so both
+    curves include their own parallelization overheads — the honest
+    comparison the paper's speedup figures make.
+    """
+    model = model or MachineModel()
+    configurations = configurations or {
+        "base": AnalysisOptions.base(),
+        "predicated": AnalysisOptions.predicated(),
+    }
+    curves: Dict[str, SpeedupCurve] = {}
+    serial_steps: Optional[float] = None
+    for name, opts in configurations.items():
+        plan = build_plan(analyze_program(program, opts))
+        result = simulate(program, plan, inputs, max_steps=max_steps)
+        if serial_steps is None:
+            serial_steps = result.serial_steps
+        curves[name] = curve_from_result(
+            name, result, serial_steps, model, processors
+        )
+    return curves

@@ -1,0 +1,96 @@
+"""Mechanism attribution for predicated-analysis wins.
+
+For every loop the predicated analysis parallelizes but the base
+analysis does not, re-run the analysis with each feature ablated; a
+feature is *necessary* for the win when its removal loses the loop.
+This is measured (not inferred from the pattern that generated the
+loop), so it doubles as an end-to-end check that each mechanism is
+actually load-bearing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.arraydf.options import AnalysisOptions
+from repro.lang.astnodes import Program
+from repro.partests.driver import analyze_program
+
+WIN_STATUSES = ("parallel", "parallel_private", "runtime")
+
+ABLATIONS: Dict[str, Callable[[AnalysisOptions], AnalysisOptions]] = {
+    "embedding": lambda o: o.without(embedding=False),
+    "extraction": lambda o: o.without(extraction=False),
+    "runtime_tests": lambda o: o.without(runtime_tests=False),
+    "interprocedural": lambda o: o.without(interprocedural=False),
+}
+
+
+@dataclass
+class LoopClassification:
+    """One predicated win and the features it needs."""
+
+    label: str
+    status: str  # predicated status
+    base_status: str
+    necessary: List[str] = field(default_factory=list)
+
+    @property
+    def mechanism(self) -> str:
+        """Headline mechanism: the first necessary feature, in a fixed
+        priority order (run-time tests < others, since a test is the
+        delivery vehicle while embedding/extraction produce the
+        predicate)."""
+        for feature in ("interprocedural", "embedding", "extraction"):
+            if feature in self.necessary:
+                return feature
+        if "runtime_tests" in self.necessary:
+            return "runtime_tests"
+        return "correlation"  # predicates alone (branch correlation)
+
+
+def classify_wins(
+    program_factory: Callable[[], Program],
+    opts: Optional[AnalysisOptions] = None,
+) -> List[LoopClassification]:
+    """Classify every predicated win in a program by ablation.
+
+    *program_factory* must return a fresh AST per call (analyses do not
+    mutate, but fresh parses keep the runs independent).
+    """
+    opts = opts or AnalysisOptions.predicated()
+    base = analyze_program(program_factory(), AnalysisOptions.base())
+    pred = analyze_program(program_factory(), opts)
+    base_status = {l.label: l.status for l in base.loops}
+    wins = [
+        l
+        for l in pred.loops
+        if l.status in WIN_STATUSES
+        and base_status.get(l.label) not in WIN_STATUSES
+        and base_status.get(l.label) != "not_candidate"
+    ]
+    if not wins:
+        return []
+
+    ablated_status: Dict[str, Dict[str, str]] = {}
+    for feature, strip in ABLATIONS.items():
+        res = analyze_program(program_factory(), strip(opts))
+        ablated_status[feature] = {l.label: l.status for l in res.loops}
+
+    out: List[LoopClassification] = []
+    for l in wins:
+        necessary = [
+            feature
+            for feature in ABLATIONS
+            if ablated_status[feature].get(l.label) not in WIN_STATUSES
+        ]
+        out.append(
+            LoopClassification(
+                label=l.label,
+                status=l.status,
+                base_status=base_status[l.label],
+                necessary=necessary,
+            )
+        )
+    return out

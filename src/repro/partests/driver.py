@@ -1,0 +1,230 @@
+"""The parallelization driver: program in, per-loop decisions out.
+
+This is the top of the compiler stack — the piece the paper's tables
+summarize.  For every loop it reports one of:
+
+``parallel``
+    independent at compile time, no transformations needed;
+``parallel_private``
+    parallel after array/scalar privatization (and reduction handling);
+``runtime``
+    parallel under a derived predicate, guarded by a low-cost run-time
+    test (two-version loop);
+``serial``
+    no strategy proved safe;
+``not_candidate``
+    ineligible (I/O, early return, non-invariant bounds, non-constant
+    step).
+
+Loops nested inside a loop already parallelized at an outer level are
+flagged ``enclosed`` (SUIF exploits a single level of parallelism).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.arraydf.analysis import ArrayDataflow, LoopSummary
+from repro.arraydf.options import AnalysisOptions
+from repro.lang.astnodes import DoLoop, Program, walk_stmts
+from repro.partests.dependence import LoopVerdict, test_loop
+from repro.partests.runtime_tests import (
+    is_runtime_evaluable,
+    render_predicate,
+    test_cost,
+)
+from repro.predicates.formula import Predicate, TRUE
+
+
+@dataclass
+class LoopResult:
+    """Final decision for one loop."""
+
+    label: str
+    unit: str
+    loop: DoLoop
+    status: str  # parallel | parallel_private | runtime | serial | not_candidate
+    condition: Optional[Predicate] = None
+    runtime_test: Optional[str] = None  # rendered source text
+    runtime_cost: int = 0
+    private_arrays: List[str] = field(default_factory=list)
+    private_scalars: List[str] = field(default_factory=list)
+    reduction_scalars: List[str] = field(default_factory=list)
+    reason: str = ""
+    depth: int = 0
+    enclosed: bool = False  # nested inside a parallelized loop
+    verdict: Optional[LoopVerdict] = None
+
+    @property
+    def is_parallelized(self) -> bool:
+        return self.status in ("parallel", "parallel_private", "runtime")
+
+    @property
+    def is_outer_parallel(self) -> bool:
+        return self.is_parallelized and not self.enclosed
+
+
+@dataclass
+class ProgramResult:
+    """All loop decisions for one program, plus analysis timing."""
+
+    program: Program
+    options: AnalysisOptions
+    loops: List[LoopResult] = field(default_factory=list)
+    analysis_seconds: float = 0.0
+
+    # -- counters used by the experiment tables ----------------------------
+    def count(self, *statuses: str) -> int:
+        return sum(1 for l in self.loops if l.status in statuses)
+
+    @property
+    def total_loops(self) -> int:
+        return len(self.loops)
+
+    @property
+    def candidate_loops(self) -> int:
+        return sum(1 for l in self.loops if l.status != "not_candidate")
+
+    @property
+    def parallelized(self) -> int:
+        return sum(1 for l in self.loops if l.is_parallelized)
+
+    @property
+    def outer_parallelized(self) -> int:
+        return sum(1 for l in self.loops if l.is_outer_parallel)
+
+    @property
+    def runtime_tested(self) -> int:
+        return self.count("runtime")
+
+    def by_label(self) -> Dict[str, LoopResult]:
+        return {l.label: l for l in self.loops}
+
+    def parallel_labels(self) -> List[str]:
+        return [l.label for l in self.loops if l.is_parallelized]
+
+
+class ParallelizationDriver:
+    """Runs the full pipeline for one program."""
+
+    def __init__(
+        self, program: Program, opts: Optional[AnalysisOptions] = None
+    ) -> None:
+        self.program = program
+        self.opts = opts or AnalysisOptions.predicated()
+
+    def run(self) -> ProgramResult:
+        start = time.perf_counter()
+        dataflow = ArrayDataflow(self.program, self.opts).run()
+        result = ProgramResult(self.program, self.opts)
+
+        for unit_name, unit in self.program.units.items():
+            summary = dataflow.units[unit_name]
+            symtab = dataflow.symtabs[unit_name]
+            for loop, loop_summary in summary.loops.items():
+                result.loops.append(
+                    self._decide(loop_summary, symtab)
+                )
+        self._mark_enclosed(result)
+        result.analysis_seconds = time.perf_counter() - start
+        return result
+
+    # ------------------------------------------------------------------
+    def _decide(self, summary: LoopSummary, symtab) -> LoopResult:
+        loop = summary.loop
+        info = summary.info
+        base = LoopResult(
+            label=loop.label,
+            unit=summary.unit_name,
+            loop=loop,
+            status="serial",
+            depth=summary.info.region.loop_depth(),
+        )
+        if not info.is_candidate:
+            base.status = "not_candidate"
+            base.reason = (
+                "io" if info.has_io
+                else "return" if info.has_return
+                else "bounds" if not info.bounds_invariant
+                else "step"
+            )
+            return base
+
+        verdict = test_loop(summary, symtab, self.opts)
+        base.verdict = verdict
+        base.private_scalars = sorted(verdict.private_scalars)
+        base.reduction_scalars = sorted(verdict.reduction_scalars)
+
+        if verdict.scalar_obstacles:
+            base.status = "serial"
+            base.reason = "scalar dependence: " + ", ".join(
+                sorted(verdict.scalar_obstacles)
+            )
+            return base
+
+        cond = verdict.parallel_condition
+        # the loop runs only where its path predicate holds: a residual
+        # condition implied by the path needs no run-time test
+        if (
+            self.opts.predicates
+            and not cond.is_true()
+            and not cond.is_false()
+            and not summary.path_pred.is_true()
+        ):
+            from repro.predicates.simplify import implies
+
+            if implies(summary.path_pred, cond):
+                cond = TRUE
+        base.condition = cond
+        base.private_arrays = verdict.private_arrays
+
+        if cond.is_true():
+            base.status = (
+                "parallel_private"
+                if base.private_arrays or base.reduction_scalars
+                else "parallel"
+            )
+            return base
+        if cond.is_false():
+            base.status = "serial"
+            base.reason = "array dependence"
+            return base
+
+        # residual predicate: candidate run-time test
+        clobbered = (
+            frozenset([loop.var])
+            | summary.body_value.scalar_writes
+            | frozenset(summary.body_value.w.arrays())
+        )
+        if self.opts.runtime_tests and is_runtime_evaluable(cond, clobbered):
+            base.status = "runtime"
+            base.runtime_test = render_predicate(cond)
+            base.runtime_cost = test_cost(cond)
+            if base.private_arrays or base.reduction_scalars:
+                # the guarded parallel version also privatizes
+                pass
+            return base
+        base.status = "serial"
+        base.reason = "unprovable predicate: " + str(cond)
+        return base
+
+    def _mark_enclosed(self, result: ProgramResult) -> None:
+        """Flag every loop nested inside a parallelized loop."""
+        enclosed_ids = set()
+        for l in result.loops:
+            if l.is_parallelized:
+                for s in walk_stmts(l.loop.body):
+                    if isinstance(s, DoLoop):
+                        enclosed_ids.add(id(s))
+        for l in result.loops:
+            if id(l.loop) in enclosed_ids:
+                l.enclosed = True
+
+
+def analyze_program(
+    program: Program, opts: Optional[AnalysisOptions] = None
+) -> ProgramResult:
+    """One-call convenience wrapper."""
+    return ParallelizationDriver(program, opts).run()

@@ -1,0 +1,113 @@
+"""Run-time test legality and rendering.
+
+A residual predicate can guard a two-version loop only if it is
+*evaluable before the loop executes*: it may read scalars (and, for
+opaque atoms, arrays) whose values the loop does not change, and must
+not mention the loop index.  This is the low-cost property the paper
+contrasts with inspector/executor schemes — the test is a scalar
+expression, not a sweep over array accesses.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import FrozenSet
+
+from repro.predicates.atoms import DivAtom, LinAtom, OpaqueAtom
+from repro.predicates.formula import (
+    AndPred,
+    Atom,
+    NotPred,
+    OrPred,
+    Predicate,
+)
+
+
+def is_runtime_evaluable(pred: Predicate, clobbered: FrozenSet[str]) -> bool:
+    """May *pred* be evaluated at loop entry?
+
+    *clobbered* is the set of names whose values the loop may change:
+    the loop index, scalars written in the body, arrays written in the
+    body.  Generated symbols (``__t…``) are analysis artifacts with no
+    run-time value and make a predicate unevaluable.
+    """
+    for v in pred.variables():
+        if v in clobbered:
+            return False
+        if v.startswith("__"):
+            return False
+    return True
+
+
+def _affine_text(expr) -> str:
+    """Render an affine expression as mini-Fortran source."""
+    parts = []
+    for var, coeff in expr.terms():
+        c = coeff
+        if c.denominator != 1:
+            # scale should not occur post-normalization; guard anyway
+            term = f"({c.numerator}*{var})/{c.denominator}"
+        elif c == 1:
+            term = var
+        elif c == -1:
+            term = f"-{var}"
+        else:
+            term = f"{int(c)}*{var}"
+        if parts and not term.startswith("-"):
+            parts.append(f"+ {term}")
+        elif parts:
+            parts.append(f"- {term[1:]}")
+        else:
+            parts.append(term)
+    const = expr.constant
+    if const != 0 or not parts:
+        c = int(const) if const.denominator == 1 else const
+        if parts:
+            parts.append(f"+ {c}" if const > 0 else f"- {-c}")
+        else:
+            parts.append(str(c))
+    return " ".join(parts)
+
+
+def render_predicate(pred: Predicate) -> str:
+    """Render a predicate as a mini-Fortran boolean expression.
+
+    The output parses back through the front end (used by the
+    two-version code generator) as long as the predicate contains no
+    generated symbols.
+    """
+    if pred.is_true():
+        return "1 <= 1"
+    if pred.is_false():
+        return "1 <= 0"
+    if isinstance(pred, Atom):
+        atom = pred.atom
+        if isinstance(atom, LinAtom):
+            c = atom.constraint
+            lhs = _affine_text(c.expr)
+            op = "<=" if c.rel.value == "<=" else "=="
+            return f"{lhs} {op} 0"
+        if isinstance(atom, DivAtom):
+            return f"mod({_affine_text(atom.expr)}, {atom.modulus}) == 0"
+        return atom.key
+    if isinstance(pred, NotPred):
+        return f"not ({render_predicate(pred.operand)})"
+    if isinstance(pred, AndPred):
+        return " and ".join(f"({render_predicate(p)})" for p in pred.operands)
+    if isinstance(pred, OrPred):
+        return " or ".join(f"({render_predicate(p)})" for p in pred.operands)
+    raise TypeError(f"unknown predicate node {pred!r}")
+
+
+def test_cost(pred: Predicate) -> int:
+    """An abstract cost (atom count) of evaluating the test — the paper's
+    'low-cost' claim quantified for the overhead benchmarks."""
+    if pred.is_true() or pred.is_false():
+        return 0
+    if isinstance(pred, Atom):
+        return 1
+    if isinstance(pred, NotPred):
+        return test_cost(pred.operand)
+    if isinstance(pred, (AndPred, OrPred)):
+        return sum(test_cost(p) for p in pred.operands)
+    raise TypeError(f"unknown predicate node {pred!r}")

@@ -1,0 +1,57 @@
+"""The predicate language of predicated array data-flow analysis.
+
+Predicates are boolean formulas over two kinds of atoms:
+
+* **linear atoms** — affine comparisons the compiler fully understands
+  (``x > 5``, ``d < 2``, ``n mod … `` via divisibility atoms);  these can
+  be *embedded* into array-region inequality systems and *extracted* from
+  region operations;
+* **opaque atoms** — arbitrary run-time-evaluable scalar expressions the
+  compiler treats as uninterpreted booleans.  These are what lets the
+  paper derive "run-time evaluable predicates consisting of arbitrary
+  program statements" (Section 2), beyond what Gu/Li/Lee-style guarded
+  analysis can represent.
+
+The formula layer keeps negation normal form (negations only on atoms),
+folds constants, and provides sound (possibly incomplete) implication and
+unsatisfiability tests backed by the linear substrate.
+"""
+
+from repro.predicates.atoms import DivAtom, LinAtom, OpaqueAtom
+from repro.predicates.formula import (
+    AndPred,
+    Atom,
+    FALSE,
+    NotPred,
+    OrPred,
+    Predicate,
+    TRUE,
+    p_and,
+    p_atom,
+    p_not,
+    p_or,
+)
+from repro.predicates.simplify import implies, is_unsat, equivalent, simplify
+from repro.predicates.evaluate import evaluate
+
+__all__ = [
+    "LinAtom",
+    "OpaqueAtom",
+    "DivAtom",
+    "Predicate",
+    "Atom",
+    "NotPred",
+    "AndPred",
+    "OrPred",
+    "TRUE",
+    "FALSE",
+    "p_and",
+    "p_or",
+    "p_not",
+    "p_atom",
+    "implies",
+    "is_unsat",
+    "equivalent",
+    "simplify",
+    "evaluate",
+]

@@ -1,0 +1,189 @@
+"""Predicate atoms.
+
+Three atom kinds cover the paper's needs:
+
+* :class:`LinAtom` — an affine constraint (``e <= 0`` or ``e == 0``); the
+  compiler can reason about these exactly (embedding/extraction).
+* :class:`DivAtom` — divisibility ``modulus | expr``; produced by the
+  interprocedural ``Reshape`` operation ("an entire array is written if
+  the problem size is divisible by one of the dimension sizes in the
+  callee").
+* :class:`OpaqueAtom` — an uninterpreted run-time-evaluable boolean over
+  scalar variables (e.g. the guard ``a(k) > 0`` with a non-affine
+  subexpression).  Two opaque atoms are the same atom iff their canonical
+  keys are equal.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Mapping, Optional, Tuple, Union
+
+from repro.linalg.constraint import Constraint
+from repro.symbolic.affine import AffineExpr
+
+Number = Union[int, Fraction]
+
+
+class LinAtom:
+    """An affine-comparison atom wrapping a normalized constraint."""
+
+    __slots__ = ("constraint",)
+
+    def __init__(self, constraint: Constraint) -> None:
+        object.__setattr__(self, "constraint", constraint)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("LinAtom is immutable")
+
+    # convenience constructors mirroring Constraint's
+    @staticmethod
+    def le(lhs: AffineExpr, rhs: AffineExpr) -> "LinAtom":
+        return LinAtom(Constraint.le(lhs, rhs))
+
+    @staticmethod
+    def lt(lhs: AffineExpr, rhs: AffineExpr) -> "LinAtom":
+        return LinAtom(Constraint.lt(lhs, rhs))
+
+    @staticmethod
+    def ge(lhs: AffineExpr, rhs: AffineExpr) -> "LinAtom":
+        return LinAtom(Constraint.ge(lhs, rhs))
+
+    @staticmethod
+    def gt(lhs: AffineExpr, rhs: AffineExpr) -> "LinAtom":
+        return LinAtom(Constraint.gt(lhs, rhs))
+
+    @staticmethod
+    def eq(lhs: AffineExpr, rhs: AffineExpr) -> "LinAtom":
+        return LinAtom(Constraint.eq(lhs, rhs))
+
+    def variables(self) -> Tuple[str, ...]:
+        return self.constraint.variables()
+
+    def substitute(self, bindings) -> "LinAtom":
+        return LinAtom(self.constraint.substitute(bindings))
+
+    def rename(self, mapping) -> "LinAtom":
+        return LinAtom(self.constraint.rename(mapping))
+
+    def evaluate(self, env: Mapping[str, Number]) -> bool:
+        return self.constraint.evaluate(env)
+
+    def __eq__(self, other):
+        return isinstance(other, LinAtom) and self.constraint == other.constraint
+
+    def __hash__(self):
+        return hash(("LinAtom", self.constraint))
+
+    def __repr__(self):
+        return f"LinAtom({self.constraint})"
+
+    def __str__(self):
+        return str(self.constraint)
+
+
+class DivAtom:
+    """``modulus | expr`` — *expr* is divisible by *modulus* (> 1)."""
+
+    __slots__ = ("expr", "modulus")
+
+    def __init__(self, expr: AffineExpr, modulus: int) -> None:
+        if modulus <= 1:
+            raise ValueError(f"modulus must exceed 1, got {modulus}")
+        if not expr.is_integral():
+            raise ValueError("divisibility atom requires an integral expression")
+        object.__setattr__(self, "expr", expr)
+        object.__setattr__(self, "modulus", modulus)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("DivAtom is immutable")
+
+    def variables(self) -> Tuple[str, ...]:
+        return self.expr.variables()
+
+    def substitute(self, bindings) -> "DivAtom":
+        new = self.expr.substitute(bindings)
+        return DivAtom(new, self.modulus)
+
+    def rename(self, mapping) -> "DivAtom":
+        return DivAtom(self.expr.rename(mapping), self.modulus)
+
+    def evaluate(self, env: Mapping[str, Number]) -> bool:
+        v = self.expr.evaluate(env)
+        return v.denominator == 1 and int(v) % self.modulus == 0
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, DivAtom)
+            and self.modulus == other.modulus
+            and self.expr == other.expr
+        )
+
+    def __hash__(self):
+        return hash(("DivAtom", self.expr, self.modulus))
+
+    def __repr__(self):
+        return f"DivAtom({self.modulus} | {self.expr})"
+
+    def __str__(self):
+        return f"({self.expr}) mod {self.modulus} == 0"
+
+
+class OpaqueAtom:
+    """An uninterpreted boolean over the named scalar *reads*.
+
+    *key* is the canonical identity (typically the pretty-printed source
+    expression); *reads* lists the scalar variables the expression consults,
+    which the run-time-test legality check uses ("only scalars that are not
+    written inside the candidate loop may appear in a run-time test").
+    """
+
+    __slots__ = ("key", "reads")
+
+    def __init__(self, key: str, reads: Tuple[str, ...] = ()) -> None:
+        object.__setattr__(self, "key", key)
+        object.__setattr__(self, "reads", tuple(sorted(set(reads))))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("OpaqueAtom is immutable")
+
+    def variables(self) -> Tuple[str, ...]:
+        return self.reads
+
+    def substitute(self, bindings) -> "OpaqueAtom":
+        # opaque atoms do not participate in affine substitution
+        return self
+
+    def rename(self, mapping: Mapping[str, str]) -> "OpaqueAtom":
+        if not any(r in mapping for r in self.reads):
+            return self
+        key = self.key
+        for old, new in mapping.items():
+            key = key.replace(old, new)
+        return OpaqueAtom(key, tuple(mapping.get(r, r) for r in self.reads))
+
+    def evaluate(
+        self,
+        env: Mapping[str, Number],
+        opaque_eval: Optional[Callable[["OpaqueAtom", Mapping[str, Number]], bool]] = None,
+    ) -> bool:
+        if opaque_eval is None:
+            raise ValueError(
+                f"opaque atom {self.key!r} requires an opaque_eval callback"
+            )
+        return bool(opaque_eval(self, env))
+
+    def __eq__(self, other):
+        return isinstance(other, OpaqueAtom) and self.key == other.key
+
+    def __hash__(self):
+        return hash(("OpaqueAtom", self.key))
+
+    def __repr__(self):
+        return f"OpaqueAtom({self.key!r})"
+
+    def __str__(self):
+        return self.key
+
+
+AtomKind = Union[LinAtom, DivAtom, OpaqueAtom]

@@ -1,0 +1,54 @@
+"""Concrete evaluation of predicates against a scalar environment.
+
+Used in two places:
+
+* the **interpreter**, to execute generated run-time tests exactly the
+  way the two-version loop would at run time;
+* **tests**, to cross-check symbolic simplification against truth tables.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Mapping, Optional, Union
+
+from repro.predicates.atoms import DivAtom, LinAtom, OpaqueAtom
+from repro.predicates.formula import (
+    AndPred,
+    Atom,
+    NotPred,
+    OrPred,
+    Predicate,
+)
+
+Number = Union[int, Fraction]
+OpaqueEval = Callable[[OpaqueAtom, Mapping[str, Number]], bool]
+
+
+def evaluate(
+    pred: Predicate,
+    env: Mapping[str, Number],
+    opaque_eval: Optional[OpaqueEval] = None,
+) -> bool:
+    """Evaluate *pred* under *env*.
+
+    ``opaque_eval`` resolves opaque atoms; omit it when the formula is
+    known to be opaque-free (a ``ValueError`` is raised otherwise rather
+    than guessing).
+    """
+    if pred.is_true():
+        return True
+    if pred.is_false():
+        return False
+    if isinstance(pred, Atom):
+        atom = pred.atom
+        if isinstance(atom, (LinAtom, DivAtom)):
+            return atom.evaluate(env)
+        return atom.evaluate(env, opaque_eval)
+    if isinstance(pred, NotPred):
+        return not evaluate(pred.operand, env, opaque_eval)
+    if isinstance(pred, AndPred):
+        return all(evaluate(op, env, opaque_eval) for op in pred.operands)
+    if isinstance(pred, OrPred):
+        return any(evaluate(op, env, opaque_eval) for op in pred.operands)
+    raise TypeError(f"unknown predicate node {type(pred).__name__}")

@@ -1,0 +1,349 @@
+"""Predicate formulas in negation normal form.
+
+The constructors :func:`p_and`, :func:`p_or`, :func:`p_not` perform local
+(cheap, purely structural) normalization: constant folding, flattening of
+nested conjunctions/disjunctions, duplicate removal and complementary-
+literal detection.  Semantic simplification (feasibility-backed) lives in
+:mod:`repro.predicates.simplify`.
+
+Negations are pushed to the leaves.  Negating a ``<=`` linear atom yields
+another linear atom; negating an equality yields a disjunction of the two
+strict sides; ``DivAtom`` and ``OpaqueAtom`` negations stay as ``NotPred``
+literals.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Tuple, Union
+
+from repro.linalg.constraint import Constraint, Rel
+from repro.predicates.atoms import AtomKind, DivAtom, LinAtom, OpaqueAtom
+
+
+class Predicate:
+    """Base class; all formula nodes are immutable and hashable."""
+
+    __slots__ = ()
+
+    def variables(self) -> FrozenSet[str]:
+        raise NotImplementedError
+
+    def is_true(self) -> bool:
+        return isinstance(self, _TruePred)
+
+    def is_false(self) -> bool:
+        return isinstance(self, _FalsePred)
+
+    def substitute(self, bindings) -> "Predicate":
+        raise NotImplementedError
+
+    def rename(self, mapping) -> "Predicate":
+        raise NotImplementedError
+
+    # boolean sugar
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return p_and(self, other)
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return p_or(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return p_not(self)
+
+
+class _TruePred(Predicate):
+    __slots__ = ()
+
+    def variables(self):
+        return frozenset()
+
+    def substitute(self, bindings):
+        return self
+
+    def rename(self, mapping):
+        return self
+
+    def __eq__(self, other):
+        return isinstance(other, _TruePred)
+
+    def __hash__(self):
+        return hash("_TruePred")
+
+    def __repr__(self):
+        return "TRUE"
+
+    __str__ = __repr__
+
+
+class _FalsePred(Predicate):
+    __slots__ = ()
+
+    def variables(self):
+        return frozenset()
+
+    def substitute(self, bindings):
+        return self
+
+    def rename(self, mapping):
+        return self
+
+    def __eq__(self, other):
+        return isinstance(other, _FalsePred)
+
+    def __hash__(self):
+        return hash("_FalsePred")
+
+    def __repr__(self):
+        return "FALSE"
+
+    __str__ = __repr__
+
+
+TRUE = _TruePred()
+FALSE = _FalsePred()
+
+
+class Atom(Predicate):
+    """A positive literal wrapping one atom."""
+
+    __slots__ = ("atom",)
+
+    def __init__(self, atom: AtomKind) -> None:
+        object.__setattr__(self, "atom", atom)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Atom is immutable")
+
+    def variables(self):
+        return frozenset(self.atom.variables())
+
+    def substitute(self, bindings):
+        new = self.atom.substitute(bindings)
+        if isinstance(new, LinAtom):
+            if new.constraint.is_tautology():
+                return TRUE
+            if new.constraint.is_contradiction():
+                return FALSE
+        return Atom(new)
+
+    def rename(self, mapping):
+        return Atom(self.atom.rename(mapping))
+
+    def __eq__(self, other):
+        return isinstance(other, Atom) and self.atom == other.atom
+
+    def __hash__(self):
+        return hash(("Atom", self.atom))
+
+    def __repr__(self):
+        return f"Atom({self.atom!r})"
+
+    def __str__(self):
+        return str(self.atom)
+
+
+class NotPred(Predicate):
+    """A negative literal (only over DivAtom / OpaqueAtom)."""
+
+    __slots__ = ("operand",)
+
+    def __init__(self, operand: Atom) -> None:
+        object.__setattr__(self, "operand", operand)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("NotPred is immutable")
+
+    def variables(self):
+        return self.operand.variables()
+
+    def substitute(self, bindings):
+        inner = self.operand.substitute(bindings)
+        return p_not(inner)
+
+    def rename(self, mapping):
+        return NotPred(self.operand.rename(mapping))
+
+    def __eq__(self, other):
+        return isinstance(other, NotPred) and self.operand == other.operand
+
+    def __hash__(self):
+        return hash(("NotPred", self.operand))
+
+    def __repr__(self):
+        return f"NotPred({self.operand!r})"
+
+    def __str__(self):
+        return f"¬({self.operand})"
+
+
+class _NaryPred(Predicate):
+    __slots__ = ("operands",)
+
+    def __init__(self, operands: Tuple[Predicate, ...]) -> None:
+        object.__setattr__(self, "operands", operands)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("predicate nodes are immutable")
+
+    def variables(self):
+        vs: set = set()
+        for op in self.operands:
+            vs |= op.variables()
+        return frozenset(vs)
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.operands == other.operands
+
+    def __hash__(self):
+        return hash((type(self).__name__, self.operands))
+
+
+class AndPred(_NaryPred):
+    __slots__ = ()
+
+    def substitute(self, bindings):
+        return p_and(*(op.substitute(bindings) for op in self.operands))
+
+    def rename(self, mapping):
+        return p_and(*(op.rename(mapping) for op in self.operands))
+
+    def __repr__(self):
+        return f"AndPred({', '.join(map(repr, self.operands))})"
+
+    def __str__(self):
+        return "(" + " ∧ ".join(map(str, self.operands)) + ")"
+
+
+class OrPred(_NaryPred):
+    __slots__ = ()
+
+    def substitute(self, bindings):
+        return p_or(*(op.substitute(bindings) for op in self.operands))
+
+    def rename(self, mapping):
+        return p_or(*(op.rename(mapping) for op in self.operands))
+
+    def __repr__(self):
+        return f"OrPred({', '.join(map(repr, self.operands))})"
+
+    def __str__(self):
+        return "(" + " ∨ ".join(map(str, self.operands)) + ")"
+
+
+# ----------------------------------------------------------------------
+# smart constructors
+# ----------------------------------------------------------------------
+def p_atom(atom: AtomKind) -> Predicate:
+    """Wrap an atom, folding trivially-true/false linear atoms."""
+    if isinstance(atom, LinAtom):
+        if atom.constraint.is_tautology():
+            return TRUE
+        if atom.constraint.is_contradiction():
+            return FALSE
+    return Atom(atom)
+
+
+def _complementary(a: Predicate, b: Predicate) -> bool:
+    """Structural complement check for literals."""
+    if isinstance(a, NotPred) and a.operand == b:
+        return True
+    if isinstance(b, NotPred) and b.operand == a:
+        return True
+    if isinstance(a, Atom) and isinstance(b, Atom):
+        la, lb = a.atom, b.atom
+        if isinstance(la, LinAtom) and isinstance(lb, LinAtom):
+            if la.constraint.rel is Rel.LE and lb.constraint.rel is Rel.LE:
+                return la.constraint.negate() == lb.constraint
+    return False
+
+
+def p_and(*preds: Predicate) -> Predicate:
+    """Conjunction with flattening, dedup and complement detection."""
+    flat = []
+    for p in preds:
+        if p.is_false():
+            return FALSE
+        if p.is_true():
+            continue
+        if isinstance(p, AndPred):
+            flat.extend(p.operands)
+        else:
+            flat.append(p)
+    unique = []
+    for p in flat:
+        if p in unique:
+            continue
+        if any(_complementary(p, q) for q in unique):
+            return FALSE
+        unique.append(p)
+    if not unique:
+        return TRUE
+    if len(unique) == 1:
+        return unique[0]
+    unique.sort(key=str)
+    return AndPred(tuple(unique))
+
+
+def p_or(*preds: Predicate) -> Predicate:
+    """Disjunction with flattening, dedup and complement detection."""
+    flat = []
+    for p in preds:
+        if p.is_true():
+            return TRUE
+        if p.is_false():
+            continue
+        if isinstance(p, OrPred):
+            flat.extend(p.operands)
+        else:
+            flat.append(p)
+    unique = []
+    for p in flat:
+        if p in unique:
+            continue
+        if any(_complementary(p, q) for q in unique):
+            return TRUE
+        unique.append(p)
+    if not unique:
+        return FALSE
+    if len(unique) == 1:
+        return unique[0]
+    unique.sort(key=str)
+    return OrPred(tuple(unique))
+
+
+def p_not(pred: Predicate) -> Predicate:
+    """Negation, pushed to the leaves (NNF)."""
+    if pred.is_true():
+        return FALSE
+    if pred.is_false():
+        return TRUE
+    if isinstance(pred, NotPred):
+        return pred.operand
+    if isinstance(pred, Atom):
+        atom = pred.atom
+        if isinstance(atom, LinAtom):
+            c = atom.constraint
+            if c.rel is Rel.LE:
+                return Atom(LinAtom(c.negate()))
+            # ¬(e == 0)  ≡  e <= -1  ∨  e >= 1
+            lt = LinAtom(Constraint(c.expr + 1, Rel.LE))
+            gt = LinAtom(Constraint(-c.expr + 1, Rel.LE))
+            return p_or(p_atom(lt), p_atom(gt))
+        return NotPred(pred)
+    if isinstance(pred, AndPred):
+        return p_or(*(p_not(op) for op in pred.operands))
+    if isinstance(pred, OrPred):
+        return p_and(*(p_not(op) for op in pred.operands))
+    raise TypeError(f"unknown predicate node {type(pred).__name__}")
+
+
+def literals(pred: Predicate) -> Iterable[Predicate]:
+    """Iterate the literal leaves of an NNF formula."""
+    if isinstance(pred, (Atom, NotPred)):
+        yield pred
+    elif isinstance(pred, (AndPred, OrPred)):
+        for op in pred.operands:
+            yield from literals(op)
+
+
+PredicateLike = Union[Predicate, AtomKind]

@@ -1,0 +1,32 @@
+"""Array region representation and operations.
+
+An :class:`ArrayRegion` describes a set of elements of one array as a
+system of integer linear inequalities over the region's *dimension
+variables* (``__d0``, ``__d1``, …), loop indices and symbolic parameters —
+the same representation SUIF and PIPS use.  A :class:`SummarySet` is a
+finite union of such regions, per array, and provides the union /
+intersection / subtraction / projection operations array data-flow
+analysis composes.
+"""
+
+from repro.regions.region import ArrayRegion
+from repro.regions.summary import SummarySet
+from repro.regions.operations import (
+    hull_join,
+    intersect_regions,
+    region_contains,
+)
+from repro.regions.subtract import subtract_region, subtract_summary
+from repro.regions.project import project_over_loop, project_vars
+
+__all__ = [
+    "ArrayRegion",
+    "SummarySet",
+    "hull_join",
+    "intersect_regions",
+    "region_contains",
+    "subtract_region",
+    "subtract_summary",
+    "project_over_loop",
+    "project_vars",
+]

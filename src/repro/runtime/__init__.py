@@ -1,0 +1,34 @@
+"""Execution substrate: interpreter, ELPD oracle, plan-aware execution.
+
+The interpreter realizes Fortran-like semantics for the mini language —
+flat column-major array storage (so sequence association across reshaped
+call boundaries behaves like the real thing), by-reference whole-array
+argument passing, by-value scalars, truncating integer division.
+
+On top of it:
+
+* :mod:`repro.runtime.elpd` — the Extended Lazy Privatizing Doall test:
+  shadow-array instrumentation that classifies each loop's dynamic
+  cross-iteration behaviour (independent / privatizable / dependent) on
+  a concrete input, the oracle the paper uses to count "inherently
+  parallel" loops;
+* plan-aware execution (:class:`~repro.runtime.interp.Interpreter` with
+  a :class:`~repro.codegen.plan.ParallelPlan`) — evaluates derived
+  run-time tests exactly where the two-version code would, and feeds the
+  machine-model cost accounting.
+"""
+
+from repro.runtime.values import ArrayStorage, RuntimeError_
+from repro.runtime.interp import ExecutionResult, Interpreter, run_program
+from repro.runtime.elpd import ElpdReport, LoopObservation, run_elpd
+
+__all__ = [
+    "ArrayStorage",
+    "RuntimeError_",
+    "Interpreter",
+    "ExecutionResult",
+    "run_program",
+    "ElpdReport",
+    "LoopObservation",
+    "run_elpd",
+]

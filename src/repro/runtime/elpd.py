@@ -1,0 +1,287 @@
+"""The Extended Lazy Privatizing Doall (ELPD) test.
+
+ELPD instruments every candidate loop the compiler left unparallelized
+and classifies each loop's *dynamic* behaviour on a concrete input:
+
+* **independent** — no element is touched by two different iterations
+  with at least one write;
+* **privatizable** — cross-iteration conflicts exist, but no iteration's
+  *first* access to an element reads a value written by an earlier
+  iteration (no cross-iteration flow into an exposed read), so
+  per-iteration private copies with copy-in/copy-out are safe;
+* **dependent** — a cross-iteration flow was observed.
+
+Loops reported independent or privatizable are the "remaining inherently
+parallel" loops of the paper's tables — parallelization guaranteed only
+for the tested input, which is exactly ELPD's contract.
+
+The implementation shadows every array element (keyed by underlying
+storage buffer and flat offset, so reshaped views alias correctly) for
+each dynamically active instrumented loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.lang.astnodes import Program
+from repro.runtime.interp import Interpreter
+from repro.runtime.values import ArrayStorage
+
+Number = Union[int, float]
+
+_RANKING = {"not_executed": 0, "independent": 1, "privatizable": 2, "dependent": 3}
+
+
+class _ElementState:
+    """Shadow state of one array element within one loop instance."""
+
+    __slots__ = (
+        "first_ord",
+        "last_access_ord",
+        "last_write_ord",
+        "any_write",
+        "multi_ord",
+        "flow",
+    )
+
+    def __init__(self) -> None:
+        self.first_ord = -1
+        self.last_access_ord = -1
+        self.last_write_ord = -1
+        self.any_write = False
+        self.multi_ord = False
+        self.flow = False
+
+    def access(self, kind: str, ord_: int) -> None:
+        if self.first_ord < 0:
+            self.first_ord = ord_
+        first_in_ord = ord_ != self.last_access_ord
+        if first_in_ord and kind == "r" and 0 <= self.last_write_ord < ord_:
+            # this iteration's first touch reads a value some earlier
+            # iteration wrote: cross-iteration flow
+            self.flow = True
+        if self.last_access_ord >= 0 and ord_ != self.first_ord:
+            self.multi_ord = True
+        self.last_access_ord = ord_
+        if kind == "w":
+            self.any_write = True
+            self.last_write_ord = ord_
+
+    @property
+    def conflicts(self) -> bool:
+        return self.multi_ord and self.any_write
+
+
+class _ActiveInstance:
+    """One dynamic execution of an instrumented loop."""
+
+    __slots__ = ("label", "ordinal", "elements", "array_of")
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.ordinal = -1
+        self.elements: Dict[Tuple[int, int], _ElementState] = {}
+        self.array_of: Dict[int, str] = {}
+
+    def record(self, kind: str, storage: ArrayStorage, offset: int) -> None:
+        if self.ordinal < 0:
+            return  # access outside any iteration (loop bounds eval)
+        key = (id(storage.data), offset)
+        state = self.elements.get(key)
+        if state is None:
+            state = _ElementState()
+            self.elements[key] = state
+            self.array_of[id(storage.data)] = storage.name
+        state.access(kind, self.ordinal)
+
+    def classify(self) -> Tuple[str, Set[str], Set[str]]:
+        conflict_arrays: Set[str] = set()
+        flow_arrays: Set[str] = set()
+        for (buf, _off), st in self.elements.items():
+            if st.flow:
+                flow_arrays.add(self.array_of[buf])
+            elif st.conflicts:
+                conflict_arrays.add(self.array_of[buf])
+        if flow_arrays:
+            return "dependent", conflict_arrays, flow_arrays
+        if conflict_arrays:
+            return "privatizable", conflict_arrays, flow_arrays
+        return "independent", conflict_arrays, flow_arrays
+
+
+@dataclass
+class LoopObservation:
+    """Aggregated dynamic verdict for one loop label."""
+
+    label: str
+    instances: int = 0
+    classification: str = "not_executed"
+    conflict_arrays: Set[str] = field(default_factory=set)
+    flow_arrays: Set[str] = field(default_factory=set)
+    total_iterations: int = 0
+
+    def merge(self, cls: str, conflicts: Set[str], flows: Set[str], iters: int) -> None:
+        self.instances += 1
+        self.total_iterations += iters
+        if _RANKING[cls] > _RANKING[self.classification]:
+            self.classification = cls
+        self.conflict_arrays |= conflicts
+        self.flow_arrays |= flows
+
+    @property
+    def dynamically_parallel(self) -> bool:
+        return self.classification in ("independent", "privatizable")
+
+
+@dataclass
+class ElpdReport:
+    """ELPD results for one program run."""
+
+    observations: Dict[str, LoopObservation] = field(default_factory=dict)
+    steps: int = 0
+
+    def parallelizable_labels(self) -> List[str]:
+        return sorted(
+            label
+            for label, obs in self.observations.items()
+            if obs.dynamically_parallel
+        )
+
+    def dependent_labels(self) -> List[str]:
+        return sorted(
+            label
+            for label, obs in self.observations.items()
+            if obs.classification == "dependent"
+        )
+
+
+class _ElpdHook:
+    """Interpreter loop hook feeding the shadow instances."""
+
+    def __init__(self, targets: Optional[Set[str]]) -> None:
+        self.targets = targets
+        self.active: List[_ActiveInstance] = []
+        self.report = ElpdReport()
+        self._iter_counts: List[int] = []
+
+    def enter_loop(self, stmt, frame, ran_parallel):
+        if self.targets is not None and stmt.label not in self.targets:
+            self.active.append(None)  # placeholder to keep stack aligned
+            self._iter_counts.append(0)
+            return len(self.active) - 1
+        inst = _ActiveInstance(stmt.label)
+        self.active.append(inst)
+        self._iter_counts.append(0)
+        return len(self.active) - 1
+
+    def iter_start(self, token, ivalue):
+        inst = self.active[token]
+        self._iter_counts[token] += 1
+        if inst is not None:
+            inst.ordinal += 1
+
+    def exit_loop(self, token):
+        inst = self.active.pop()
+        iters = self._iter_counts.pop()
+        if inst is None:
+            return
+        cls, conflicts, flows = inst.classify()
+        obs = self.report.observations.setdefault(
+            inst.label, LoopObservation(inst.label)
+        )
+        obs.merge(cls, conflicts, flows, iters)
+
+    def record_access(self, kind: str, storage: ArrayStorage, offset: int) -> None:
+        for inst in self.active:
+            if inst is not None:
+                inst.record(kind, storage, offset)
+
+
+def static_scalar_obstacles(program: Program) -> Dict[str, Set[str]]:
+    """Per-loop scalars that carry a genuine cross-iteration dependence.
+
+    ELPD instruments *array* accesses ("accesses to all arrays reported
+    by the compiler as being involved in a dependence were
+    instrumented"); scalar recurrences are resolved by the compiler's
+    scalar analysis.  This helper reproduces that static side so the
+    combined oracle (:func:`run_oracle`) matches the paper's notion of
+    an inherently parallel loop.
+    """
+    from repro.ir.loopinfo import collect_loop_info
+    from repro.ir.regiongraph import build_region_tree
+    from repro.ir.symboltable import SymbolTable
+    from repro.lang.astnodes import DoLoop, walk_stmts
+
+    out: Dict[str, Set[str]] = {}
+    for unit in program.units.values():
+        symtab = SymbolTable(unit)
+        proc = build_region_tree(unit)
+        for loop, info in collect_loop_info(proc).items():
+            inner = {
+                s.var for s in walk_stmts(loop.body) if isinstance(s, DoLoop)
+            }
+            obstacles = {
+                name
+                for name in info.scalar_writes
+                if name != loop.var
+                and name not in inner
+                and symtab.is_scalar(name)
+                and name in info.scalar_exposed_reads
+                and name not in info.reductions
+            }
+            if obstacles:
+                out[loop.label] = obstacles
+    return out
+
+
+def run_oracle(
+    program: Program,
+    inputs: Sequence[Number] = (),
+    target_labels: Optional[Sequence[str]] = None,
+    max_steps: int = 10_000_000,
+) -> ElpdReport:
+    """ELPD array instrumentation + static scalar-recurrence screening.
+
+    Loops whose scalars carry a cross-iteration dependence are demoted
+    to ``dependent`` regardless of their array behaviour.
+    """
+    report = run_elpd(program, inputs, target_labels, max_steps)
+    for label, names in static_scalar_obstacles(program).items():
+        obs = report.observations.get(label)
+        if obs is not None:
+            obs.classification = "dependent"
+            obs.flow_arrays |= {f"<scalar:{n}>" for n in names}
+    return report
+
+
+def run_elpd(
+    program: Program,
+    inputs: Sequence[Number] = (),
+    target_labels: Optional[Sequence[str]] = None,
+    max_steps: int = 10_000_000,
+) -> ElpdReport:
+    """Run the program with ELPD instrumentation.
+
+    *target_labels* restricts instrumentation (the paper instruments the
+    loops the compiler could not parallelize); ``None`` instruments all.
+    """
+    targets = set(target_labels) if target_labels is not None else None
+    hook = _ElpdHook(targets)
+    interp = Interpreter(
+        program,
+        inputs,
+        access_hook=hook.record_access,
+        loop_hook=hook,
+        max_steps=max_steps,
+    )
+    result = interp.run()
+    hook.report.steps = result.steps
+    # loops named as targets but never executed
+    if targets is not None:
+        for label in targets:
+            hook.report.observations.setdefault(
+                label, LoopObservation(label)
+            )
+    return hook.report

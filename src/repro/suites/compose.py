@@ -1,0 +1,129 @@
+"""Composition of pattern instances into benchmark programs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.lang.astnodes import Program, Subroutine, loops_of
+from repro.lang.parser import parse_program
+from repro.suites.patterns import LoopExpectation, PatternInstance
+
+Number = Union[int, float]
+
+
+@dataclass
+class BenchmarkProgram:
+    """One synthetic benchmark: source, inputs and per-loop ground truth."""
+
+    name: str
+    suite: str
+    source: str
+    inputs: List[Number]
+    expectations: Dict[str, LoopExpectation]
+    speedup_candidate: bool = False
+    notes: str = ""
+    _parsed: Optional[Program] = field(default=None, repr=False)
+
+    @property
+    def program(self) -> Program:
+        if self._parsed is None:
+            self._parsed = parse_program(self.source)
+        return self._parsed
+
+    def fresh_program(self) -> Program:
+        """A newly parsed AST (callers that mutate should use this)."""
+        return parse_program(self.source)
+
+    @property
+    def loop_count(self) -> int:
+        return len(self.expectations)
+
+    def outer_win_labels(self) -> List[str]:
+        return sorted(
+            label
+            for label, e in self.expectations.items()
+            if e.outer_win
+        )
+
+
+def compose(
+    name: str,
+    suite: str,
+    instances: Sequence[PatternInstance],
+    speedup_candidate: bool = False,
+    notes: str = "",
+) -> BenchmarkProgram:
+    """Assemble pattern instances into one program.
+
+    Per instance, setup lines precede main lines; declarations and read
+    statements are hoisted to the top.  After parsing, the main unit's
+    loops (pre-order — identical to label numbering) are zipped with
+    the concatenated ``setup_expect + main_expect`` lists, and each
+    subroutine's loops with its ``sub_expect`` entries, giving the
+    label → expectation map the test- and experiment-harnesses check.
+    """
+    decls: List[str] = []
+    read_vars: List[str] = []
+    inputs: List[Number] = []
+    body: List[str] = []
+    subroutines: List[str] = []
+    main_expect: List[LoopExpectation] = []
+    sub_expect: List[LoopExpectation] = []
+
+    for inst in instances:
+        decls.extend(inst.decls)
+        read_vars.extend(inst.read_vars)
+        inputs.extend(inst.inputs)
+        body.extend(inst.setup_lines)
+        body.extend(inst.main_lines)
+        subroutines.extend(inst.subroutines)
+        main_expect.extend(inst.setup_expect)
+        main_expect.extend(inst.main_expect)
+        sub_expect.extend(inst.sub_expect)
+
+    lines: List[str] = [f"program {name}"]
+    for d in decls:
+        lines.append(f"  {d}")
+    if read_vars:
+        lines.append(f"  read {', '.join(read_vars)}")
+    lines.extend(f"  {l}" for l in body)
+    lines.append("end")
+    source = "\n".join(lines) + "\n"
+    if subroutines:
+        source += "\n" + "\n\n".join(subroutines) + "\n"
+
+    program = parse_program(source)
+    expectations: Dict[str, LoopExpectation] = {}
+
+    main_loops = loops_of(program.main_unit)
+    if len(main_loops) != len(main_expect):
+        raise ValueError(
+            f"{name}: {len(main_loops)} main loops but "
+            f"{len(main_expect)} expectations"
+        )
+    for loop, exp in zip(main_loops, main_expect):
+        expectations[loop.label] = exp
+
+    sub_units = [
+        u for uname, u in program.units.items() if uname != program.main
+    ]
+    sub_loops = [l for u in sub_units for l in loops_of(u)]
+    if len(sub_loops) != len(sub_expect):
+        raise ValueError(
+            f"{name}: {len(sub_loops)} subroutine loops but "
+            f"{len(sub_expect)} expectations"
+        )
+    for loop, exp in zip(sub_loops, sub_expect):
+        expectations[loop.label] = exp
+
+    return BenchmarkProgram(
+        name=name,
+        suite=suite,
+        source=source,
+        inputs=inputs,
+        expectations=expectations,
+        speedup_candidate=speedup_candidate,
+        notes=notes,
+        _parsed=program,
+    )

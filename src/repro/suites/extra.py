@@ -1,0 +1,27 @@
+"""The paper's "one additional program" — a mixed kernel with no new
+outer-loop predicated win (keeping the outer-win program count at 9)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.suites.compose import BenchmarkProgram, compose
+from repro.suites import patterns as P
+
+
+def programs() -> List[BenchmarkProgram]:
+    return [
+        compose(
+            "ms2d",
+            "extra",
+            [
+                P.stencil("x1", n=20),
+                P.work_array("x2", n=9),
+                P.reduction("x3", n=18),
+                P.recurrence("x4", n=14),
+                P.nonaffine("x5", n=12),
+                P.io_loop("x6"),
+            ],
+            notes="2-D membrane solver (the additional program)",
+        ),
+    ]

@@ -1,0 +1,118 @@
+"""NAS-sample-calibrated synthetic programs (8).
+
+Outer-loop predicated wins: ``appbt`` (reshape size predicate — also a
+speedup improver), ``cgm`` (offset run-time test), ``fftpde``
+(embedding of an index guard).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.suites.compose import BenchmarkProgram, compose
+from repro.suites import patterns as P
+
+
+def programs() -> List[BenchmarkProgram]:
+    return [
+        compose(
+            "appbt",
+            "nas",
+            [
+                P.reshape_size("a1", p_value=40, q_value=50, reps=16),
+                P.init2d("a2", n=8),
+                P.recurrence("a3", n=18),
+            ],
+            speedup_candidate=True,
+            notes="block-tridiagonal: whole-array reshape across calls",
+        ),
+        compose(
+            "appsp",
+            "nas",
+            [
+                P.work_array("b1", n=10),
+                P.stencil("b2", n=20),
+                P.triangular("b3", n=10),
+                P.recurrence("b4", n=16),
+                P.io_loop("b5"),
+                P.wavefront("b6", n=9),
+            ],
+            notes="scalar-pentadiagonal solver",
+        ),
+        compose(
+            "buk",
+            "nas",
+            [
+                P.nonaffine("c1", n=20),
+                P.nonaffine("c2", n=16),
+                P.data_dependent("c3", n=14),
+                P.reduction("c4", n=20),
+                P.stencil("c5", n=14),
+                P.wavefront("c6", n=9),
+            ],
+            notes="bucket sort: indirection throughout",
+        ),
+        compose(
+            "cgm",
+            "nas",
+            [
+                P.offset_runtime("d1", n=30, k_value=0),
+                P.reduction("d2", n=400),
+                P.reduction("d3", n=20),
+                P.recurrence("d4", n=14),
+                P.nonaffine("d5", n=12),
+                P.outer_offset("d6", n=20, k_value=2, reps=3),
+            ],
+            notes="conjugate gradient: aligned update (k = 0 at run time)",
+        ),
+        compose(
+            "embar",
+            "nas",
+            [
+                P.reduction("e1", n=26),
+                P.reduction("e2", n=22),
+                P.stencil("e3", n=16),
+                P.io_loop("e4"),
+                P.scalar_recurrence("e5", n=12),
+                P.wavefront("e6", n=9),
+            ],
+            notes="embarrassingly parallel kernels plus a serial tail",
+        ),
+        compose(
+            "fftpde",
+            "nas",
+            [
+                P.index_guard("f1", n=16, reps=4),
+                P.init2d("f2", n=9),
+                P.call_row("f3", n=8),
+                P.recurrence("f4", n=14),
+            ],
+            notes="FFT butterflies: guarded first element",
+        ),
+        compose(
+            "mgrid2",
+            "nas",
+            [
+                P.stencil("g1", n=22),
+                P.triangular("g2", n=9),
+                P.work_array("g3", n=9),
+                P.recurrence("g4", n=14),
+                P.nonaffine("g5", n=10),
+                P.wavefront("g6", n=9),
+            ],
+            notes="NAS multigrid sample",
+        ),
+        compose(
+            "applu2",
+            "nas",
+            [
+                P.call_row("h1", n=9),
+                P.work_array("h2", n=8),
+                P.recurrence("h3", n=16),
+                P.recurrence("h4", n=12),
+                P.io_loop("h5"),
+                P.wavefront("h6", n=9),
+            ],
+            notes="LU sample: serial sweeps",
+        ),
+    ]

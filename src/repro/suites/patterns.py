@@ -1,0 +1,567 @@
+"""Loop-pattern library for the synthetic benchmark suites.
+
+Each pattern builder emits a code fragment plus per-loop
+:class:`LoopExpectation` ground truth — what the base analysis, the
+predicated analysis and the ELPD oracle should each conclude.  Builders
+take a unique suffix ``u`` so multiple instances coexist in one program
+without aliasing.
+
+Categories follow the loop classification the paper inherits from
+So/Moon/Hall:
+
+``plain``            unconditionally analyzable (base gets it);
+``reduction``        scalar reduction;
+``privatizable``     needs array privatization (base gets it);
+``conditional-def``  conditional definitions needing predicate
+                     correlation (Figure 1(a));
+``boundary``         zero-trip / bound-correlation conditions
+                     (Figure 1(b,d));
+``offset-symbolic``  symbolic offset/stride needing a run-time test;
+``reshape``          interprocedural reshape with a size predicate;
+``nonaffine``        subscripted subscripts — beyond static analysis;
+``recurrence``       genuine loop-carried flow;
+``io``               not a candidate (I/O in body).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class LoopExpectation:
+    """Ground truth for one loop (in source order within its unit)."""
+
+    base: str  # expected base-analysis status
+    predicated: str  # expected predicated-analysis status
+    elpd: str  # expected dynamic classification on the chosen input
+    category: str
+    mechanism: str = ""  # embedding | extraction | correlation | reshape | ""
+    outer_win: bool = False  # a new *outer* parallel loop vs base
+
+
+@dataclass
+class PatternInstance:
+    """One pattern's contribution to a composed program."""
+
+    decls: List[str] = field(default_factory=list)
+    read_vars: List[str] = field(default_factory=list)
+    inputs: List[Number] = field(default_factory=list)
+    main_lines: List[str] = field(default_factory=list)
+    subroutines: List[str] = field(default_factory=list)
+    main_expect: List[LoopExpectation] = field(default_factory=list)
+    sub_expect: List[LoopExpectation] = field(default_factory=list)
+    setup_lines: List[str] = field(default_factory=list)
+    setup_expect: List[LoopExpectation] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# base-parallelizable patterns
+# ----------------------------------------------------------------------
+
+
+def stencil(u: str, n: int = 40) -> PatternInstance:
+    """1-D stencil: parallel under the base analysis."""
+    a, b = f"sa{u}", f"sb{u}"
+    return PatternInstance(
+        decls=[f"real {a}({n + 2}), {b}({n + 2})"],
+        main_lines=[
+            f"do i = 2, {n}",
+            f"  {a}(i) = {b}(i - 1) + {b}(i + 1)",
+            "enddo",
+        ],
+        main_expect=[
+            LoopExpectation("parallel", "parallel", "independent", "plain")
+        ],
+    )
+
+
+def init2d(u: str, n: int = 12) -> PatternInstance:
+    """Nested 2-D initialization: both levels parallel (inner enclosed)."""
+    g = f"g{u}"
+    return PatternInstance(
+        decls=[f"real {g}({n}, {n})"],
+        main_lines=[
+            f"do j = 1, {n}",
+            f"  do i = 1, {n}",
+            f"    {g}(i, j) = i * 1.0 + j",
+            "  enddo",
+            "enddo",
+        ],
+        main_expect=[
+            LoopExpectation("parallel", "parallel", "independent", "plain"),
+            LoopExpectation("parallel", "parallel", "independent", "plain"),
+        ],
+    )
+
+
+def triangular(u: str, n: int = 12) -> PatternInstance:
+    """Triangular nest: projection over a parametric inner bound."""
+    t = f"tr{u}"
+    return PatternInstance(
+        decls=[f"real {t}({n}, {n})"],
+        main_lines=[
+            f"do j = 1, {n}",
+            "  do i = 1, j",
+            f"    {t}(i, j) = i * 2.0",
+            "  enddo",
+            "enddo",
+        ],
+        main_expect=[
+            LoopExpectation("parallel", "parallel", "independent", "plain"),
+            LoopExpectation("parallel", "parallel", "independent", "plain"),
+        ],
+    )
+
+
+def reduction(u: str, n: int = 40) -> PatternInstance:
+    """Scalar sum reduction: recognized and privatized by both."""
+    a, s = f"ra{u}", f"rs{u}"
+    return PatternInstance(
+        decls=[f"real {a}({n})"],
+        setup_lines=[f"{s} = 0.0"],
+        main_lines=[
+            f"do i = 1, {n}",
+            f"  {s} = {s} + {a}(i)",
+            "enddo",
+        ],
+        main_expect=[
+            LoopExpectation(
+                "parallel_private", "parallel_private", "independent", "reduction"
+            )
+        ],
+    )
+
+
+def work_array(u: str, n: int = 10) -> PatternInstance:
+    """Privatizable work array: the classic base-analysis privatization."""
+    a, w = f"wa{u}", f"ww{u}"
+    return PatternInstance(
+        decls=[f"real {a}({n}, {n}), {w}({n})"],
+        main_lines=[
+            f"do j = 1, {n}",
+            f"  do i = 1, {n}",
+            f"    {w}(i) = {a}(i, j) * 2.0",
+            "  enddo",
+            f"  do i = 1, {n}",
+            f"    {a}(i, j) = {w}(i) + 1.0",
+            "  enddo",
+            "enddo",
+        ],
+        main_expect=[
+            LoopExpectation(
+                "parallel_private", "parallel_private", "privatizable",
+                "privatizable",
+            ),
+            LoopExpectation("parallel", "parallel", "independent", "plain"),
+            LoopExpectation("parallel", "parallel", "independent", "plain"),
+        ],
+    )
+
+
+def call_row(u: str, n: int = 10) -> PatternInstance:
+    """Interprocedural row update: parallel for both (with summaries)."""
+    a, sub = f"ca{u}", f"crow{u}"
+    return PatternInstance(
+        decls=[f"real {a}({n}, {n})"],
+        main_lines=[
+            f"do j = 1, {n}",
+            f"  call {sub}({a}, j)",
+            "enddo",
+        ],
+        subroutines=[
+            f"subroutine {sub}(x, j)\n"
+            f"  real x({n}, {n})\n"
+            f"  integer j\n"
+            f"  do i = 1, {n}\n"
+            f"    x(i, j) = i * 1.0 + j\n"
+            f"  enddo\n"
+            f"end"
+        ],
+        main_expect=[
+            LoopExpectation("parallel", "parallel", "independent", "plain")
+        ],
+        sub_expect=[
+            LoopExpectation("parallel", "parallel", "independent", "plain")
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# inherently serial patterns
+# ----------------------------------------------------------------------
+
+
+def recurrence(u: str, n: int = 40) -> PatternInstance:
+    """First-order linear recurrence: serial everywhere."""
+    a = f"qa{u}"
+    return PatternInstance(
+        decls=[f"real {a}({n + 1})"],
+        setup_lines=[f"{a}(1) = 1.0"],
+        main_lines=[
+            f"do i = 2, {n}",
+            f"  {a}(i) = {a}(i - 1) * 0.5 + 1.0",
+            "enddo",
+        ],
+        main_expect=[
+            LoopExpectation("serial", "serial", "dependent", "recurrence")
+        ],
+    )
+
+
+def wavefront(u: str, n: int = 10) -> PatternInstance:
+    """2-D wavefront recurrence: both loop levels genuinely serial."""
+    a = f"va{u}"
+    return PatternInstance(
+        decls=[f"real {a}({n}, {n})"],
+        setup_lines=[f"{a}(1, 1) = 1.0"],
+        main_lines=[
+            f"do j = 2, {n}",
+            f"  do i = 2, {n}",
+            f"    {a}(i, j) = {a}(i - 1, j) + {a}(i, j - 1)",
+            "  enddo",
+            "enddo",
+        ],
+        main_expect=[
+            LoopExpectation("serial", "serial", "dependent", "recurrence"),
+            LoopExpectation("serial", "serial", "dependent", "recurrence"),
+        ],
+    )
+
+
+def scalar_recurrence(u: str, n: int = 30) -> PatternInstance:
+    """Scalar carried state that is not a reduction: serial."""
+    a, s = f"pa{u}", f"ps{u}"
+    return PatternInstance(
+        decls=[f"real {a}({n})"],
+        setup_lines=[f"{s} = 1.0"],
+        main_lines=[
+            f"do i = 1, {n}",
+            f"  {s} = {s} * 0.9 + {a}(i)",
+            f"  {a}(i) = {s}",
+            "enddo",
+        ],
+        main_expect=[
+            LoopExpectation("serial", "serial", "dependent", "recurrence")
+        ],
+    )
+
+
+def io_loop(u: str, n: int = 5) -> PatternInstance:
+    """I/O in the body: not a candidate for either analysis."""
+    a = f"ioa{u}"
+    return PatternInstance(
+        decls=[f"real {a}({n})"],
+        main_lines=[
+            f"do i = 1, {n}",
+            f"  print {a}(i)",
+            "enddo",
+        ],
+        main_expect=[
+            LoopExpectation(
+                "not_candidate", "not_candidate", "independent", "io"
+            )
+        ],
+    )
+
+
+def nonaffine(u: str, n: int = 20) -> PatternInstance:
+    """Subscripted subscript (gather/scatter): static analyses give up.
+
+    The index array is filled with the identity permutation, so ELPD
+    sees an independent loop — the "inherently parallel loop the
+    compiler misses" bucket that even predicated analysis cannot reach.
+    """
+    a, idx = f"na{u}", f"nx{u}"
+    return PatternInstance(
+        decls=[f"real {a}({n})", f"integer {idx}({n})"],
+        setup_lines=[
+            f"do i = 1, {n}",
+            f"  {idx}(i) = i",
+            "enddo",
+        ],
+        setup_expect=[
+            LoopExpectation("parallel", "parallel", "independent", "plain")
+        ],
+        main_lines=[
+            f"do i = 1, {n}",
+            f"  {a}({idx}(i)) = i * 1.0",
+            "enddo",
+        ],
+        main_expect=[
+            LoopExpectation("serial", "serial", "independent", "nonaffine")
+        ],
+    )
+
+
+def data_dependent(u: str, n: int = 20) -> PatternInstance:
+    """Gather whose index array creates real flow on this input."""
+    a, idx = f"da{u}", f"dx{u}"
+    return PatternInstance(
+        decls=[f"real {a}({n})", f"integer {idx}({n})"],
+        setup_lines=[
+            f"do i = 1, {n}",
+            f"  {idx}(i) = max(i - 1, 1)",
+            "enddo",
+            f"{a}(1) = 1.0",
+        ],
+        setup_expect=[
+            LoopExpectation("parallel", "parallel", "independent", "plain")
+        ],
+        main_lines=[
+            f"do i = 2, {n}",
+            f"  {a}(i) = {a}({idx}(i)) + 1.0",
+            "enddo",
+        ],
+        main_expect=[
+            LoopExpectation("serial", "serial", "dependent", "nonaffine")
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# predicated compile-time wins
+# ----------------------------------------------------------------------
+
+
+def cond_cover(u: str, n: int = 10, flag_value: int = 9) -> PatternInstance:
+    """Figure 1(a): conditional def and use under the same condition.
+
+    The base analysis loses the must-write under the conditional and
+    reports a carried flow; the predicated analysis correlates the two
+    branches and privatizes at compile time.
+    """
+    h, b, x = f"ch{u}", f"cb{u}", f"cx{u}"
+    return PatternInstance(
+        decls=[f"real {h}({n}), {b}({n}, {n})"],
+        read_vars=[x],
+        inputs=[flag_value],
+        main_lines=[
+            f"do i = 1, {n}",
+            f"  if ({x} > 5) then",
+            f"    do j = 1, {n}",
+            f"      {h}(j) = {b}(j, i)",
+            "    enddo",
+            "  endif",
+            f"  if ({x} > 5) then",
+            f"    do j = 1, {n}",
+            f"      {b}(j, i) = {h}(j) + 1.0",
+            "    enddo",
+            "  endif",
+            "enddo",
+        ],
+        main_expect=[
+            LoopExpectation(
+                "serial",
+                "parallel_private",
+                "privatizable" if flag_value > 5 else "independent",
+                "conditional-def",
+                mechanism="correlation",
+                outer_win=True,
+            ),
+            LoopExpectation("parallel", "parallel", "independent", "plain"),
+            LoopExpectation("parallel", "parallel", "independent", "plain"),
+        ],
+    )
+
+
+def guard_zero_trip(u: str, n: int = 12, d_value: int = 8) -> PatternInstance:
+    """Figure 1(b/d) flavour: a write loop that may not execute.
+
+    Writes cover ``h(1..d-1)`` only when ``d >= 2``; reads cover
+    ``h(1..n)``.  The base analysis has no must-write (the guard kills
+    it) and reports flow into the exposed reads; the predicated
+    analysis tracks the guarded exposure pieces and proves privatization
+    (with copy-in of the uncovered boundary region) at compile time.
+    """
+    h, b, d = f"zh{u}", f"zb{u}", f"zd{u}"
+    return PatternInstance(
+        decls=[f"real {h}({n}), {b}({n}, {n})"],
+        read_vars=[d],
+        inputs=[d_value],
+        main_lines=[
+            f"do i = 1, {n}",
+            f"  if ({d} >= 2) then",
+            f"    do j = 1, {d} - 1",
+            f"      {h}(j) = {b}(j, i) * 0.5",
+            "    enddo",
+            "  endif",
+            f"  do j = 1, {n}",
+            f"    {b}(j, i) = {h}(j) + 1.0",
+            "  enddo",
+            "enddo",
+        ],
+        main_expect=[
+            LoopExpectation(
+                "serial",
+                "parallel_private",
+                "privatizable" if d_value >= 2 else "independent",
+                "boundary",
+                mechanism="extraction",
+                outer_win=True,
+            ),
+            LoopExpectation("parallel", "parallel", "independent", "plain"),
+            LoopExpectation("parallel", "parallel", "independent", "plain"),
+        ],
+    )
+
+
+def index_guard(u: str, n: int = 16, reps: int = 4) -> PatternInstance:
+    """Predicate embedding: an index-dependent guard (``i >= 2``) bounds
+    the writes away from the element every iteration reads (``a(1)``).
+
+    The base analysis sees a may-write of the whole row conflicting with
+    the exposed read of ``a(1)``; embedding the guard into the region
+    systems separates them, parallelizing both levels."""
+    a = f"ea{u}"
+    return PatternInstance(
+        decls=[f"real {a}({n})"],
+        setup_lines=[f"{a}(1) = 2.0"],
+        main_lines=[
+            f"do r = 1, {reps}",
+            f"  do i = 1, {n}",
+            "    if (i >= 2) then",
+            f"      {a}(i) = {a}(1) + i * 1.0 + r",
+            "    endif",
+            "  enddo",
+            "enddo",
+        ],
+        main_expect=[
+            LoopExpectation(
+                "serial",
+                "parallel_private",
+                "privatizable",
+                "conditional-def",
+                mechanism="embedding",
+                outer_win=True,
+            ),
+            LoopExpectation(
+                "serial",
+                "parallel",
+                "independent",
+                "conditional-def",
+                mechanism="embedding",
+            ),
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# run-time test patterns
+# ----------------------------------------------------------------------
+
+
+def offset_runtime(u: str, n: int = 30, k_value: int = 40) -> PatternInstance:
+    """Symbolic offset ``a(i+k) = f(a(i))``: the classic extraction-
+    derived run-time independence test (parallel iff k outside
+    (0, n))."""
+    a, k = f"oa{u}", f"ok{u}"
+    size = 2 * n + abs(k_value) + 4
+    elpd = "independent" if (k_value <= 0 or k_value >= n) else "dependent"
+    return PatternInstance(
+        decls=[f"real {a}({size})"],
+        read_vars=[k],
+        inputs=[k_value],
+        main_lines=[
+            f"do i = 1, {n}",
+            f"  {a}(i + {k}) = {a}(i) + 1.0",
+            "enddo",
+        ],
+        main_expect=[
+            LoopExpectation(
+                "serial",
+                "runtime",
+                elpd,
+                "offset-symbolic",
+                mechanism="extraction",
+                outer_win=True,
+            )
+        ],
+    )
+
+
+def outer_offset(u: str, n: int = 24, k_value: int = 6, reps: int = 4) -> PatternInstance:
+    """Repeat loop around an offset sweep: run-time privatization test
+    on the *outer* loop (parallel with copy-in when k >= 1)."""
+    a, k = f"ua{u}", f"uk{u}"
+    size = n + max(k_value, 0) + 4
+    return PatternInstance(
+        decls=[f"real {a}({size})"],
+        read_vars=[k],
+        inputs=[k_value],
+        main_lines=[
+            f"do r = 1, {reps}",
+            f"  do i = 1, {n}",
+            f"    {a}(i + {k}) = {a}(i) + 1.0",
+            "  enddo",
+            "enddo",
+        ],
+        main_expect=[
+            LoopExpectation(
+                "serial",
+                "runtime",
+                "privatizable" if k_value >= 1 else "independent",
+                "offset-symbolic",
+                mechanism="extraction",
+                outer_win=True,
+            ),
+            LoopExpectation(
+                "serial",
+                "runtime",
+                "dependent" if 0 < k_value < n else "independent",
+                "offset-symbolic",
+                mechanism="extraction",
+            ),
+        ],
+    )
+
+
+def reshape_size(u: str, p_value: int = 10, q_value: int = 8, reps: int = 3) -> PatternInstance:
+    """Interprocedural reshape: the callee fills its whole symbolic
+    (p × q) formal; the caller loop is parallel under the extracted
+    size predicate ``p*q == len(a)`` — a run-time test the base
+    analysis cannot derive."""
+    total = p_value * q_value
+    a, b, p, q, sub = f"fa{u}", f"fb{u}", f"fp{u}", f"fq{u}", f"fill{u}"
+    return PatternInstance(
+        decls=[f"real {a}({total}), {b}({total})"],
+        read_vars=[p, q],
+        inputs=[p_value, q_value],
+        main_lines=[
+            f"do r = 1, {reps}",
+            f"  call {sub}({a}, {p}, {q})",
+            f"  do i = 1, {total}",
+            f"    {b}(i) = {a}(i) + 1.0",
+            "  enddo",
+            "enddo",
+        ],
+        subroutines=[
+            f"subroutine {sub}(x, p, q)\n"
+            f"  integer p, q\n"
+            f"  real x(p, q)\n"
+            f"  do j = 1, q\n"
+            f"    do i = 1, p\n"
+            f"      x(i, j) = i * 1.0 + j\n"
+            f"    enddo\n"
+            f"  enddo\n"
+            f"end"
+        ],
+        main_expect=[
+            LoopExpectation(
+                "serial",
+                "runtime",
+                "privatizable",
+                "reshape",
+                mechanism="reshape",
+                outer_win=True,
+            ),
+            LoopExpectation("parallel", "parallel", "independent", "plain"),
+        ],
+        sub_expect=[
+            LoopExpectation("parallel", "parallel", "independent", "plain"),
+            LoopExpectation("parallel", "parallel", "independent", "plain"),
+        ],
+    )

@@ -1,0 +1,152 @@
+"""Perfect-Club-calibrated synthetic programs (11).
+
+Outer-loop predicated wins: ``adm`` (conditional correlation, speedup
+improver) and ``trfd`` (reshape size predicate, speedup improver).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.suites.compose import BenchmarkProgram, compose
+from repro.suites import patterns as P
+
+
+def programs() -> List[BenchmarkProgram]:
+    return [
+        compose(
+            "adm",
+            "perfect",
+            [
+                P.cond_cover("a1", n=44, flag_value=9),
+                P.work_array("a2", n=8),
+                P.recurrence("a3", n=16),
+                P.io_loop("a4"),
+            ],
+            speedup_candidate=True,
+            notes="air-quality model: conditionally recomputed columns",
+        ),
+        compose(
+            "arc2d",
+            "perfect",
+            [
+                P.stencil("b1", n=22),
+                P.stencil("b2", n=18),
+                P.init2d("b3", n=10),
+                P.work_array("b4", n=9),
+                P.recurrence("b5", n=14),
+                P.wavefront("b6", n=9),
+            ],
+            notes="implicit CFD stencils",
+        ),
+        compose(
+            "bdna",
+            "perfect",
+            [
+                P.data_dependent("c1", n=16),
+                P.nonaffine("c2", n=14),
+                P.reduction("c3", n=22),
+                P.recurrence("c4", n=14),
+                P.stencil("c5", n=14),
+                P.wavefront("c6", n=9),
+            ],
+            notes="molecular dynamics with neighbor lists",
+        ),
+        compose(
+            "dyfesm",
+            "perfect",
+            [
+                P.call_row("d1", n=9),
+                P.work_array("d2", n=8),
+                P.reduction("d3", n=18),
+                P.recurrence("d4", n=12),
+                P.nonaffine("d5", n=10),
+            ],
+            notes="finite elements: element-wise assembly",
+        ),
+        compose(
+            "flo52",
+            "perfect",
+            [
+                P.stencil("e1", n=20),
+                P.triangular("e2", n=10),
+                P.init2d("e3", n=9),
+                P.recurrence("e4", n=14),
+                P.io_loop("e5"),
+                P.wavefront("e6", n=9),
+            ],
+            notes="transonic flow multigrid",
+        ),
+        compose(
+            "mdg",
+            "perfect",
+            [
+                P.scalar_recurrence("f1", n=12),
+                P.reduction("f2", n=20),
+                P.reduction("f3", n=18),
+                P.nonaffine("f4", n=12),
+                P.stencil("f5", n=14),
+            ],
+            notes="molecular dynamics of water",
+        ),
+        compose(
+            "ocean",
+            "perfect",
+            [
+                P.work_array("g1", n=9),
+                P.work_array("g2", n=8),
+                P.stencil("g3", n=18),
+                P.recurrence("g4", n=12),
+                P.data_dependent("g5", n=12),
+                P.wavefront("g6", n=9),
+            ],
+            notes="ocean circulation: privatizable scratch planes",
+        ),
+        compose(
+            "qcd",
+            "perfect",
+            [
+                P.nonaffine("h1", n=16),
+                P.nonaffine("h2", n=12),
+                P.recurrence("h3", n=12),
+                P.reduction("h4", n=16),
+                P.io_loop("h5"),
+            ],
+            notes="lattice gauge: table-driven site updates",
+        ),
+        compose(
+            "spec77",
+            "perfect",
+            [
+                P.stencil("i1", n=18),
+                P.init2d("i2", n=9),
+                P.call_row("i3", n=8),
+                P.recurrence("i4", n=12),
+                P.recurrence("i5", n=10),
+            ],
+            notes="spectral weather model",
+        ),
+        compose(
+            "track",
+            "perfect",
+            [
+                P.data_dependent("j1", n=14),
+                P.nonaffine("j2", n=12),
+                P.scalar_recurrence("j3", n=10),
+                P.stencil("j4", n=14),
+                P.reduction("j5", n=14),
+            ],
+            notes="missile tracking: irregular observations",
+        ),
+        compose(
+            "trfd",
+            "perfect",
+            [
+                P.reshape_size("k1", p_value=30, q_value=40, reps=12),
+                P.work_array("k2", n=8),
+                P.recurrence("k3", n=12),
+            ],
+            speedup_candidate=True,
+            notes="two-electron integrals: reshaped buffer across calls",
+        ),
+    ]

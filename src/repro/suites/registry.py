@@ -1,0 +1,38 @@
+"""Registry of all benchmark programs."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, List
+
+from repro.suites.compose import BenchmarkProgram
+
+SUITE_NAMES = ("specfp95", "nas", "perfect", "extra")
+
+
+@lru_cache(maxsize=1)
+def all_programs() -> List[BenchmarkProgram]:
+    """Every benchmark program, suite order then definition order."""
+    from repro.suites import extra, nas, perfect, specfp
+
+    out: List[BenchmarkProgram] = []
+    out.extend(specfp.programs())
+    out.extend(nas.programs())
+    out.extend(perfect.programs())
+    out.extend(extra.programs())
+    names = [p.name for p in out]
+    assert len(names) == len(set(names)), "duplicate program names"
+    return out
+
+
+def by_suite(suite: str) -> List[BenchmarkProgram]:
+    if suite not in SUITE_NAMES:
+        raise KeyError(f"unknown suite {suite!r}; choose from {SUITE_NAMES}")
+    return [p for p in all_programs() if p.suite == suite]
+
+
+def get_program(name: str) -> BenchmarkProgram:
+    for p in all_programs():
+        if p.name == name:
+            return p
+    raise KeyError(f"unknown program {name!r}")

@@ -1,0 +1,151 @@
+"""Specfp95-calibrated synthetic programs (10).
+
+Predicated-analysis *outer-loop* wins live in ``tomcatv`` (conditional
+correlation), ``su2cor`` (symbolic-offset run-time test), ``apsi``
+(zero-trip boundary) and ``wave5`` (outer offset privatization test);
+``tomcatv`` and ``su2cor`` are sized so the win dominates execution and
+the simulated speedup improves (the paper's 5-programs-improve claim).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.suites.compose import BenchmarkProgram, compose
+from repro.suites import patterns as P
+
+
+def programs() -> List[BenchmarkProgram]:
+    return [
+        compose(
+            "tomcatv",
+            "specfp95",
+            [
+                P.cond_cover("t1", n=40, flag_value=9),
+                P.stencil("t2", n=16),
+                P.init2d("t3", n=8),
+                P.recurrence("t4", n=24),
+                P.io_loop("t5"),
+            ],
+            speedup_candidate=True,
+            notes="mesh generation: conditionally reused work rows",
+        ),
+        compose(
+            "swim",
+            "specfp95",
+            [
+                P.stencil("s1", n=24),
+                P.stencil("s2", n=24),
+                P.init2d("s3", n=10),
+                P.work_array("s4", n=10),
+                P.recurrence("s5", n=20),
+                P.nonaffine("s6", n=16),
+                P.wavefront("s7", n=9),
+            ],
+            notes="shallow-water stencils",
+        ),
+        compose(
+            "su2cor",
+            "specfp95",
+            [
+                P.offset_runtime("u1", n=600, k_value=700),
+                P.offset_runtime("u6", n=40, k_value=0),
+                P.reduction("u2", n=30),
+                P.triangular("u3", n=10),
+                P.recurrence("u4", n=20),
+                P.io_loop("u5"),
+            ],
+            speedup_candidate=True,
+            notes="quark propagator: symbolic displacement sweep",
+        ),
+        compose(
+            "hydro2d",
+            "specfp95",
+            [
+                P.work_array("h1", n=10),
+                P.stencil("h2", n=20),
+                P.init2d("h3", n=9),
+                P.data_dependent("h4", n=16),
+                P.recurrence("h5", n=18),
+                P.wavefront("h6", n=9),
+            ],
+            notes="hydrodynamics: privatizable fluxes",
+        ),
+        compose(
+            "mgrid",
+            "specfp95",
+            [
+                P.stencil("m1", n=24),
+                P.stencil("m2", n=12),
+                P.triangular("m3", n=10),
+                P.reduction("m4", n=24),
+                P.nonaffine("m5", n=14),
+                P.recurrence("m6", n=16),
+                P.wavefront("m7", n=9),
+            ],
+            notes="multigrid relaxation",
+        ),
+        compose(
+            "applu",
+            "specfp95",
+            [
+                P.work_array("l1", n=9),
+                P.call_row("l2", n=9),
+                P.recurrence("l3", n=20),
+                P.recurrence("l4", n=14),
+                P.io_loop("l5"),
+                P.wavefront("l6", n=9),
+            ],
+            notes="SSOR solver: pipelined sweeps stay serial",
+        ),
+        compose(
+            "turb3d",
+            "specfp95",
+            [
+                P.init2d("b1", n=10),
+                P.call_row("b2", n=8),
+                P.reduction("b3", n=20),
+                P.nonaffine("b4", n=12),
+                P.recurrence("b5", n=16),
+                P.wavefront("b6", n=9),
+            ],
+            notes="turbulence: interprocedural plane updates",
+        ),
+        compose(
+            "apsi",
+            "specfp95",
+            [
+                P.guard_zero_trip("p1", n=12, d_value=8),
+                P.stencil("p2", n=18),
+                P.reduction("p3", n=16),
+                P.recurrence("p4", n=14),
+                P.nonaffine("p5", n=10),
+                P.offset_runtime("p6", n=20, k_value=25),
+            ],
+            notes="pollution model: zero-trip boundary guards",
+        ),
+        compose(
+            "fpppp",
+            "specfp95",
+            [
+                P.reduction("f1", n=20),
+                P.reduction("f2", n=18),
+                P.recurrence("f3", n=16),
+                P.recurrence("f4", n=12),
+                P.scalar_recurrence("f5", n=14),
+                P.io_loop("f6"),
+            ],
+            notes="integrals: serial inner structure",
+        ),
+        compose(
+            "wave5",
+            "specfp95",
+            [
+                P.outer_offset("w1", n=24, k_value=6, reps=4),
+                P.stencil("w2", n=400),
+                P.work_array("w3", n=8),
+                P.recurrence("w4", n=12),
+            ],
+            notes="particle push: shifted deposit, small granularity",
+        ),
+    ]

@@ -1,0 +1,24 @@
+"""Exact symbolic affine algebra.
+
+Affine expressions are the lingua franca of the analysis: array subscripts,
+loop bounds, region constraints and predicate atoms are all affine
+expressions over *program variables* (loop indices, scalar parameters) and
+*region variables* (the dimension variables ``__d0``, ``__d1``, … of an
+array region).
+"""
+
+from repro.symbolic.affine import AffineExpr
+from repro.symbolic.terms import (
+    dim_var,
+    is_dim_var,
+    fresh_name,
+    FreshNameSource,
+)
+
+__all__ = [
+    "AffineExpr",
+    "dim_var",
+    "is_dim_var",
+    "fresh_name",
+    "FreshNameSource",
+]

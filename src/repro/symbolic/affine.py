@@ -1,0 +1,290 @@
+"""Exact affine expressions ``c0 + c1*x1 + … + cn*xn``.
+
+Coefficients are exact rationals (:class:`fractions.Fraction`); most program
+expressions are integral but Fourier–Motzkin elimination introduces rational
+coefficients, and exactness is what makes the dependence/privatization tests
+sound.
+
+Instances are immutable and hashable; all arithmetic returns new objects.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
+
+Number = Union[int, Fraction]
+
+
+_SMALL_FRACTIONS = {i: Fraction(i) for i in range(-32, 33)}
+
+
+def _as_fraction(value: Number) -> Fraction:
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        # small integers dominate analysis arithmetic; avoid re-boxing
+        cached = _SMALL_FRACTIONS.get(value)
+        return cached if cached is not None else Fraction(value)
+    raise TypeError(f"expected int or Fraction, got {type(value).__name__}")
+
+
+class AffineExpr:
+    """An immutable affine expression over named variables.
+
+    The canonical representation stores only non-zero coefficients, sorted
+    by variable name, so structural equality coincides with mathematical
+    equality.
+    """
+
+    __slots__ = ("_coeffs", "_const", "_hash")
+
+    def __init__(
+        self,
+        coeffs: Optional[Mapping[str, Number]] = None,
+        const: Number = 0,
+    ) -> None:
+        items = []
+        if coeffs:
+            for var, c in coeffs.items():
+                f = _as_fraction(c)
+                if f != 0:
+                    items.append((var, f))
+        items.sort()
+        self._coeffs: Tuple[Tuple[str, Fraction], ...] = tuple(items)
+        self._const: Fraction = _as_fraction(const)
+        self._hash: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def const(value: Number) -> "AffineExpr":
+        """The constant expression *value*."""
+        return AffineExpr(None, value)
+
+    @staticmethod
+    def var(name: str, coeff: Number = 1) -> "AffineExpr":
+        """The expression ``coeff * name``."""
+        return AffineExpr({name: coeff}, 0)
+
+    ZERO: "AffineExpr"
+    ONE: "AffineExpr"
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def constant(self) -> Fraction:
+        return self._const
+
+    def coeff(self, var: str) -> Fraction:
+        """Coefficient of *var* (zero if absent)."""
+        for v, c in self._coeffs:
+            if v == var:
+                return c
+        return Fraction(0)
+
+    def variables(self) -> Tuple[str, ...]:
+        """Variables with non-zero coefficient, sorted."""
+        return tuple(v for v, _ in self._coeffs)
+
+    def terms(self) -> Tuple[Tuple[str, Fraction], ...]:
+        """The (variable, coefficient) pairs, sorted by variable."""
+        return self._coeffs
+
+    def is_constant(self) -> bool:
+        return not self._coeffs
+
+    def is_zero(self) -> bool:
+        return not self._coeffs and self._const == 0
+
+    def is_integral(self) -> bool:
+        """True if all coefficients and the constant are integers."""
+        return self._const.denominator == 1 and all(
+            c.denominator == 1 for _, c in self._coeffs
+        )
+
+    # ------------------------------------------------------------------
+    # arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: Union["AffineExpr", Number]) -> "AffineExpr":
+        if isinstance(other, (int, Fraction)):
+            return AffineExpr(dict(self._coeffs), self._const + other)
+        if not isinstance(other, AffineExpr):
+            return NotImplemented
+        coeffs: Dict[str, Fraction] = dict(self._coeffs)
+        for v, c in other._coeffs:
+            coeffs[v] = coeffs.get(v, Fraction(0)) + c
+        return AffineExpr(coeffs, self._const + other._const)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "AffineExpr":
+        return AffineExpr({v: -c for v, c in self._coeffs}, -self._const)
+
+    def __sub__(self, other: Union["AffineExpr", Number]) -> "AffineExpr":
+        if isinstance(other, (int, Fraction)):
+            return AffineExpr(dict(self._coeffs), self._const - other)
+        if not isinstance(other, AffineExpr):
+            return NotImplemented
+        return self + (-other)
+
+    def __rsub__(self, other: Number) -> "AffineExpr":
+        return (-self) + other
+
+    def __mul__(self, scalar: Number) -> "AffineExpr":
+        if not isinstance(scalar, (int, Fraction)):
+            return NotImplemented
+        s = _as_fraction(scalar)
+        return AffineExpr(
+            {v: c * s for v, c in self._coeffs}, self._const * s
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: Number) -> "AffineExpr":
+        if not isinstance(scalar, (int, Fraction)):
+            return NotImplemented
+        s = _as_fraction(scalar)
+        if s == 0:
+            raise ZeroDivisionError("division of affine expression by zero")
+        return self * Fraction(1, 1) * Fraction(s.denominator, s.numerator)
+
+    # ------------------------------------------------------------------
+    # substitution / evaluation
+    # ------------------------------------------------------------------
+    def substitute(
+        self, bindings: Mapping[str, Union["AffineExpr", Number]]
+    ) -> "AffineExpr":
+        """Replace each bound variable with an expression or number.
+
+        Unbound variables are kept.  Substitution is simultaneous, so
+        ``{x: y, y: x}`` swaps the two variables.
+        """
+        result = AffineExpr(None, self._const)
+        for v, c in self._coeffs:
+            if v in bindings:
+                repl = bindings[v]
+                if isinstance(repl, (int, Fraction)):
+                    repl = AffineExpr.const(repl)
+                result = result + repl * c
+            else:
+                result = result + AffineExpr.var(v, c)
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> "AffineExpr":
+        """Rename variables; unmapped variables are kept."""
+        coeffs: Dict[str, Fraction] = {}
+        for v, c in self._coeffs:
+            nv = mapping.get(v, v)
+            coeffs[nv] = coeffs.get(nv, Fraction(0)) + c
+        return AffineExpr(coeffs, self._const)
+
+    def evaluate(self, env: Mapping[str, Number]) -> Fraction:
+        """Evaluate with every variable bound in *env*.
+
+        Raises ``KeyError`` on an unbound variable — callers decide the
+        policy for partial environments via :meth:`substitute`.
+        """
+        total = self._const
+        for v, c in self._coeffs:
+            total += c * _as_fraction(env[v])
+        return total
+
+    # ------------------------------------------------------------------
+    # normalization helpers
+    # ------------------------------------------------------------------
+    def content(self) -> Fraction:
+        """The positive gcd-like content of the coefficients.
+
+        For a non-constant expression, returns the positive rational *g*
+        such that ``self / g`` has integer coefficients with gcd 1.
+        Returns 1 for constant expressions.
+        """
+        if not self._coeffs:
+            return Fraction(1)
+        from math import gcd
+
+        nums = [abs(c.numerator) for _, c in self._coeffs]
+        dens = [c.denominator for _, c in self._coeffs]
+        g_num = 0
+        for n in nums:
+            g_num = gcd(g_num, n)
+        l_den = 1
+        for d in dens:
+            l_den = l_den * d // gcd(l_den, d)
+        return Fraction(g_num, l_den)
+
+    def primitive(self) -> "AffineExpr":
+        """Scale so variable coefficients are integers with gcd 1.
+
+        The constant term is scaled along but may remain fractional.
+        Constant expressions are returned unchanged.
+        """
+        g = self.content()
+        if g in (0, 1):
+            return self
+        return self / g
+
+    # ------------------------------------------------------------------
+    # dunder plumbing
+    # ------------------------------------------------------------------
+    def sort_key(self):
+        """A cheap deterministic ordering key (structural, not textual)."""
+        return (
+            tuple((v, c.numerator, c.denominator) for v, c in self._coeffs),
+            self._const.numerator,
+            self._const.denominator,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AffineExpr):
+            return NotImplemented
+        return self._coeffs == other._coeffs and self._const == other._const
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash((self._coeffs, self._const))
+        return self._hash
+
+    def __bool__(self) -> bool:
+        return not self.is_zero()
+
+    def __repr__(self) -> str:
+        return f"AffineExpr({self})"
+
+    def __str__(self) -> str:
+        parts = []
+        for v, c in self._coeffs:
+            if c == 1:
+                term = v
+            elif c == -1:
+                term = f"-{v}"
+            else:
+                term = f"{c}*{v}"
+            if parts and not term.startswith("-"):
+                parts.append(f"+ {term}")
+            elif parts:
+                parts.append(f"- {term[1:]}")
+            else:
+                parts.append(term)
+        if self._const != 0 or not parts:
+            c = self._const
+            if parts:
+                parts.append(f"+ {c}" if c > 0 else f"- {-c}")
+            else:
+                parts.append(str(c))
+        return " ".join(parts)
+
+
+AffineExpr.ZERO = AffineExpr.const(0)
+AffineExpr.ONE = AffineExpr.const(1)
+
+
+def sum_exprs(exprs: Iterable[AffineExpr]) -> AffineExpr:
+    """Sum an iterable of affine expressions (zero if empty)."""
+    total = AffineExpr.ZERO
+    for e in exprs:
+        total = total + e
+    return total

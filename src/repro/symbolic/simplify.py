@@ -1,0 +1,65 @@
+"""Normalization helpers shared by the constraint and predicate layers."""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import ceil, floor, gcd
+from typing import Tuple
+
+from repro.symbolic.affine import AffineExpr
+
+
+def integerize(expr: AffineExpr) -> AffineExpr:
+    """Scale *expr* by a positive rational so every coefficient *and* the
+    constant are integers, with overall content 1.
+
+    Scaling by a positive factor preserves the sign of the expression, so
+    this is safe for both ``expr <= 0`` and ``expr == 0`` constraints.
+    """
+    dens = [expr.constant.denominator] + [c.denominator for _, c in expr.terms()]
+    lcm = 1
+    for d in dens:
+        lcm = lcm * d // gcd(lcm, d)
+    scaled = expr * lcm
+    nums = [abs(int(scaled.constant))] + [abs(int(c)) for _, c in scaled.terms()]
+    g = 0
+    for n in nums:
+        g = gcd(g, n)
+    if g > 1:
+        scaled = scaled / g
+    return scaled
+
+
+def tighten_le(expr: AffineExpr) -> AffineExpr:
+    """Integer-tighten an ``expr <= 0`` constraint.
+
+    If the variable coefficients are integers with gcd ``g > 1`` but the
+    constant is not divisible by ``g``, the constraint is equivalent (over
+    the integers) to one with the constant rounded toward satisfaction:
+    ``g*e + c <= 0  <=>  e <= floor(-c/g)  <=>  g*e + g*ceil(c/g)... ``
+
+    We normalize to primitive variable part plus a floored constant.
+    """
+    e = integerize(expr)
+    terms = e.terms()
+    if not terms:
+        return e
+    g = 0
+    for _, c in terms:
+        g = gcd(g, abs(int(c)))
+    if g <= 1:
+        return e
+    # e = g*e' + c with e' primitive; e <= 0  <=>  e' <= floor(-c/g)
+    const = int(e.constant)
+    var_part = (e - const) / g
+    new_const = -floor(Fraction(-const, g))
+    return var_part + new_const
+
+
+def bounds_to_int(lo: Fraction, hi: Fraction) -> Tuple[int, int]:
+    """Round a rational interval inward to the contained integer interval.
+
+    Returns ``(ceil(lo), floor(hi))``; the result may be empty
+    (``lo > hi``), which callers must check.
+    """
+    return ceil(lo), floor(hi)

@@ -1,0 +1,84 @@
+"""Variable naming conventions and fresh-name generation.
+
+The analysis distinguishes three kinds of variables by naming convention so
+that expressions stay plain ``str``-keyed without a parallel type system:
+
+* **program variables** — ordinary identifiers (``i``, ``n``, ``jlow``);
+* **dimension variables** — ``__d0``, ``__d1``, … denote the subscript
+  position of an array region (the point described by the region);
+* **generated variables** — ``__t<n>`` fresh temporaries created during
+  projection, reshape translation and dependence testing (e.g. the primed
+  copy of a loop index).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator
+
+DIM_PREFIX = "__d"
+GEN_PREFIX = "__t"
+
+
+def dim_var(k: int) -> str:
+    """Return the name of the *k*-th dimension variable of a region."""
+    if k < 0:
+        raise ValueError(f"dimension index must be non-negative, got {k}")
+    return f"{DIM_PREFIX}{k}"
+
+
+def is_dim_var(name: str) -> bool:
+    """True if *name* is a region dimension variable (``__d<k>``)."""
+    return name.startswith(DIM_PREFIX) and name[len(DIM_PREFIX):].isdigit()
+
+
+def dim_index(name: str) -> int:
+    """Inverse of :func:`dim_var`; raises ``ValueError`` on other names."""
+    if not is_dim_var(name):
+        raise ValueError(f"not a dimension variable: {name!r}")
+    return int(name[len(DIM_PREFIX):])
+
+
+class FreshNameSource:
+    """A deterministic source of fresh generated-variable names.
+
+    Each analysis pass owns its own source so that analysis results are
+    reproducible run to run (no global mutable counter).
+    """
+
+    def __init__(self, prefix: str = GEN_PREFIX) -> None:
+        self._prefix = prefix
+        self._counter = itertools.count()
+
+    def fresh(self, hint: str = "") -> str:
+        """Return a new name, optionally embedding a readable *hint*."""
+        n = next(self._counter)
+        if hint:
+            return f"{self._prefix}{n}_{hint}"
+        return f"{self._prefix}{n}"
+
+    def fresh_many(self, count: int, hint: str = "") -> list:
+        return [self.fresh(hint) for _ in range(count)]
+
+
+_default_source = FreshNameSource()
+
+
+def fresh_name(hint: str = "") -> str:
+    """Module-level convenience fresh name (shared counter).
+
+    Prefer a per-pass :class:`FreshNameSource` in analysis code; this
+    helper exists for tests and interactive use.
+    """
+    return _default_source.fresh(hint)
+
+
+def is_generated(name: str) -> bool:
+    """True if *name* was produced by a :class:`FreshNameSource`."""
+    return name.startswith(GEN_PREFIX)
+
+
+def iter_dim_vars(rank: int) -> Iterator[str]:
+    """Yield the dimension variables ``__d0 … __d<rank-1>``."""
+    for k in range(rank):
+        yield dim_var(k)

@@ -1,0 +1,160 @@
+"""Unit tests for predicate embedding and extraction."""
+
+from repro.arraydf.embedding import embed_into_summary, split_linear_conjuncts
+from repro.arraydf.extraction import (
+    breaking_condition,
+    coverage_condition,
+    pred_subtract,
+)
+from repro.arraydf.options import AnalysisOptions
+from repro.linalg.constraint import Constraint
+from repro.linalg.system import LinearSystem
+from repro.predicates.atoms import LinAtom, OpaqueAtom
+from repro.predicates.evaluate import evaluate
+from repro.predicates.formula import TRUE, p_and, p_atom, p_not, p_or
+from repro.regions.region import ArrayRegion
+from repro.regions.summary import SummarySet
+from repro.symbolic.affine import AffineExpr
+
+D0 = AffineExpr.var("__d0")
+I = AffineExpr.var("i")
+N = AffineExpr.var("n")
+D = AffineExpr.var("d")
+C = AffineExpr.const
+
+OPTS = AnalysisOptions.predicated()
+
+
+def interval(lo, hi, array="a"):
+    return ArrayRegion(
+        array, 1,
+        LinearSystem([Constraint.ge(D0, lo), Constraint.le(D0, hi)]),
+    )
+
+
+class TestSplitLinearConjuncts:
+    def test_true(self):
+        sys, residue = split_linear_conjuncts(TRUE)
+        assert sys.is_universe() and residue.is_true()
+
+    def test_single_linear_atom(self):
+        p = p_atom(LinAtom.gt(I, C(5)))
+        sys, residue = split_linear_conjuncts(p)
+        assert len(sys) == 1 and residue.is_true()
+
+    def test_opaque_stays_residue(self):
+        p = p_atom(OpaqueAtom("f(x)", ("x",)))
+        sys, residue = split_linear_conjuncts(p)
+        assert sys.is_universe() and residue == p
+
+    def test_mixed_conjunction(self):
+        lin = p_atom(LinAtom.gt(I, C(5)))
+        opq = p_atom(OpaqueAtom("f(x)", ("x",)))
+        sys, residue = split_linear_conjuncts(p_and(lin, opq))
+        assert len(sys) == 1 and residue == opq
+
+    def test_disjunction_not_embeddable(self):
+        a = p_atom(OpaqueAtom("p", ()))
+        b = p_atom(OpaqueAtom("q", ()))
+        disj = p_or(a, b)
+        sys, residue = split_linear_conjuncts(disj)
+        assert sys.is_universe() and residue == disj
+
+
+class TestEmbedding:
+    def test_embed_restricts_regions(self):
+        # guard i > 5 embedded into region {d == i}
+        summary = SummarySet.of(ArrayRegion.from_subscripts("a", [I]))
+        pred = p_atom(LinAtom.gt(I, C(5)))
+        residue, embedded = embed_into_summary(pred, summary)
+        assert residue.is_true()
+        region = embedded.regions("a")[0]
+        assert region.contains_point((7,), {"i": 7})
+        assert not region.contains_point((3,), {"i": 3})
+
+    def test_embed_keeps_opaque_residue(self):
+        summary = SummarySet.of(interval(C(1), N))
+        opq = p_atom(OpaqueAtom("f(x)", ("x",)))
+        pred = p_and(opq, p_atom(LinAtom.ge(N, C(1))))
+        residue, embedded = embed_into_summary(pred, summary)
+        assert residue == opq
+        assert len(embedded.regions("a")[0].system) > 1
+
+
+class TestBreakingCondition:
+    def test_boundary_piece(self):
+        # residual piece {d == n} exists only when n >= 1 given bounds;
+        # projecting dims yields the piece's parameter condition
+        piece = ArrayRegion(
+            "a", 1,
+            LinearSystem(
+                [
+                    Constraint.eq(D0, N),
+                    Constraint.ge(D0, C(1)),
+                    Constraint.le(D0, C(100)),
+                ]
+            ),
+        )
+        cond = breaking_condition([piece])
+        assert cond is not None
+        # under n == 0 the piece is empty: breaking condition holds
+        assert evaluate(cond, {"n": 0})
+        assert not evaluate(cond, {"n": 50})
+
+    def test_unconditional_piece_fails(self):
+        piece = interval(C(1), C(5))
+        assert breaking_condition([piece]) is None
+
+    def test_too_many_pieces(self):
+        pieces = [interval(N + k, N + k) for k in range(20)]
+        assert breaking_condition(pieces) is None
+
+
+class TestPredSubtract:
+    def test_full_coverage_single_alt(self):
+        exposed = SummarySet.of(interval(C(2), C(5)))
+        writes = SummarySet.of(interval(C(1), C(10)))
+        alts = pred_subtract(exposed, writes, OPTS)
+        assert len(alts) == 1
+        assert alts[0][0].is_true() and alts[0][1].is_empty()
+
+    def test_extraction_produces_guarded_empty(self):
+        # exposed [1..m] minus writes [1..d]: empty iff m <= d
+        M = AffineExpr.var("m")
+        exposed = SummarySet.of(interval(C(1), M))
+        writes = SummarySet.of(interval(C(1), D))
+        alts = pred_subtract(exposed, writes, OPTS)
+        guarded = [a for a in alts if not a[0].is_true()]
+        assert guarded, "extraction should produce a guarded alternative"
+        pred, summary = guarded[0]
+        assert summary.is_empty()
+        assert evaluate(pred, {"m": 3, "d": 5})
+        assert not evaluate(pred, {"m": 7, "d": 5})
+
+    def test_extraction_off(self):
+        M = AffineExpr.var("m")
+        exposed = SummarySet.of(interval(C(1), M))
+        writes = SummarySet.of(interval(C(1), D))
+        alts = pred_subtract(exposed, writes, AnalysisOptions.base())
+        assert all(p.is_true() for p, _ in alts)
+
+    def test_default_always_present(self):
+        exposed = SummarySet.of(interval(C(1), N))
+        writes = SummarySet.of(interval(C(1), D))
+        alts = pred_subtract(exposed, writes, OPTS)
+        assert any(p.is_true() for p, _ in alts)
+
+
+class TestCoverageCondition:
+    def test_outright_coverage(self):
+        exposed = SummarySet.of(interval(C(2), C(5)))
+        writes = SummarySet.of(interval(C(1), C(10)))
+        assert coverage_condition(exposed, writes) is TRUE
+
+    def test_conditional_coverage(self):
+        exposed = SummarySet.of(interval(C(1), N))
+        writes = SummarySet.of(interval(C(1), D))
+        cond = coverage_condition(exposed, writes)
+        assert cond is not None
+        assert evaluate(cond, {"n": 3, "d": 5})
+        assert not evaluate(cond, {"n": 9, "d": 5})

@@ -1,0 +1,159 @@
+"""Unit tests for guarded-list plumbing: dedup modes, guarded_value,
+and the split_guard_cases iteration-covering decomposition."""
+
+from repro.arraydf.embedding import split_guard_cases
+from repro.arraydf.options import AnalysisOptions
+from repro.arraydf.values import GuardedSummary, _dedup_guarded, guarded_value
+from repro.linalg.constraint import Constraint
+from repro.linalg.system import LinearSystem
+from repro.predicates.atoms import LinAtom, OpaqueAtom
+from repro.predicates.formula import FALSE, TRUE, p_and, p_atom
+from repro.regions.region import ArrayRegion
+from repro.regions.summary import SummarySet
+from repro.symbolic.affine import AffineExpr
+
+D0 = AffineExpr.var("__d0")
+I = AffineExpr.var("i")
+X = AffineExpr.var("x")
+C = AffineExpr.const
+
+OPTS = AnalysisOptions.predicated()
+
+
+def interval(lo, hi, array="a"):
+    return ArrayRegion(
+        array, 1,
+        LinearSystem([Constraint.ge(D0, C(lo)), Constraint.le(D0, C(hi))]),
+    )
+
+
+def sset(lo, hi):
+    return SummarySet.of(interval(lo, hi))
+
+
+P = p_atom(LinAtom.gt(X, C(5)))
+
+
+class TestDedupModes:
+    def make(self, *pairs):
+        return [GuardedSummary(p, s) for p, s in pairs]
+
+    def test_min_keeps_tightest_default(self):
+        items = self.make((TRUE, sset(1, 10)), (TRUE, sset(2, 5)))
+        out = _dedup_guarded(items, 6, keep="min")
+        defaults = [g for g in out if g.is_default()]
+        assert len(defaults) == 1
+        assert defaults[0].summary == sset(2, 5)
+
+    def test_max_keeps_largest_default(self):
+        items = self.make((TRUE, sset(2, 5)), (TRUE, sset(1, 10)))
+        out = _dedup_guarded(items, 6, keep="max")
+        defaults = [g for g in out if g.is_default()]
+        assert defaults[0].summary == sset(1, 10)
+
+    def test_first_keeps_first(self):
+        items = self.make((TRUE, sset(1, 3)), (TRUE, sset(5, 9)))
+        out = _dedup_guarded(items, 6, keep="first")
+        assert [g for g in out if g.is_default()][0].summary == sset(1, 3)
+
+    def test_false_guards_dropped(self):
+        items = self.make((FALSE, sset(1, 3)), (TRUE, sset(1, 3)))
+        assert len(_dedup_guarded(items, 6)) == 1
+
+    def test_unsat_guards_dropped(self):
+        contradiction = p_and(
+            p_atom(LinAtom.gt(X, C(5))), p_atom(LinAtom.le(X, C(0)))
+        )
+        items = self.make((contradiction, sset(1, 3)), (TRUE, sset(1, 3)))
+        assert len(_dedup_guarded(items, 6)) == 1
+
+    def test_cap_preserves_default(self):
+        items = self.make(
+            *[
+                (p_atom(OpaqueAtom(f"c{k}", ())), sset(k, k + 1))
+                for k in range(10)
+            ],
+            (TRUE, sset(1, 20)),
+        )
+        out = _dedup_guarded(items, 4)
+        assert len(out) == 4
+        assert out[-1].is_default()
+
+
+class TestGuardedValue:
+    def test_must_default_empty(self):
+        alts = [(P, sset(1, 5))]
+        out = guarded_value(alts, sset(1, 9), "must", OPTS)
+        defaults = [g for g in out if g.is_default()]
+        assert defaults and defaults[0].summary.is_empty()
+
+    def test_exposed_default_is_may(self):
+        alts = [(P, sset(1, 5))]
+        out = guarded_value(alts, sset(1, 9), "exposed", OPTS)
+        defaults = [g for g in out if g.is_default()]
+        assert defaults[0].summary == sset(1, 9)
+
+    def test_base_options_strip_guards(self):
+        alts = [(P, sset(1, 5)), (TRUE, sset(1, 9))]
+        out = guarded_value(alts, sset(1, 9), "exposed", AnalysisOptions.base())
+        assert all(g.is_default() for g in out)
+
+
+class TestSplitGuardCases:
+    def region_at_i(self):
+        return SummarySet.of(ArrayRegion.from_subscripts("a", [I]))
+
+    def test_invariant_guard_single_case(self):
+        split = split_guard_cases(
+            P, sset(1, 5), sset(1, 9), frozenset({"i"}), True
+        )
+        assert split is not None
+        pred, cases = split
+        assert pred == P and len(cases) == 1
+
+    def test_index_guard_produces_complement_cases(self):
+        guard = p_atom(LinAtom.gt(I, C(5)))
+        split = split_guard_cases(
+            guard, self.region_at_i(), self.region_at_i(),
+            frozenset({"i"}), True,
+        )
+        assert split is not None
+        pred, cases = split
+        assert pred.is_true()
+        assert len(cases) == 2  # refined + one complement piece
+        refined, complement = cases[0][0], cases[1][0]
+        # refined covers i > 5 only
+        r = refined.regions("a")[0]
+        assert r.contains_point((7,), {"i": 7})
+        assert not r.contains_point((3,), {"i": 3})
+        c = complement.regions("a")[0]
+        assert c.contains_point((3,), {"i": 3})
+        assert not c.contains_point((7,), {"i": 7})
+
+    def test_cases_cover_every_iteration(self):
+        guard = p_atom(LinAtom.gt(I, C(5)))
+        split = split_guard_cases(
+            guard, self.region_at_i(), self.region_at_i(),
+            frozenset({"i"}), True,
+        )
+        _, cases = split
+        for i in range(1, 11):
+            assert any(
+                s.regions("a")
+                and s.regions("a")[0].contains_point((i,), {"i": i})
+                for s, _sys in cases
+            ), i
+
+    def test_volatile_opaque_unusable(self):
+        guard = p_atom(OpaqueAtom("t(i) > 0", ("t", "i")))
+        split = split_guard_cases(
+            guard, sset(1, 5), sset(1, 9), frozenset({"i"}), True
+        )
+        assert split is None
+
+    def test_embedding_disabled_unusable(self):
+        guard = p_atom(LinAtom.gt(I, C(5)))
+        split = split_guard_cases(
+            guard, sset(1, 5), sset(1, 9), frozenset({"i"}), False
+        )
+        assert split is None

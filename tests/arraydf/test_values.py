@@ -1,0 +1,200 @@
+"""Unit tests for predicated data-flow values and composition."""
+
+from repro.arraydf.options import AnalysisOptions
+from repro.arraydf.values import (
+    AccessValue,
+    GuardedSummary,
+    branch_join,
+    seq_compose,
+    seq_compose_all,
+)
+from repro.linalg.constraint import Constraint
+from repro.linalg.system import LinearSystem
+from repro.predicates.atoms import LinAtom, OpaqueAtom
+from repro.predicates.formula import TRUE, p_atom, p_not
+from repro.regions.region import ArrayRegion
+from repro.regions.summary import SummarySet
+from repro.symbolic.affine import AffineExpr
+
+OPTS = AnalysisOptions.predicated()
+BASE = AnalysisOptions.base()
+
+D0 = AffineExpr.var("__d0")
+C = AffineExpr.const
+X = AffineExpr.var("x")
+P = p_atom(LinAtom.gt(X, C(5)))
+
+
+def interval(lo, hi, array="a"):
+    return ArrayRegion(
+        array, 1,
+        LinearSystem([Constraint.ge(D0, C(lo)), Constraint.le(D0, C(hi))]),
+    )
+
+
+def sset(lo, hi, array="a"):
+    return SummarySet.of(interval(lo, hi, array))
+
+
+def leaf_write(lo, hi, array="a"):
+    return AccessValue.leaf(SummarySet.empty(), sset(lo, hi, array))
+
+
+def leaf_read(lo, hi, array="a"):
+    return AccessValue.leaf(sset(lo, hi, array), SummarySet.empty())
+
+
+class TestLeafAndEmpty:
+    def test_empty(self):
+        v = AccessValue.empty()
+        assert v.r.is_empty() and v.w.is_empty()
+        assert v.must_default().is_empty()
+        assert v.exposed_default().is_empty()
+
+    def test_leaf_exposes_reads(self):
+        v = leaf_read(1, 5)
+        assert v.exposed_default() == sset(1, 5)
+
+    def test_leaf_writes_are_must(self):
+        v = leaf_write(1, 5)
+        assert v.must_default() == sset(1, 5)
+
+    def test_leaf_walts_default(self):
+        v = leaf_write(1, 5)
+        assert len(v.w_alts) == 1
+        assert v.w_alts[0].is_default()
+        assert v.w_alts[0].summary == v.w
+
+
+class TestSeqCompose:
+    def test_write_then_read_not_exposed(self):
+        v = seq_compose(leaf_write(1, 10), leaf_read(2, 5), OPTS)
+        assert v.exposed_default().is_empty()
+
+    def test_read_then_write_exposed(self):
+        v = seq_compose(leaf_read(2, 5), leaf_write(1, 10), OPTS)
+        assert v.exposed_default() == sset(2, 5)
+
+    def test_partial_coverage(self):
+        v = seq_compose(leaf_write(1, 3), leaf_read(1, 6), OPTS)
+        exposed = v.exposed_default()
+        pts = {
+            d for r in exposed.regions("a") for d in range(0, 10)
+            if r.contains_point((d,), {})
+        }
+        assert pts == {4, 5, 6}
+
+    def test_must_union(self):
+        v = seq_compose(leaf_write(1, 3), leaf_write(5, 8), OPTS)
+        assert v.must_default().covers(sset(1, 3))
+        assert v.must_default().covers(sset(5, 8))
+
+    def test_may_union(self):
+        v = seq_compose(leaf_write(1, 3), leaf_read(5, 8), OPTS)
+        assert v.w == sset(1, 3)
+        assert v.r == sset(5, 8)
+
+    def test_scalar_writes_accumulate(self):
+        v1 = AccessValue.leaf(
+            SummarySet.empty(), SummarySet.empty(), frozenset(["x"])
+        )
+        v2 = AccessValue.leaf(
+            SummarySet.empty(), SummarySet.empty(), frozenset(["y"])
+        )
+        assert seq_compose(v1, v2, OPTS).scalar_writes == {"x", "y"}
+
+    def test_seq_compose_all(self):
+        v = seq_compose_all(
+            [leaf_write(1, 3), leaf_write(4, 6), leaf_read(1, 6)], OPTS
+        )
+        assert v.exposed_default().is_empty()
+
+    def test_guard_dropped_when_clobbered(self):
+        # v2's guard reads x; v1 writes x → the guarded must is weakened
+        v1 = AccessValue.leaf(
+            SummarySet.empty(), SummarySet.empty(), frozenset(["x"])
+        )
+        guarded = AccessValue(
+            r=SummarySet.empty(),
+            w=sset(1, 5),
+            m=(
+                GuardedSummary(P, sset(1, 5)),
+                GuardedSummary(TRUE, SummarySet.empty()),
+            ),
+            e=(GuardedSummary(TRUE, SummarySet.empty()),),
+        )
+        v = seq_compose(v1, guarded, OPTS)
+        for g in v.m:
+            if not g.is_default():
+                assert "x" not in g.pred.variables() or g.summary.is_empty()
+
+
+class TestBranchJoin:
+    def test_may_unions(self):
+        v = branch_join(P, leaf_write(1, 3), leaf_write(5, 8), OPTS)
+        assert v.w.covers(sset(1, 3)) and v.w.covers(sset(5, 8))
+
+    def test_must_default_is_intersection(self):
+        v = branch_join(P, leaf_write(1, 6), leaf_write(4, 9), OPTS)
+        d = v.must_default()
+        pts = {
+            x for r in d.regions("a") for x in range(0, 12)
+            if r.contains_point((x,), {})
+        }
+        assert pts == {4, 5, 6}
+
+    def test_guarded_must_alternatives(self):
+        v = branch_join(P, leaf_write(1, 6), AccessValue.empty(), OPTS)
+        guarded = [g for g in v.m if not g.is_default()]
+        assert any(g.pred == P and g.summary == sset(1, 6) for g in guarded)
+
+    def test_base_options_produce_no_guards(self):
+        v = branch_join(P, leaf_write(1, 6), AccessValue.empty(), BASE)
+        assert all(g.is_default() for g in v.m)
+        assert all(g.is_default() for g in v.e)
+        assert all(g.is_default() for g in v.w_alts)
+
+    def test_guarded_exposed_alternatives(self):
+        v = branch_join(P, leaf_read(1, 5), AccessValue.empty(), OPTS)
+        guarded = [g for g in v.e if not g.is_default()]
+        # under ¬P nothing is exposed
+        notp = p_not(P)
+        assert any(g.pred == notp and g.summary.is_empty() for g in guarded)
+
+    def test_guarded_writes(self):
+        v = branch_join(P, leaf_write(1, 5), AccessValue.empty(), OPTS)
+        notp = p_not(P)
+        assert any(
+            g.pred == notp and g.summary.is_empty() for g in v.w_alts
+        )
+
+    def test_predicated_equals_base_when_cond_true(self):
+        vp = branch_join(TRUE, leaf_write(1, 5), leaf_write(1, 5), OPTS)
+        vb = branch_join(TRUE, leaf_write(1, 5), leaf_write(1, 5), BASE)
+        assert vp.must_default() == vb.must_default()
+        assert vp.exposed_default() == vb.exposed_default()
+
+
+class TestGuardedInvariants:
+    def test_e_always_has_default(self):
+        v = branch_join(P, leaf_read(1, 5), leaf_read(3, 8), OPTS)
+        assert any(g.is_default() for g in v.e)
+        v2 = seq_compose(v, leaf_write(1, 10), OPTS)
+        assert any(g.is_default() for g in v2.e)
+
+    def test_m_always_has_default(self):
+        v = branch_join(P, leaf_write(1, 5), leaf_write(3, 8), OPTS)
+        assert any(g.is_default() for g in v.m)
+
+    def test_beam_capped(self):
+        v = AccessValue.empty()
+        for k in range(10):
+            q = p_atom(OpaqueAtom(f"c{k}", ()))
+            v = seq_compose(
+                v,
+                branch_join(q, leaf_write(k * 2, k * 2 + 1), AccessValue.empty(), OPTS),
+                OPTS,
+            )
+        assert len(v.m) <= OPTS.max_guarded
+        assert len(v.e) <= OPTS.max_guarded
+        assert len(v.w_alts) <= OPTS.max_guarded

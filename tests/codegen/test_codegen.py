@@ -1,0 +1,163 @@
+"""Tests for plan lowering and the two-version transform."""
+
+import pytest
+
+from repro.arraydf.options import AnalysisOptions
+from repro.codegen.plan import build_plan
+from repro.codegen.report import format_report
+from repro.codegen.twoversion import parse_condition, transform_program
+from repro.lang.astnodes import DoLoop, If, walk_stmts
+from repro.lang.parser import parse_program
+from repro.lang.prettyprint import pretty
+from repro.partests.driver import analyze_program
+from repro.runtime.interp import run_program
+
+OFFSET_SRC = """
+program t
+  integer n, k
+  real a(200)
+  read n, k
+  do i = 1, n
+    a(i) = i * 1.0
+  enddo
+  do i = 1, n
+    a(i + k) = a(i) + 1.0
+  enddo
+  print a(1), a(n)
+end
+"""
+
+SIMPLE_SRC = """
+program t
+  integer n
+  real a(100)
+  read n
+  do i = 1, n
+    a(i) = 1.0
+  enddo
+  do i = 2, n
+    a(i) = a(i - 1)
+  enddo
+end
+"""
+
+
+def plan_for(src, opts=None):
+    program = parse_program(src)
+    result = analyze_program(program, opts or AnalysisOptions.predicated())
+    return program, result, build_plan(result)
+
+
+class TestPlan:
+    def test_modes(self):
+        _, result, plan = plan_for(OFFSET_SRC)
+        modes = {p.label: p.mode for p in plan.loops.values()}
+        assert modes["t:L1"] == "parallel"
+        assert modes["t:L2"] == "two_version"
+
+    def test_serial_mode(self):
+        _, _, plan = plan_for(SIMPLE_SRC)
+        modes = {p.label: p.mode for p in plan.loops.values()}
+        assert modes["t:L2"] == "serial"
+
+    def test_counters(self):
+        _, _, plan = plan_for(OFFSET_SRC)
+        assert plan.parallel_count() == 2
+        assert plan.two_version_count() == 1
+
+    def test_outer_parallel_labels(self):
+        _, _, plan = plan_for(OFFSET_SRC)
+        assert "t:L1" in plan.outer_parallel_labels()
+
+
+class TestTwoVersionTransform:
+    def test_guard_introduced(self):
+        program, _, plan = plan_for(OFFSET_SRC)
+        out = transform_program(program, plan)
+        guards = [
+            s
+            for s in walk_stmts(out.main_unit.body)
+            if isinstance(s, If)
+            and any(
+                isinstance(c, DoLoop) and c.label.endswith("_par")
+                for c in s.then_body
+            )
+        ]
+        assert len(guards) == 1
+        assert any(
+            isinstance(c, DoLoop) and c.label.endswith("_seq")
+            for c in guards[0].else_body
+        )
+
+    def test_transform_pretty_reparses(self):
+        program, _, plan = plan_for(OFFSET_SRC)
+        out = transform_program(program, plan)
+        text = pretty(out)
+        reparsed = parse_program(text)
+        assert reparsed.main == out.main
+
+    @pytest.mark.parametrize(
+        "inputs",
+        [
+            [10, 0],  # k = 0: test true
+            [10, 3],  # k small: dependent, serial version
+            [10, 50],  # k >= n: independent, parallel version
+            [10, 10],  # k == n boundary
+        ],
+    )
+    def test_semantics_preserved(self, inputs):
+        program, _, plan = plan_for(OFFSET_SRC)
+        out = transform_program(program, plan)
+        ref = run_program(program, inputs)
+        got = run_program(out, inputs)
+        assert got.outputs == ref.outputs
+        assert got.main_arrays == ref.main_arrays
+
+    def test_original_untouched(self):
+        program, _, plan = plan_for(OFFSET_SRC)
+        before = pretty(program)
+        transform_program(program, plan)
+        assert pretty(program) == before
+
+
+class TestParseCondition:
+    def test_roundtrip(self):
+        e = parse_condition("(k <= 0) or (n - k <= 0)")
+        assert e is not None
+
+    def test_plan_predicates_renderable(self):
+        _, result, plan = plan_for(OFFSET_SRC)
+        for lp in plan.loops.values():
+            if lp.mode == "two_version":
+                from repro.partests.runtime_tests import render_predicate
+
+                text = render_predicate(lp.runtime_pred)
+                assert parse_condition(text) is not None
+
+
+class TestReport:
+    def test_report_mentions_all_loops(self):
+        _, result, _ = plan_for(OFFSET_SRC)
+        text = format_report(result)
+        assert "t:L1" in text and "t:L2" in text
+        assert "run-time test" in text
+
+    def test_report_shows_private(self):
+        src = """
+program t
+  integer n
+  real a(100, 100), w(100)
+  read n
+  do j = 1, n
+    do i = 1, n
+      w(i) = a(i, j)
+    enddo
+    do i = 1, n
+      a(i, j) = w(i) + 1.0
+    enddo
+  enddo
+end
+"""
+        _, result, _ = plan_for(src)
+        text = format_report(result)
+        assert "private: w" in text

@@ -1,0 +1,98 @@
+"""Unit tests for plan lowering."""
+
+from repro.arraydf.options import AnalysisOptions
+from repro.codegen.plan import build_plan
+from repro.lang.parser import parse_program
+from repro.partests.driver import analyze_program
+
+SRC = """
+program t
+  integer n, k
+  real a(300), w(40), b(40, 40)
+  read n, k
+  do i = 1, n
+    a(i + k) = a(i) + 1.0
+  enddo
+  do j = 1, 40
+    do i = 1, 40
+      w(i) = b(i, j)
+    enddo
+    do i = 1, 40
+      b(i, j) = w(i) + 1.0
+    enddo
+  enddo
+  do i = 2, n
+    a(i) = a(i - 1)
+  enddo
+end
+"""
+
+
+def make():
+    program = parse_program(SRC)
+    result = analyze_program(program, AnalysisOptions.predicated())
+    return result, build_plan(result)
+
+
+class TestLowering:
+    def test_modes_by_status(self):
+        result, plan = make()
+        modes = {p.label: p.mode for p in plan.loops.values()}
+        assert modes["t:L1"] == "two_version"
+        assert modes["t:L2"] == "parallel"
+        assert modes["t:L5"] == "serial"
+
+    def test_runtime_metadata_carried(self):
+        _, plan = make()
+        two = next(p for p in plan.loops.values() if p.mode == "two_version")
+        assert two.runtime_pred is not None
+        assert two.runtime_cost >= 1
+        assert "a" in two.private_arrays
+
+    def test_parallel_loops_have_no_pred(self):
+        _, plan = make()
+        for p in plan.loops.values():
+            if p.mode == "parallel":
+                assert p.runtime_pred is None
+
+    def test_enclosed_flags(self):
+        _, plan = make()
+        by_label = {p.label: p for p in plan.loops.values()}
+        assert by_label["t:L3"].enclosed
+        assert by_label["t:L4"].enclosed
+        assert not by_label["t:L2"].enclosed
+
+    def test_counters(self):
+        _, plan = make()
+        assert plan.two_version_count() == 1
+        assert plan.parallel_count() == 4  # L1, L2, L3, L4
+        assert "t:L2" in plan.outer_parallel_labels()
+        assert "t:L3" not in plan.outer_parallel_labels()
+
+    def test_plan_for_unknown_loop(self):
+        _, plan = make()
+        other = parse_program("program q\ndo i = 1, 2\nx = i\nenddo\nend\n")
+        from repro.lang.astnodes import DoLoop, walk_stmts
+
+        foreign = next(
+            s for s in walk_stmts(other.main_unit.body)
+            if isinstance(s, DoLoop)
+        )
+        # a loop with an unknown nid simply has no plan... unless the
+        # nid happens to collide; plan_for is keyed by nid only
+        lp = plan.plan_for(foreign)
+        assert lp is None or lp.nid == foreign.nid
+
+
+class TestPrivateScalarsInPlan:
+    def test_reductions_and_privates_lowered(self):
+        src = (
+            "program t\ninteger n\nreal a(50)\nread n\ns = 0.0\n"
+            "do i = 1, n\n t1 = a(i) * 2.0\n s = s + t1\nenddo\nend\n"
+        )
+        program = parse_program(src)
+        result = analyze_program(program, AnalysisOptions.predicated())
+        plan = build_plan(result)
+        lp = next(iter(plan.loops.values()))
+        assert "s" in lp.reduction_scalars
+        assert "t1" in lp.private_scalars

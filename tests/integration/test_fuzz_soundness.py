@@ -1,0 +1,191 @@
+"""Property-based end-to-end soundness fuzzing.
+
+Random structured programs (loops, guarded conditionals, affine and
+offset subscripts) are pushed through the whole pipeline, checking the
+system-level invariants from DESIGN.md §6:
+
+* a loop the predicated analysis parallelizes at compile time is never
+  classified *dependent* by the ELPD oracle on any generated input;
+* a run-time-tested loop whose test passes at execution time is never
+  ELPD-dependent either (the derived predicate is correct);
+* the two-version transform preserves program semantics exactly;
+* the base analysis never parallelizes a loop the predicated analysis
+  rejects (monotonicity of precision).
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arraydf.options import AnalysisOptions
+from repro.codegen.plan import build_plan
+from repro.codegen.twoversion import transform_program
+from repro.lang.parser import parse_program
+from repro.partests.driver import analyze_program
+from repro.runtime.elpd import run_oracle
+from repro.runtime.interp import Interpreter, run_program
+
+ARRAYS = ["fa", "fb", "fc"]
+SIZE = 96
+
+# subscript forms, all ≥ 1 for index values in [1, 12] and k in [0, 4]
+SUBSCRIPTS = [
+    "{i}",
+    "{i} + 1",
+    "{i} + 2",
+    "{i} + k",
+    "2 * {i}",
+    "3",
+    "7",
+]
+
+CONDS = [
+    "x > 0",
+    "x > 2",
+    "{i} > 2",
+    "{i} <= k + 3",
+    "mod(x, 2) == 0",
+    "n > 5",
+]
+
+
+@st.composite
+def statements(draw, depth, index_vars):
+    """A list of statements at the given nesting depth."""
+    n_stmts = draw(st.integers(min_value=1, max_value=2))
+    out = []
+    for _ in range(n_stmts):
+        kind = draw(
+            st.sampled_from(
+                ["assign", "assign", "if", "loop"]
+                if depth < 2
+                else ["assign", "assign", "if"]
+            )
+        )
+        i = index_vars[-1] if index_vars else None
+        if kind == "assign" and i is not None:
+            target_arr = draw(st.sampled_from(ARRAYS))
+            tsub = draw(st.sampled_from(SUBSCRIPTS)).format(i=i)
+            src_arr = draw(st.sampled_from(ARRAYS))
+            ssub = draw(st.sampled_from(SUBSCRIPTS)).format(i=i)
+            op = draw(st.sampled_from(["+ 1.0", "* 0.5", "+ 2.0"]))
+            out.append(f"{target_arr}({tsub}) = {src_arr}({ssub}) {op}")
+        elif kind == "assign":
+            arr = draw(st.sampled_from(ARRAYS))
+            c = draw(st.integers(min_value=1, max_value=9))
+            out.append(f"{arr}({c}) = {c} * 1.0")
+        elif kind == "if" and i is not None:
+            cond = draw(st.sampled_from(CONDS)).format(i=i)
+            then_body = draw(statements(depth + 1, index_vars))
+            out.append(f"if ({cond}) then")
+            out.extend(f"  {s}" for s in then_body)
+            if draw(st.booleans()):
+                else_body = draw(statements(depth + 1, index_vars))
+                out.append("else")
+                out.extend(f"  {s}" for s in else_body)
+            out.append("endif")
+        elif kind == "loop":
+            var = f"i{len(index_vars) + 1}"
+            lo = draw(st.sampled_from(["1", "2"]))
+            hi = draw(st.sampled_from(["n", "n - 1", "8"]))
+            body = draw(statements(depth + 1, index_vars + [var]))
+            out.append(f"do {var} = {lo}, {hi}")
+            out.extend(f"  {s}" for s in body)
+            out.append("enddo")
+        else:  # if/assign at top level without an index: skip
+            out.append("x = x")
+    return out
+
+
+@st.composite
+def programs(draw):
+    body = draw(statements(0, []))
+    # guarantee at least one loop at top level
+    loop_body = draw(statements(1, ["i1"]))
+    lines = [
+        "program fuzz",
+        "  integer n, k, x",
+        f"  real {', '.join(f'{a}({SIZE})' for a in ARRAYS)}",
+        "  read n, k, x",
+    ]
+    lines.extend(f"  {s}" for s in body)
+    lines.append("  do i1 = 1, n")
+    lines.extend(f"    {s}" for s in loop_body)
+    lines.append("  enddo")
+    lines.append("end")
+    source = "\n".join(lines) + "\n"
+    n = draw(st.integers(min_value=3, max_value=12))
+    k = draw(st.integers(min_value=0, max_value=4))
+    x = draw(st.integers(min_value=-3, max_value=6))
+    return source, [n, k, x]
+
+
+FUZZ_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestFuzzSoundness:
+    @FUZZ_SETTINGS
+    @given(programs())
+    def test_parallel_decisions_sound_vs_oracle(self, case):
+        source, inputs = case
+        program = parse_program(source)
+        result = analyze_program(program, AnalysisOptions.predicated())
+        plan = build_plan(result)
+
+        oracle = run_oracle(parse_program(source), inputs)
+        interp = Interpreter(parse_program(source), inputs, plan=plan)
+        execution = interp.run()
+        ran_parallel = {
+            e.nid: e.ran_parallel_version for e in execution.loop_events
+        }
+
+        for l in result.loops:
+            obs = oracle.observations.get(l.label)
+            if obs is None or obs.classification == "not_executed":
+                continue
+            if l.status in ("parallel", "parallel_private"):
+                assert obs.classification != "dependent", (
+                    f"{l.label} parallelized but dynamically dependent\n"
+                    f"{source}"
+                )
+            elif l.status == "runtime":
+                if ran_parallel.get(l.loop.nid):
+                    assert obs.classification != "dependent", (
+                        f"{l.label} run-time test passed but loop is "
+                        f"dependent\n{source}"
+                    )
+
+    @FUZZ_SETTINGS
+    @given(programs())
+    def test_two_version_transform_preserves_semantics(self, case):
+        source, inputs = case
+        program = parse_program(source)
+        result = analyze_program(program, AnalysisOptions.predicated())
+        plan = build_plan(result)
+        transformed = transform_program(program, plan)
+        ref = run_program(parse_program(source), inputs)
+        got = run_program(transformed, inputs)
+        assert got.main_arrays == ref.main_arrays
+        assert got.outputs == ref.outputs
+
+    @FUZZ_SETTINGS
+    @given(programs())
+    def test_base_never_beats_predicated(self, case):
+        source, _ = case
+        base = analyze_program(
+            parse_program(source), AnalysisOptions.base()
+        )
+        pred = analyze_program(
+            parse_program(source), AnalysisOptions.predicated()
+        )
+        pred_status = {l.label: l.status for l in pred.loops}
+        for l in base.loops:
+            if l.status in ("parallel", "parallel_private"):
+                assert pred_status[l.label] in (
+                    "parallel",
+                    "parallel_private",
+                    "runtime",
+                ), f"{l.label}: base={l.status}, predicated lost it\n{source}"

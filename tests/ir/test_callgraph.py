@@ -1,0 +1,71 @@
+"""Unit tests for the call graph."""
+
+from repro.ir.callgraph import CallGraph
+from repro.lang.parser import parse_program
+
+SRC = """
+program main
+  call a(1)
+  call b(2)
+end
+subroutine a(x)
+  call c(x)
+end
+subroutine b(x)
+  call c(x)
+  call a(x)
+end
+subroutine c(x)
+  y = x
+end
+subroutine orphan(x)
+  y = x
+end
+"""
+
+
+def graph():
+    return CallGraph(parse_program(SRC))
+
+
+class TestEdges:
+    def test_callees(self):
+        g = graph()
+        assert g.callees("main") == {"a", "b"}
+        assert g.callees("b") == {"c", "a"}
+        assert g.callees("c") == set()
+
+    def test_callers(self):
+        g = graph()
+        assert g.callers("c") == {"a", "b"}
+        assert g.callers("main") == set()
+
+    def test_edge_list_sorted(self):
+        g = graph()
+        edges = g.edge_list()
+        assert ("main", "a") in edges
+        assert edges == sorted(edges)
+
+    def test_call_sites_counted(self):
+        g = graph()
+        assert len(g.call_sites["main"]) == 2
+        assert len(g.call_sites["b"]) == 2
+        assert len(g.call_sites["orphan"]) == 0
+
+
+class TestOrders:
+    def test_bottom_up_callees_first(self):
+        g = graph()
+        order = g.bottom_up_order()
+        assert order.index("c") < order.index("a")
+        assert order.index("c") < order.index("b")
+        assert order.index("a") < order.index("b")
+        assert order.index("a") < order.index("main")
+
+    def test_bottom_up_covers_all_units(self):
+        g = graph()
+        assert set(g.bottom_up_order()) == {"main", "a", "b", "c", "orphan"}
+
+    def test_reachable_from_main(self):
+        g = graph()
+        assert g.reachable_from_main() == {"main", "a", "b", "c"}

@@ -1,0 +1,114 @@
+"""Unit tests for AST → affine / predicate translation."""
+
+from fractions import Fraction
+
+from repro.ir.exprtools import cond_to_predicate, reads_arrays, to_affine
+from repro.lang.parser import parse_program
+from repro.predicates.atoms import DivAtom, LinAtom, OpaqueAtom
+from repro.predicates.evaluate import evaluate
+from repro.predicates.formula import AndPred, Atom, NotPred, OrPred
+from repro.symbolic.affine import AffineExpr
+
+
+def expr(text, decls="real a(10), b(10, 10)"):
+    p = parse_program(f"program t\n{decls}\nzz = {text}\nend\n")
+    return p.main_unit.body[0].value
+
+
+class TestToAffine:
+    def test_literals(self):
+        assert to_affine(expr("42")) == AffineExpr.const(42)
+        assert to_affine(expr("3.5")) is None  # reals not in index domain
+
+    def test_variables_and_sums(self):
+        e = to_affine(expr("i + 2 * j - 3"))
+        assert e.coeff("i") == 1 and e.coeff("j") == 2 and e.constant == -3
+
+    def test_unary_minus(self):
+        assert to_affine(expr("-i")) == AffineExpr.var("i", -1)
+
+    def test_products(self):
+        assert to_affine(expr("3 * i")) == AffineExpr.var("i", 3)
+        assert to_affine(expr("i * 3")) == AffineExpr.var("i", 3)
+        assert to_affine(expr("i * j")) is None
+
+    def test_division(self):
+        assert to_affine(expr("6 / 2")) == AffineExpr.const(3)
+        assert to_affine(expr("4 * i / 2")) == AffineExpr.var("i", 2)
+        # truncating division of a variable is not affine
+        assert to_affine(expr("i / 2")) is None
+        assert to_affine(expr("i / j")) is None
+        assert to_affine(expr("i / 0")) is None
+
+    def test_power(self):
+        assert to_affine(expr("2 ** 3")) == AffineExpr.const(8)
+        assert to_affine(expr("i ** 2")) is None
+
+    def test_array_and_intrinsic_opaque(self):
+        assert to_affine(expr("a(i)")) is None
+        assert to_affine(expr("mod(i, 2)")) is None
+        assert to_affine(expr("max(i, j)")) is None
+
+
+class TestCondToPredicate:
+    def cond(self, text):
+        p = parse_program(
+            f"program t\nreal a(10)\nif ({text}) then\nzz = 1\nendif\nend\n"
+        )
+        return cond_to_predicate(p.main_unit.body[0].cond)
+
+    def test_affine_comparisons(self):
+        for text, env, expected in [
+            ("i < 3", {"i": 2}, True),
+            ("i < 3", {"i": 3}, False),
+            ("i >= j + 1", {"i": 5, "j": 4}, True),
+            ("i == 2 * j", {"i": 4, "j": 2}, True),
+            ("i != j", {"i": 1, "j": 1}, False),
+        ]:
+            pred = self.cond(text)
+            assert evaluate(pred, env) == expected, text
+
+    def test_connectives(self):
+        pred = self.cond("i > 0 and (j < 5 or k == 2)")
+        assert evaluate(pred, {"i": 1, "j": 9, "k": 2})
+        assert not evaluate(pred, {"i": 0, "j": 1, "k": 2})
+
+    def test_not(self):
+        pred = self.cond("not i > 0")
+        assert evaluate(pred, {"i": 0})
+        assert not evaluate(pred, {"i": 1})
+
+    def test_mod_divisibility_atom(self):
+        pred = self.cond("mod(n, 4) == 0")
+        assert isinstance(pred, Atom) and isinstance(pred.atom, DivAtom)
+        assert evaluate(pred, {"n": 8})
+        assert not evaluate(pred, {"n": 6})
+
+    def test_mod_inequality(self):
+        pred = self.cond("mod(n, 4) != 0")
+        assert evaluate(pred, {"n": 6})
+        assert not evaluate(pred, {"n": 8})
+
+    def test_mod_reversed_operands(self):
+        pred = self.cond("0 == mod(n, 3)")
+        assert isinstance(pred, Atom) and isinstance(pred.atom, DivAtom)
+
+    def test_nonaffine_becomes_opaque(self):
+        pred = self.cond("i * j > 4")
+        assert isinstance(pred, Atom) and isinstance(pred.atom, OpaqueAtom)
+        assert set(pred.atom.reads) == {"i", "j"}
+
+    def test_array_read_opaque_includes_array(self):
+        pred = self.cond("a(i) > 0.0")
+        assert isinstance(pred.atom, OpaqueAtom)
+        assert "a" in pred.atom.reads
+
+    def test_opaque_key_is_source_text(self):
+        pred = self.cond("i * j > 4")
+        assert pred.atom.key == "i * j > 4"
+
+
+class TestReadsArrays:
+    def test_detects_array_refs(self):
+        assert reads_arrays(expr("a(i) + 1.0"))
+        assert not reads_arrays(expr("i + j"))

@@ -1,0 +1,166 @@
+"""Unit tests for per-loop metadata."""
+
+from repro.ir.loopinfo import collect_loop_info
+from repro.ir.regiongraph import build_region_tree
+from repro.lang.astnodes import loops_of
+from repro.lang.parser import parse_program
+
+
+def infos(src):
+    p = parse_program(src)
+    proc = build_region_tree(p.main_unit)
+    by_label = {}
+    for loop, info in collect_loop_info(proc).items():
+        by_label[loop.label] = info
+    return by_label
+
+
+class TestCandidacy:
+    def test_plain_loop_is_candidate(self):
+        i = infos("program t\nreal a(9)\ndo i = 1, 5\na(i) = 1.0\nenddo\nend\n")
+        assert i["t:L1"].is_candidate
+
+    def test_print_blocks(self):
+        i = infos("program t\ndo i = 1, 5\nprint i\nenddo\nend\n")
+        assert i["t:L1"].has_io and not i["t:L1"].is_candidate
+
+    def test_read_blocks(self):
+        i = infos("program t\ndo i = 1, 5\nread x\nenddo\nend\n")
+        assert i["t:L1"].has_io
+
+    def test_return_blocks(self):
+        src = (
+            "program t\ncall f(1)\nend\n"
+            "subroutine f(q)\ndo i = 1, 5\nreturn\nenddo\nend\n"
+        )
+        p = parse_program(src)
+        proc = build_region_tree(p.units["f"])
+        info = list(collect_loop_info(proc).values())[0]
+        assert info.has_return and not info.is_candidate
+
+    def test_written_bound_blocks(self):
+        i = infos("program t\nn = 9\ndo i = 1, n\nn = n - 1\nenddo\nend\n")
+        assert not i["t:L1"].bounds_invariant
+
+    def test_written_index_blocks(self):
+        i = infos("program t\ndo i = 1, 5\ni = i + 1\nenddo\nend\n")
+        assert not i["t:L1"].bounds_invariant
+
+    def test_symbolic_step_blocks(self):
+        i = infos("program t\nread k\ndo i = 1, 9, k\nx = i\nenddo\nend\n")
+        assert i["t:L1"].step is None and not i["t:L1"].is_candidate
+
+    def test_constant_negative_step_ok(self):
+        i = infos("program t\ndo i = 9, 1, -2\nx = i\nenddo\nend\n")
+        assert i["t:L1"].step == -2 and i["t:L1"].is_candidate
+
+    def test_call_does_not_block_bounds(self):
+        src = (
+            "program t\nread n\ndo i = 1, n\ncall f(i, n)\nenddo\nend\n"
+            "subroutine f(a, b)\nc = a + b\nend\n"
+        )
+        i = infos(src)
+        assert i["t:L1"].bounds_invariant
+        assert i["t:L1"].has_calls
+
+
+class TestIterationSpace:
+    def test_affine_space(self):
+        i = infos("program t\nread n\ndo i = 2, n - 1\nx = i\nenddo\nend\n")
+        space = i["t:L1"].iteration_space()
+        assert space.evaluate({"i": 2, "n": 5})
+        assert not space.evaluate({"i": 1, "n": 5})
+        assert not space.evaluate({"i": 5, "n": 5})
+
+    def test_negative_step_flips_bounds(self):
+        i = infos("program t\ndo i = 9, 3, -1\nx = i\nenddo\nend\n")
+        space = i["t:L1"].iteration_space()
+        assert space.evaluate({"i": 5})
+        assert not space.evaluate({"i": 2})
+        assert not space.evaluate({"i": 10})
+
+    def test_nonaffine_upper_bound_keeps_lower(self):
+        i = infos(
+            "program t\nread n, m\ndo i = 1, n * m\nx = i\nenddo\nend\n"
+        )
+        space = i["t:L1"].iteration_space()
+        assert not i["t:L1"].is_affine
+        # the affine lower bound is kept; the product bound contributes none
+        assert space.evaluate({"i": 1})
+        assert not space.evaluate({"i": 0})
+
+    def test_min_bound_exact(self):
+        i = infos(
+            "program t\nread n, m\ndo i = 1, min(n, m)\nx = i\nenddo\nend\n"
+        )
+        space = i["t:L1"].iteration_space()
+        assert space.evaluate({"i": 3, "n": 5, "m": 4})
+        assert not space.evaluate({"i": 5, "n": 5, "m": 4})
+
+    def test_max_lower_bound_exact(self):
+        i = infos(
+            "program t\nread n, m\ndo i = max(n, m), 50\nx = i\nenddo\nend\n"
+        )
+        space = i["t:L1"].iteration_space()
+        assert space.evaluate({"i": 10, "n": 5, "m": 9})
+        assert not space.evaluate({"i": 8, "n": 5, "m": 9})
+
+    def test_nested_min_bound(self):
+        i = infos(
+            "program t\nread n, m, q\ndo i = 1, min(n, min(m, q))\nx = i\nenddo\nend\n"
+        )
+        space = i["t:L1"].iteration_space()
+        assert not space.evaluate({"i": 4, "n": 9, "m": 9, "q": 3})
+        assert space.evaluate({"i": 3, "n": 9, "m": 9, "q": 3})
+
+
+class TestScalarFlow:
+    def test_reduction_detection(self):
+        i = infos(
+            "program t\nreal a(9)\ns = 0.0\ndo i = 1, 5\ns = s + a(i)\nenddo\nend\n"
+        )
+        assert "s" in i["t:L1"].reductions
+
+    def test_commuted_reduction(self):
+        i = infos(
+            "program t\nreal a(9)\ndo i = 1, 5\ns = a(i) + s\nenddo\nend\n"
+        )
+        assert "s" in i["t:L1"].reductions
+
+    def test_non_reduction_self_use(self):
+        i = infos(
+            "program t\nreal a(9)\ndo i = 1, 5\ns = s * 2.0 + a(i)\nenddo\nend\n"
+        )
+        assert "s" not in i["t:L1"].reductions
+        assert "s" in i["t:L1"].scalar_exposed_reads
+
+    def test_private_scalar_not_exposed(self):
+        i = infos(
+            "program t\nreal a(9)\ndo i = 1, 5\nt1 = a(i)\na(i) = t1\nenddo\nend\n"
+        )
+        assert "t1" in i["t:L1"].scalar_writes
+        assert "t1" not in i["t:L1"].scalar_exposed_reads
+
+    def test_branch_write_not_definite(self):
+        i = infos(
+            "program t\nreal a(9)\nread x\n"
+            "do i = 1, 5\nif (x > 0) then\nt1 = 1.0\nendif\na(i) = t1\nenddo\nend\n"
+        )
+        # written only on one path, then read: exposed
+        assert "t1" in i["t:L1"].scalar_exposed_reads
+
+    def test_both_branches_definite(self):
+        i = infos(
+            "program t\nreal a(9)\nread x\n"
+            "do i = 1, 5\nif (x > 0) then\nt1 = 1.0\nelse\nt1 = 2.0\nendif\n"
+            "a(i) = t1\nenddo\nend\n"
+        )
+        assert "t1" not in i["t:L1"].scalar_exposed_reads
+
+    def test_inner_loop_write_not_definite(self):
+        i = infos(
+            "program t\nreal a(9)\nread n\n"
+            "do i = 1, 5\ndo j = 1, n\nt1 = j * 1.0\nenddo\na(i) = t1\nenddo\nend\n"
+        )
+        # the inner loop may run zero times: t1 stays exposed for the outer
+        assert "t1" in i["t:L1"].scalar_exposed_reads

@@ -1,0 +1,112 @@
+"""Unit tests for the region graph."""
+
+import pytest
+
+from repro.ir.regiongraph import (
+    CallRegion,
+    IfRegion,
+    LoopRegion,
+    ProcRegion,
+    SeqRegion,
+    StmtRegion,
+    build_region_tree,
+)
+from repro.lang.parser import parse_program
+
+SRC = """
+program t
+  integer n
+  real a(10)
+  read n
+  do i = 1, n
+    if (i > 2) then
+      a(i) = 1.0
+    else
+      a(i) = 2.0
+    endif
+    do j = 1, 3
+      a(j) = a(j) + 1.0
+    enddo
+  enddo
+  call f(a)
+end
+subroutine f(x)
+  real x(*)
+  x(1) = 0.0
+end
+"""
+
+
+@pytest.fixture
+def tree():
+    program = parse_program(SRC)
+    return build_region_tree(program.main_unit)
+
+
+class TestStructure:
+    def test_root_is_proc(self, tree):
+        assert isinstance(tree, ProcRegion)
+        assert tree.unit.name == "t"
+
+    def test_region_kinds_present(self, tree):
+        kinds = {type(r).__name__ for r in tree.walk()}
+        assert kinds == {
+            "ProcRegion",
+            "SeqRegion",
+            "StmtRegion",
+            "LoopRegion",
+            "IfRegion",
+            "CallRegion",
+        }
+
+    def test_unique_rids(self, tree):
+        rids = [r.rid for r in tree.walk()]
+        assert len(rids) == len(set(rids))
+        assert all(r >= 0 for r in rids)
+
+    def test_unit_name_stamped(self, tree):
+        assert all(r.unit_name == "t" for r in tree.walk())
+
+    def test_parents_linked(self, tree):
+        for r in tree.walk():
+            for c in r.children():
+                assert c.parent is r
+
+    def test_loops_preorder(self, tree):
+        labels = [l.label for l in tree.loops()]
+        assert labels == ["t:L1", "t:L2"]
+
+
+class TestContext:
+    def test_enclosing_loops(self, tree):
+        inner = tree.loops()[1]
+        enclosing = inner.enclosing_loops()
+        assert [l.label for l in enclosing] == ["t:L1"]
+        assert inner.loop_depth() == 1
+
+    def test_outer_loop_depth_zero(self, tree):
+        assert tree.loops()[0].loop_depth() == 0
+
+    def test_enclosing_proc(self, tree):
+        inner = tree.loops()[1]
+        assert inner.enclosing_proc() is tree
+
+    def test_if_region_arms(self, tree):
+        ifs = [r for r in tree.walk() if isinstance(r, IfRegion)]
+        assert len(ifs) == 1
+        assert len(ifs[0].then_seq.items) == 1
+        assert len(ifs[0].else_seq.items) == 1
+
+    def test_call_region_callee(self, tree):
+        calls = [r for r in tree.walk() if isinstance(r, CallRegion)]
+        assert len(calls) == 1
+        assert calls[0].callee == "f"
+
+    def test_loop_index_var(self, tree):
+        assert tree.loops()[0].index_var == "i"
+        assert tree.loops()[1].index_var == "j"
+
+    def test_detached_region_raises(self):
+        region = StmtRegion(parse_program("program q\nx = 1\nend\n").main_unit.body[0])
+        with pytest.raises(ValueError):
+            region.enclosing_proc()

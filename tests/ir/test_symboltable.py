@@ -1,0 +1,75 @@
+"""Unit tests for the symbol table."""
+
+import pytest
+
+from repro.ir.symboltable import SymbolTable
+from repro.lang.parser import parse_program
+from repro.symbolic.affine import AffineExpr
+
+SRC = """
+program t
+  x = 1
+  call f(1, 2)
+end
+subroutine f(n, m)
+  integer n, m
+  real a(10), b(n, m), c(10, *)
+  a(1) = 0.0
+  b(1, 1) = 0.0
+  c(1, 1) = 0.0
+end
+"""
+
+
+@pytest.fixture
+def st():
+    return SymbolTable(parse_program(SRC).units["f"])
+
+
+class TestClassification:
+    def test_arrays_and_scalars(self, st):
+        assert st.is_array("a") and st.is_array("b") and st.is_array("c")
+        assert st.is_scalar("n") and st.is_scalar("m")
+        assert not st.is_array("n")
+        assert not st.is_scalar("a")
+        assert not st.is_declared("zz")
+
+    def test_formals(self, st):
+        assert st.is_formal("n") and st.is_formal("m")
+        assert not st.is_formal("a")
+        assert st.formal_position("n") == 0
+        assert st.formal_position("m") == 1
+
+    def test_types(self, st):
+        assert st.is_integer("n")
+        assert not st.is_integer("a")
+
+    def test_listings(self, st):
+        assert st.declared_arrays() == ["a", "b", "c"]
+        assert "n" in st.declared_scalars()
+
+
+class TestExtents:
+    def test_rank(self, st):
+        assert st.rank("a") == 1
+        assert st.rank("b") == 2
+        with pytest.raises(KeyError):
+            st.rank("n")
+
+    def test_affine_extents_constant(self, st):
+        exts = st.affine_extents("a")
+        assert exts == [AffineExpr.const(10)]
+
+    def test_affine_extents_symbolic(self, st):
+        exts = st.affine_extents("b")
+        assert exts == [AffineExpr.var("n"), AffineExpr.var("m")]
+
+    def test_assumed_size_is_none(self, st):
+        exts = st.affine_extents("c")
+        assert exts[0] == AffineExpr.const(10)
+        assert exts[1] is None
+
+    def test_extents_raw(self, st):
+        from repro.lang.astnodes import ASSUMED
+
+        assert st.extents("c")[1] == ASSUMED

@@ -1,0 +1,112 @@
+"""Unit tests for the programmatic AST builder."""
+
+from repro.lang import builder as b
+from repro.lang.astnodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    DoLoop,
+    If,
+    Num,
+    UnOp,
+    VarRef,
+    walk_stmts,
+)
+
+
+class TestExprHelpers:
+    def test_as_expr_coercions(self):
+        assert b.as_expr(3) == Num(3)
+        assert b.as_expr(2.5) == Num(2.5)
+        assert b.as_expr("i") == VarRef("i")
+        v = VarRef("x")
+        assert b.as_expr(v) is v
+
+    def test_arithmetic(self):
+        e = b.add("i", 1)
+        assert e == BinOp("+", VarRef("i"), Num(1))
+        assert b.mul(2, "j").op == "*"
+        assert b.sub("i", "j").op == "-"
+        assert b.div("i", 2).op == "/"
+
+    def test_relational(self):
+        assert b.lt("i", "n").op == "<"
+        assert b.le("i", "n").op == "<="
+        assert b.gt("i", "n").op == ">"
+        assert b.ge("i", "n").op == ">="
+        assert b.eq("i", "n").op == "=="
+        assert b.ne("i", "n").op == "!="
+
+    def test_logical(self):
+        assert b.land(b.lt("i", 3), b.gt("j", 2)).op == "and"
+        assert b.lor(b.lt("i", 3), b.gt("j", 2)).op == "or"
+        assert isinstance(b.lnot(b.lt("i", 3)), UnOp)
+
+    def test_aref(self):
+        e = b.aref("a", "i", 1)
+        assert isinstance(e, ArrayRef)
+        assert e.subscripts == (VarRef("i"), Num(1))
+
+    def test_mod(self):
+        e = b.mod("n", 4)
+        assert e.name == "mod" and len(e.args) == 2
+
+
+class TestStmtHelpers:
+    def test_assign(self):
+        s = b.assign("x", 1)
+        assert isinstance(s, Assign) and s.target == VarRef("x")
+
+    def test_assign_array_target(self):
+        s = b.assign(b.aref("a", "i"), 0)
+        assert isinstance(s.target, ArrayRef)
+
+    def test_do(self):
+        s = b.do("i", 1, "n", [b.assign("x", "i")])
+        assert isinstance(s, DoLoop)
+        assert s.step is None
+        s2 = b.do("i", 1, "n", [], step=2)
+        assert s2.step == Num(2)
+
+    def test_if(self):
+        s = b.if_(b.gt("x", 0), [b.assign("y", 1)], [b.assign("y", 2)])
+        assert isinstance(s, If)
+        assert len(s.then_body) == 1 and len(s.else_body) == 1
+
+    def test_call_read(self):
+        c = b.call("foo", "a", 3)
+        assert c.name == "foo" and len(c.args) == 2
+        r = b.read("n", "m")
+        assert r.names == ["n", "m"]
+
+
+class TestClone:
+    def test_clone_fresh_identity(self):
+        loop = b.do("i", 1, 10, [b.assign("x", "i")])
+        copy = b.clone_stmt(loop)
+        assert copy is not loop
+        assert copy.body[0] is not loop.body[0]
+        assert copy.var == loop.var and copy.lo == loop.lo
+
+    def test_clone_deep(self):
+        inner = b.if_(b.gt("x", 0), [b.assign("y", 1)])
+        loop = b.do("i", 1, 10, [inner])
+        copy = b.clone_stmt(loop)
+        copy.body[0].then_body.append(b.assign("z", 2))
+        assert len(inner.then_body) == 1  # original untouched
+
+    def test_clone_body_count(self):
+        body = [b.assign("x", 1), b.assign("y", 2)]
+        copied = b.clone_body(body)
+        assert len(copied) == 2
+        assert all(c is not o for c, o in zip(copied, body))
+
+    def test_clone_preserves_line_and_label(self):
+        loop = b.do("i", 1, 10, [], line=42)
+        loop.label = "t:L9"
+        copy = b.clone_stmt(loop)
+        assert copy.line == 42 and copy.label == "t:L9"
+
+    def test_cloned_stmts_countable(self):
+        loop = b.do("i", 1, 10, [b.assign("x", "i"), b.assign("y", "i")])
+        assert len(list(walk_stmts([b.clone_stmt(loop)]))) == 3

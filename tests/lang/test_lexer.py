@@ -1,0 +1,113 @@
+"""Unit tests for the lexer."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokKind
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src)]
+
+
+def values(src):
+    return [t.value for t in tokenize(src)]
+
+
+class TestBasics:
+    def test_empty(self):
+        toks = tokenize("")
+        assert toks[-1].kind is TokKind.EOF
+
+    def test_name_and_keyword(self):
+        toks = tokenize("do i")
+        assert toks[0].is_kw("do")
+        assert toks[1].kind is TokKind.NAME and toks[1].value == "i"
+
+    def test_case_insensitive(self):
+        toks = tokenize("DO I")
+        assert toks[0].is_kw("do")
+        assert toks[1].value == "i"
+
+    def test_int_literal(self):
+        toks = tokenize("42")
+        assert toks[0].kind is TokKind.INT and toks[0].value == 42
+
+    def test_real_literal(self):
+        toks = tokenize("3.14")
+        assert toks[0].kind is TokKind.REAL and toks[0].value == pytest.approx(3.14)
+
+    def test_real_vs_range_dots(self):
+        # "1." followed by non-digit must not become a real
+        toks = tokenize("a(1) = 1")
+        assert all(t.kind is not TokKind.REAL for t in toks)
+
+    def test_string_literal(self):
+        toks = tokenize("print 'hello'")
+        assert toks[1].kind is TokKind.STRING and toks[1].value == "hello"
+
+
+class TestOperators:
+    def test_multichar_longest_match(self):
+        assert "<=" in values("a <= b")
+        assert "**" in values("a ** b")
+
+    def test_fortran_dotted_ops(self):
+        vals = values("a .le. b .and. c .gt. d")
+        assert "<=" in vals and "and" in vals and ">" in vals
+
+    def test_word_logical_ops(self):
+        vals = values("a and b or not c")
+        assert "and" in vals and "or" in vals and "not" in vals
+
+    def test_slash_equals(self):
+        assert "!=" in values("a /= b")
+        assert "!=" in values("a != b")
+
+
+class TestLinesAndComments:
+    def test_newline_collapse(self):
+        toks = tokenize("a\n\n\nb")
+        newlines = [t for t in toks if t.kind is TokKind.NEWLINE]
+        assert len(newlines) == 2  # one after a, one after b
+
+    def test_semicolon_separator(self):
+        toks = tokenize("a = 1; b = 2")
+        newlines = [t for t in toks if t.kind is TokKind.NEWLINE]
+        assert len(newlines) >= 2
+
+    def test_comment_stripped(self):
+        vals = values("a = 1 ! comment with do if end\nb = 2")
+        assert "comment" not in vals and "do" not in vals
+
+    def test_continuation(self):
+        toks = tokenize("a = 1 + &\n 2")
+        vals = [t.value for t in toks]
+        assert 2 in vals
+        # no newline between 1 + and 2
+        plus_idx = vals.index("+")
+        assert toks[plus_idx + 1].value == 2
+
+    def test_line_numbers(self):
+        toks = tokenize("a\nb\nc")
+        names = [t for t in toks if t.kind is TokKind.NAME]
+        assert [t.line for t in names] == [1, 2, 3]
+
+
+class TestErrors:
+    def test_unknown_char(self):
+        with pytest.raises(LexError):
+            tokenize("a = #")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize("print 'oops")
+
+    def test_stray_ampersand(self):
+        with pytest.raises(LexError):
+            tokenize("a & b")
+
+    def test_bad_dotted_op(self):
+        with pytest.raises(LexError):
+            tokenize("a .xyz. b")

@@ -1,0 +1,227 @@
+"""Unit tests for the parser and semantic checks."""
+
+import pytest
+
+from repro.lang.astnodes import (
+    ArrayRef,
+    Assign,
+    BinOp,
+    Call,
+    DoLoop,
+    If,
+    Intrinsic,
+    Num,
+    ReadStmt,
+    UnOp,
+    VarRef,
+    loops_of,
+    walk_stmts,
+)
+from repro.lang.errors import ParseError, SemanticError
+from repro.lang.parser import parse_program
+
+
+def parse_main(body: str, decls: str = "") -> "Program":
+    src = f"program t\n{decls}\n{body}\nend\n"
+    return parse_program(src)
+
+
+class TestUnits:
+    def test_minimal_program(self):
+        p = parse_main("x = 1")
+        assert p.main == "t"
+        assert len(p.main_unit.body) == 1
+
+    def test_subroutine_with_params(self):
+        src = """
+program t
+  real a(10)
+  call f(a, 3)
+end
+subroutine f(x, n)
+  real x(*)
+  x(n) = 0.0
+end
+"""
+        p = parse_program(src)
+        assert p.units["f"].params == ["x", "n"]
+        assert not p.units["f"].is_main
+
+    def test_missing_program_unit(self):
+        with pytest.raises(SemanticError):
+            parse_program("subroutine f(x)\nx = 1\nend\n")
+
+    def test_duplicate_units(self):
+        src = "program t\nx=1\nend\nsubroutine t(a)\na=1\nend\n"
+        with pytest.raises(SemanticError):
+            parse_program(src)
+
+
+class TestStatements:
+    def test_assign_scalar(self):
+        p = parse_main("x = 1 + 2")
+        stmt = p.main_unit.body[0]
+        assert isinstance(stmt, Assign)
+        assert isinstance(stmt.value, BinOp)
+
+    def test_assign_array(self):
+        p = parse_main("a(i) = 0.0", decls="real a(10)")
+        stmt = p.main_unit.body[0]
+        assert isinstance(stmt.target, ArrayRef)
+
+    def test_do_loop(self):
+        p = parse_main("do i = 1, 10\n a(i) = 0.0\nenddo", decls="real a(10)")
+        loop = p.main_unit.body[0]
+        assert isinstance(loop, DoLoop)
+        assert loop.var == "i"
+        assert loop.step is None
+        assert loop.label == "t:L1"
+
+    def test_do_loop_with_step(self):
+        p = parse_main("do i = 1, 10, 2\n x = i\nenddo")
+        assert p.main_unit.body[0].step == Num(2)
+
+    def test_nested_loop_labels(self):
+        p = parse_main(
+            "do i = 1, 10\n do j = 1, 10\n  a(i) = 0.0\n enddo\nenddo",
+            decls="real a(10)",
+        )
+        labels = [l.label for l in loops_of(p.main_unit)]
+        assert labels == ["t:L1", "t:L2"]
+
+    def test_if_then_else(self):
+        p = parse_main("if (x > 0) then\n y = 1\nelse\n y = 2\nendif")
+        stmt = p.main_unit.body[0]
+        assert isinstance(stmt, If)
+        assert len(stmt.then_body) == 1 and len(stmt.else_body) == 1
+
+    def test_elseif_chain(self):
+        p = parse_main(
+            "if (x > 0) then\n y = 1\nelseif (x < 0) then\n y = 2\nelse\n y = 3\nendif"
+        )
+        stmt = p.main_unit.body[0]
+        nested = stmt.else_body[0]
+        assert isinstance(nested, If)
+        assert len(nested.else_body) == 1
+
+    def test_read(self):
+        p = parse_main("read n, m")
+        stmt = p.main_unit.body[0]
+        assert isinstance(stmt, ReadStmt)
+        assert stmt.names == ["n", "m"]
+
+    def test_nids_unique(self):
+        p = parse_main("do i = 1, 3\n x = i\nenddo\ny = 1")
+        nids = [s.nid for s in walk_stmts(p.main_unit.body)]
+        assert len(nids) == len(set(nids))
+        assert all(n >= 0 for n in nids)
+
+
+class TestExpressions:
+    def expr(self, text):
+        p = parse_main(f"x = {text}", decls="real a(10), b(10, 10)")
+        return p.main_unit.body[0].value
+
+    def test_precedence_mul_over_add(self):
+        e = self.expr("1 + 2 * 3")
+        assert e.op == "+" and e.right.op == "*"
+
+    def test_parens(self):
+        e = self.expr("(1 + 2) * 3")
+        assert e.op == "*" and e.left.op == "+"
+
+    def test_relational(self):
+        e = self.expr("i + 1 <= n")
+        assert e.op == "<=" and e.left.op == "+"
+
+    def test_logical_precedence(self):
+        e = self.expr("i < 3 and j > 2 or k == 1")
+        assert e.op == "or" and e.left.op == "and"
+
+    def test_not(self):
+        e = self.expr("not i < 3")
+        assert isinstance(e, UnOp) and e.op == "not"
+
+    def test_unary_minus(self):
+        e = self.expr("-i + 1")
+        assert e.op == "+" and isinstance(e.left, UnOp)
+
+    def test_power_right_assoc(self):
+        e = self.expr("2 ** 3 ** 2")
+        assert e.op == "**" and e.right.op == "**"
+
+    def test_intrinsic(self):
+        e = self.expr("mod(i, 2)")
+        assert isinstance(e, Intrinsic) and e.name == "mod"
+
+    def test_array_2d(self):
+        e = self.expr("b(i, j)")
+        assert isinstance(e, ArrayRef) and len(e.subscripts) == 2
+
+
+class TestSemantics:
+    def test_implicit_typing(self):
+        p = parse_main("i = 1\nx = 2.0")
+        assert p.main_unit.decls["i"].typ == "integer"
+        assert p.main_unit.decls["x"].typ == "real"
+
+    def test_undeclared_array_rejected(self):
+        with pytest.raises(SemanticError):
+            parse_main("q(1) = 0.0")
+
+    def test_rank_mismatch(self):
+        with pytest.raises(SemanticError):
+            parse_main("a(1, 2) = 0.0", decls="real a(10)")
+
+    def test_scalar_subscripted(self):
+        with pytest.raises(SemanticError):
+            parse_main("x = 1\nx(2) = 3")
+
+    def test_call_unknown_unit(self):
+        with pytest.raises(SemanticError):
+            parse_main("call nope(1)")
+
+    def test_call_arity_mismatch(self):
+        src = "program t\ncall f(1)\nend\nsubroutine f(a, b)\nc = a + b\nend\n"
+        with pytest.raises(SemanticError):
+            parse_program(src)
+
+    def test_recursion_rejected(self):
+        src = (
+            "program t\ncall f(1)\nend\n"
+            "subroutine f(a)\ncall g(a)\nend\n"
+            "subroutine g(a)\ncall f(a)\nend\n"
+        )
+        with pytest.raises(SemanticError):
+            parse_program(src)
+
+    def test_whole_array_call_arg_allowed(self):
+        src = (
+            "program t\nreal a(10)\ncall f(a)\nend\n"
+            "subroutine f(x)\nreal x(*)\nx(1) = 0.0\nend\n"
+        )
+        p = parse_program(src)
+        assert isinstance(p.main_unit.body[0], Call)
+
+    def test_assumed_size_only_last_dim(self):
+        src = "program t\nx=1\nend\nsubroutine f(a)\nreal a(*, 10)\na(1,1)=0.0\nend\n"
+        with pytest.raises(SemanticError):
+            parse_program(src)
+
+
+class TestParseErrors:
+    def test_missing_enddo(self):
+        with pytest.raises(ParseError):
+            parse_program("program t\ndo i = 1, 3\nx = 1\nend\n")
+
+    def test_garbage_statement(self):
+        with pytest.raises(ParseError):
+            parse_main("= 5")
+
+    def test_assign_to_intrinsic(self):
+        with pytest.raises(ParseError):
+            parse_main("mod(i, 2) = 1")
+
+    def test_bad_if(self):
+        with pytest.raises(ParseError):
+            parse_main("if x > 0 then\ny=1\nendif")

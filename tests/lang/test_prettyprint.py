@@ -1,0 +1,103 @@
+"""Round-trip and formatting tests for the pretty printer."""
+
+import pytest
+
+from repro.lang.parser import parse_program
+from repro.lang.prettyprint import expr_str, pretty
+
+ROUNDTRIP_SOURCES = [
+    # simple program
+    "program t\n  x = 1 + 2 * 3\nend\n",
+    # loop with step and condition
+    """
+program t
+  integer n
+  real a(100)
+  read n
+  do i = 1, n, 2
+    if (i > 5 and i < 20) then
+      a(i) = a(i - 1) + 1.0
+    endif
+  enddo
+end
+""",
+    # multiple units, 2-d arrays, intrinsics
+    """
+program t
+  real b(10, 20)
+  call init(b, 10, 20)
+end
+subroutine init(x, n, m)
+  real x(10, *)
+  do j = 1, m
+    do i = 1, n
+      x(i, j) = mod(i + j, 2) * 1.0
+    enddo
+  enddo
+end
+""",
+    # elseif chains and unary operators
+    """
+program t
+  read k
+  if (k > 0) then
+    s = 1
+  elseif (k < 0) then
+    s = -1
+  else
+    s = 0
+  endif
+  print s
+end
+""",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("src", ROUNDTRIP_SOURCES)
+    def test_parse_pretty_parse_fixpoint(self, src):
+        p1 = parse_program(src)
+        text1 = pretty(p1)
+        p2 = parse_program(text1)
+        text2 = pretty(p2)
+        assert text1 == text2
+
+    def test_precedence_preserved(self):
+        src = "program t\n  x = (1 + 2) * 3\n  y = 1 + 2 * 3\nend\n"
+        p = parse_program(src)
+        text = pretty(p)
+        p2 = parse_program(text)
+        assert p2.main_unit.body[0].value == p.main_unit.body[0].value
+        assert p2.main_unit.body[1].value == p.main_unit.body[1].value
+
+
+class TestExprStr:
+    def expr(self, text):
+        p = parse_program(f"program t\nreal a(10)\nx = {text}\nend\n")
+        return p.main_unit.body[0].value
+
+    def test_minimal_parens(self):
+        assert expr_str(self.expr("1 + 2 * 3")) == "1 + 2 * 3"
+        assert expr_str(self.expr("(1 + 2) * 3")) == "(1 + 2) * 3"
+
+    def test_subtraction_associativity(self):
+        e = self.expr("10 - 2 - 3")
+        # must not print as 10 - (2 - 3)
+        assert expr_str(e) in ("10 - 2 - 3",)
+        p = parse_program(f"program t\nx = {expr_str(e)}\nend\n")
+        assert p.main_unit.body[0].value == e
+
+    def test_unary_minus(self):
+        assert expr_str(self.expr("-i")) == "-i"
+
+    def test_intrinsic(self):
+        assert expr_str(self.expr("mod(i, 2)")) == "mod(i, 2)"
+
+    def test_real_formatting(self):
+        assert expr_str(self.expr("1.0")) == "1.0"
+
+    def test_not_operator(self):
+        e = self.expr("not i < 3")
+        text = expr_str(e)
+        p = parse_program(f"program t\nx = {text}\nend\n")
+        assert p.main_unit.body[0].value == e

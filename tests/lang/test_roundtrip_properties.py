@@ -1,0 +1,150 @@
+"""Property-based round-trip tests for the front end (hypothesis).
+
+Random ASTs built through the builder DSL must pretty-print to source
+that re-parses to the same pretty-printed text (fixpoint), and integer
+expressions must evaluate identically through ``to_affine`` and the
+interpreter.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir.exprtools import to_affine
+from repro.lang import builder as b
+from repro.lang.astnodes import Program, Subroutine, assign_nids
+from repro.lang.parser import parse_program
+from repro.lang.prettyprint import expr_str, pretty
+
+NAMES = ["i", "j", "n", "k"]
+
+
+@st.composite
+def int_exprs(draw, depth=0):
+    """Random integer-valued expressions (affine and non-affine)."""
+    if depth >= 3:
+        choice = draw(st.sampled_from(["num", "var"]))
+    else:
+        choice = draw(
+            st.sampled_from(
+                ["num", "var", "add", "sub", "mul", "neg", "minmax", "mod"]
+            )
+        )
+    if choice == "num":
+        return b.num(draw(st.integers(min_value=0, max_value=20)))
+    if choice == "var":
+        return b.var(draw(st.sampled_from(NAMES)))
+    if choice == "neg":
+        return b.neg(draw(int_exprs(depth=depth + 1)))
+    if choice == "minmax":
+        f = draw(st.sampled_from(["min", "max"]))
+        from repro.lang.astnodes import Intrinsic
+
+        return Intrinsic(
+            f,
+            (draw(int_exprs(depth=depth + 1)), draw(int_exprs(depth=depth + 1))),
+        )
+    if choice == "mod":
+        return b.mod(
+            draw(int_exprs(depth=depth + 1)),
+            b.num(draw(st.integers(min_value=1, max_value=7))),
+        )
+    op = {"add": "+", "sub": "-", "mul": "*"}[choice]
+    return b.binop(
+        op, draw(int_exprs(depth=depth + 1)), draw(int_exprs(depth=depth + 1))
+    )
+
+
+@st.composite
+def stmt_lists(draw, depth=0):
+    n = draw(st.integers(min_value=1, max_value=3))
+    out = []
+    for _ in range(n):
+        kind = draw(
+            st.sampled_from(["assign", "if", "loop"])
+            if depth < 2
+            else st.just("assign")
+        )
+        if kind == "assign":
+            out.append(
+                b.assign(
+                    draw(st.sampled_from(["x", "y", "z"])),
+                    draw(int_exprs()),
+                )
+            )
+        elif kind == "if":
+            cond = b.binop(
+                draw(st.sampled_from(["<", "<=", ">", ">=", "==", "!="])),
+                draw(int_exprs()),
+                draw(int_exprs()),
+            )
+            out.append(
+                b.if_(
+                    cond,
+                    draw(stmt_lists(depth=depth + 1)),
+                    draw(stmt_lists(depth=depth + 1))
+                    if draw(st.booleans())
+                    else (),
+                )
+            )
+        else:
+            out.append(
+                b.do(
+                    draw(st.sampled_from(["i", "j"])),
+                    draw(int_exprs()),
+                    draw(int_exprs()),
+                    draw(stmt_lists(depth=depth + 1)),
+                )
+            )
+    return out
+
+
+def make_program(stmts):
+    unit = Subroutine("t", [], {}, stmts, is_main=True)
+    program = Program("t", {"t": unit}, "t")
+    from repro.lang.parser import check_semantics
+
+    check_semantics(program)
+    assign_nids(program)
+    return program
+
+
+class TestRoundTripProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(stmt_lists())
+    def test_pretty_parse_fixpoint(self, stmts):
+        program = make_program(stmts)
+        text1 = pretty(program)
+        reparsed = parse_program(text1)
+        assert pretty(reparsed) == text1
+
+    @settings(max_examples=60, deadline=None)
+    @given(int_exprs())
+    def test_expr_str_reparses_to_same_expr(self, expr):
+        text = expr_str(expr)
+        program = parse_program(f"program t\nzz = {text}\nend\n")
+        assert program.main_unit.body[0].value == expr
+
+
+class TestAffineConsistency:
+    @settings(max_examples=80, deadline=None)
+    @given(int_exprs(), st.integers(-4, 4), st.integers(-4, 4),
+           st.integers(1, 9), st.integers(-4, 4))
+    def test_to_affine_matches_interpreter(self, expr, i, j, n, k):
+        """Where to_affine succeeds, its value equals the interpreted
+        value of the expression (integer semantics agree)."""
+        affine = to_affine(expr)
+        if affine is None:
+            return
+        env = {"i": i, "j": j, "n": n, "k": k}
+        from repro.lang.parser import parse_program as pp
+        from repro.runtime.interp import run_program
+
+        src = (
+            "program t\ninteger i, j, n, k, zz\nread i, j, n, k\n"
+            f"zz = {expr_str(expr)}\nprint zz\nend\n"
+        )
+        result = run_program(pp(src), [i, j, n, k])
+        expected = affine.evaluate(env)
+        assert Fraction(int(result.outputs[0])) == expected

@@ -1,0 +1,129 @@
+"""Unit tests for single-constraint normalization and classification."""
+
+import pytest
+
+from repro.linalg.constraint import FALSE, TRUE, Constraint, Rel
+from repro.symbolic.affine import AffineExpr
+
+I = AffineExpr.var("i")
+J = AffineExpr.var("j")
+N = AffineExpr.var("n")
+C = AffineExpr.const
+
+
+class TestConstructors:
+    def test_le(self):
+        c = Constraint.le(I, N)
+        assert c.rel is Rel.LE
+        assert c.expr == I - N
+
+    def test_lt_is_integer_strict(self):
+        c = Constraint.lt(I, N)
+        # i < n over integers is i - n + 1 <= 0
+        assert c.expr == I - N + 1
+
+    def test_ge(self):
+        c = Constraint.ge(I, C(1))
+        assert c.expr == -I + 1
+
+    def test_gt(self):
+        c = Constraint.gt(I, C(0))
+        assert c.expr == -I + 1
+
+    def test_eq(self):
+        c = Constraint.eq(I, J)
+        assert c.rel is Rel.EQ
+
+
+class TestNormalization:
+    def test_gcd_tightening(self):
+        # 2i <= 5  =>  i <= 2
+        c = Constraint.le(AffineExpr.var("i", 2), C(5))
+        assert c == Constraint.le(I, C(2))
+
+    def test_gcd_tightening_negative(self):
+        # 3i >= 7  =>  i >= 3  (ceil)
+        c = Constraint.ge(AffineExpr.var("i", 3), C(7))
+        assert c == Constraint.ge(I, C(3))
+
+    def test_fraction_scaling(self):
+        from fractions import Fraction
+
+        c = Constraint.le(AffineExpr.var("i", Fraction(1, 2)), C(1))
+        assert c == Constraint.le(I, C(2))
+
+    def test_no_tightening_on_mixed_gcd(self):
+        c = Constraint.le(AffineExpr({"i": 2, "j": 3}), C(5))
+        assert c.expr == AffineExpr({"i": 2, "j": 3}, -5)
+
+
+class TestClassification:
+    def test_tautology(self):
+        assert TRUE.is_tautology()
+        assert Constraint.le(C(0), C(5)).is_tautology()
+        assert Constraint.eq(C(3), C(3)).is_tautology()
+
+    def test_contradiction(self):
+        assert FALSE.is_contradiction()
+        assert Constraint.le(C(5), C(0)).is_contradiction()
+        assert Constraint.eq(C(1), C(2)).is_contradiction()
+
+    def test_integer_infeasible_equality(self):
+        # 2i == 1 has no integer solution
+        c = Constraint.eq(AffineExpr.var("i", 2), C(1))
+        assert c.is_contradiction()
+
+    def test_feasible_equality_not_contradiction(self):
+        c = Constraint.eq(AffineExpr.var("i", 2), C(4))
+        assert not c.is_contradiction()
+
+    def test_open_constraint_neither(self):
+        c = Constraint.le(I, N)
+        assert not c.is_tautology() and not c.is_contradiction()
+
+
+class TestAlgebra:
+    def test_negate_le(self):
+        c = Constraint.le(I, C(5))  # i <= 5
+        n = c.negate()  # i >= 6
+        assert n == Constraint.ge(I, C(6))
+
+    def test_negate_eq_raises(self):
+        with pytest.raises(ValueError):
+            Constraint.eq(I, C(0)).negate()
+
+    def test_double_negation(self):
+        c = Constraint.le(I, N)
+        assert c.negate().negate() == c
+
+    def test_substitute(self):
+        c = Constraint.le(I, N)
+        assert c.substitute({"n": C(10)}) == Constraint.le(I, C(10))
+
+    def test_rename(self):
+        c = Constraint.le(I, N)
+        assert c.rename({"i": "k"}) == Constraint.le(AffineExpr.var("k"), N)
+
+    def test_evaluate(self):
+        c = Constraint.le(I, N)
+        assert c.evaluate({"i": 3, "n": 5})
+        assert not c.evaluate({"i": 6, "n": 5})
+
+    def test_evaluate_eq(self):
+        c = Constraint.eq(I, J)
+        assert c.evaluate({"i": 2, "j": 2})
+        assert not c.evaluate({"i": 2, "j": 3})
+
+
+class TestPlumbing:
+    def test_immutability(self):
+        c = Constraint.le(I, N)
+        with pytest.raises(AttributeError):
+            c.rel = Rel.EQ
+
+    def test_hash_consistency(self):
+        assert hash(Constraint.le(I, N)) == hash(Constraint.le(I, N))
+
+    def test_str(self):
+        assert "<=" in str(Constraint.le(I, N))
+        assert "==" in str(Constraint.eq(I, N))

@@ -1,0 +1,130 @@
+"""Unit tests for feasibility and implication."""
+
+from repro.linalg.constraint import Constraint
+from repro.linalg.feasibility import is_feasible, is_rationally_feasible
+from repro.linalg.implication import (
+    any_entailed,
+    entails,
+    remove_redundant,
+    system_implies,
+    systems_equivalent,
+)
+from repro.linalg.system import LinearSystem
+from repro.symbolic.affine import AffineExpr
+
+I = AffineExpr.var("i")
+J = AffineExpr.var("j")
+N = AffineExpr.var("n")
+C = AffineExpr.const
+
+
+class TestFeasibility:
+    def test_universe_feasible(self):
+        assert is_feasible(LinearSystem.universe())
+
+    def test_empty_infeasible(self):
+        assert not is_feasible(LinearSystem.empty())
+
+    def test_interval(self):
+        assert is_feasible(LinearSystem([Constraint.ge(I, C(1)), Constraint.le(I, C(1))]))
+        assert not is_feasible(
+            LinearSystem([Constraint.ge(I, C(2)), Constraint.le(I, C(1))])
+        )
+
+    def test_parametric(self):
+        # 1 <= i <= n is feasible (n free)
+        assert is_feasible(LinearSystem([Constraint.ge(I, C(1)), Constraint.le(I, N)]))
+        # ... but not once n <= 0
+        assert not is_feasible(
+            LinearSystem(
+                [Constraint.ge(I, C(1)), Constraint.le(I, N), Constraint.le(N, C(0))]
+            )
+        )
+
+    def test_equality_chain(self):
+        s = LinearSystem(
+            [Constraint.eq(I, J), Constraint.eq(J, C(3)), Constraint.le(I, C(2))]
+        )
+        assert not is_feasible(s)
+
+    def test_triangle(self):
+        s = LinearSystem(
+            [
+                Constraint.ge(I, C(0)),
+                Constraint.ge(J, C(0)),
+                Constraint.le(I + J, C(-1)),
+            ]
+        )
+        assert not is_feasible(s)
+
+    def test_rational_alias(self):
+        s = LinearSystem([Constraint.ge(I, C(1))])
+        assert is_rationally_feasible(s) == is_feasible(s)
+
+
+class TestEntailment:
+    def setup_method(self):
+        self.loop = LinearSystem([Constraint.ge(I, C(1)), Constraint.le(I, N)])
+
+    def test_entails_own_constraint(self):
+        assert entails(self.loop, Constraint.ge(I, C(1)))
+
+    def test_entails_weaker(self):
+        assert entails(self.loop, Constraint.ge(I, C(0)))
+
+    def test_not_entails_stronger(self):
+        assert not entails(self.loop, Constraint.ge(I, C(2)))
+
+    def test_empty_entails_everything(self):
+        assert entails(LinearSystem.empty(), Constraint.le(C(1), C(0)))
+
+    def test_entails_equality(self):
+        s = LinearSystem([Constraint.ge(I, C(3)), Constraint.le(I, C(3))])
+        assert entails(s, Constraint.eq(I, C(3)))
+        assert not entails(self.loop, Constraint.eq(I, C(3)))
+
+    def test_entails_derived(self):
+        # i <= n and n <= 5 entail i <= 5
+        s = self.loop.conjoin(Constraint.le(N, C(5)))
+        assert entails(s, Constraint.le(I, C(5)))
+
+    def test_any_entailed(self):
+        assert any_entailed(
+            self.loop, [Constraint.ge(I, C(2)), Constraint.ge(I, C(0))]
+        )
+        assert not any_entailed(self.loop, [Constraint.ge(I, C(2))])
+
+
+class TestSystemImplies:
+    def test_subset_implies(self):
+        a = LinearSystem([Constraint.ge(I, C(2)), Constraint.le(I, C(4))])
+        b = LinearSystem([Constraint.ge(I, C(1)), Constraint.le(I, C(10))])
+        assert system_implies(a, b)
+        assert not system_implies(b, a)
+
+    def test_equivalence(self):
+        a = LinearSystem([Constraint.le(AffineExpr.var("i", 2), C(4))])
+        b = LinearSystem([Constraint.le(I, C(2))])
+        assert systems_equivalent(a, b)
+
+    def test_universe_implied_by_all(self):
+        assert system_implies(LinearSystem.empty(), LinearSystem.universe())
+        assert system_implies(LinearSystem.universe(), LinearSystem.universe())
+
+
+class TestRemoveRedundant:
+    def test_drops_implied(self):
+        s = LinearSystem(
+            [
+                Constraint.ge(I, C(2)),
+                Constraint.ge(I, C(0)),  # implied
+                Constraint.le(I, N),
+            ]
+        )
+        r = remove_redundant(s)
+        assert len(r) == 2
+        assert systems_equivalent(r, s)
+
+    def test_noop_when_minimal(self):
+        s = LinearSystem([Constraint.ge(I, C(1)), Constraint.le(I, N)])
+        assert remove_redundant(s) == s

@@ -1,0 +1,121 @@
+"""Unit tests for Fourier–Motzkin elimination."""
+
+from repro.linalg.constraint import Constraint
+from repro.linalg.fourier_motzkin import eliminate, eliminate_all
+from repro.linalg.system import LinearSystem
+from repro.symbolic.affine import AffineExpr
+
+I = AffineExpr.var("i")
+J = AffineExpr.var("j")
+N = AffineExpr.var("n")
+C = AffineExpr.const
+
+
+class TestEliminate:
+    def test_simple_interval(self):
+        # 1 <= i <= n ; eliminating i gives n >= 1
+        s = LinearSystem([Constraint.ge(I, C(1)), Constraint.le(I, N)])
+        r = eliminate(s, "i")
+        assert "i" not in r.variables()
+        assert r.evaluate({"n": 1})
+        assert not r.evaluate({"n": 0})
+
+    def test_var_absent_noop(self):
+        s = LinearSystem([Constraint.le(J, N)])
+        assert eliminate(s, "i") is s
+
+    def test_chained_bounds(self):
+        # i <= j, j <= n, i >= 1; eliminate j => 1 <= i <= n
+        s = LinearSystem(
+            [Constraint.le(I, J), Constraint.le(J, N), Constraint.ge(I, C(1))]
+        )
+        r = eliminate(s, "j")
+        assert r.evaluate({"i": 1, "n": 1})
+        assert not r.evaluate({"i": 2, "n": 1})
+
+    def test_equality_substitution(self):
+        # j == i + 1, j <= n; eliminate j => i + 1 <= n
+        s = LinearSystem([Constraint.eq(J, I + 1), Constraint.le(J, N)])
+        r = eliminate(s, "j")
+        assert r == LinearSystem([Constraint.le(I + 1, N)])
+
+    def test_equality_nonunit_coefficient(self):
+        # 2j == i, 1 <= j <= 3 ; eliminate j => i in [2, 6] rationally
+        s = LinearSystem(
+            [
+                Constraint.eq(AffineExpr.var("j", 2), I),
+                Constraint.ge(J, C(1)),
+                Constraint.le(J, C(3)),
+            ]
+        )
+        r = eliminate(s, "j")
+        assert "j" not in r.variables()
+        assert r.evaluate({"i": 4})
+        assert not r.evaluate({"i": 8})
+
+    def test_no_upper_bounds_drops_lowers(self):
+        # only i >= 1: projection of i is the universe
+        s = LinearSystem([Constraint.ge(I, C(1))])
+        assert eliminate(s, "i").is_universe()
+
+    def test_infeasible_detected_at_ground(self):
+        # i >= 5 and i <= 2
+        s = LinearSystem([Constraint.ge(I, C(5)), Constraint.le(I, C(2))])
+        assert eliminate(s, "i").is_trivially_empty()
+
+    def test_rational_combination(self):
+        # 2i >= j and 3i <= n, eliminate i: 3j <= 2n
+        s = LinearSystem(
+            [
+                Constraint.ge(AffineExpr.var("i", 2), J),
+                Constraint.le(AffineExpr.var("i", 3), N),
+            ]
+        )
+        r = eliminate(s, "i")
+        assert r.evaluate({"j": 2, "n": 3})
+        assert not r.evaluate({"j": 4, "n": 3})
+
+
+class TestEliminateAll:
+    def test_eliminate_all_to_ground(self):
+        s = LinearSystem(
+            [
+                Constraint.ge(I, C(1)),
+                Constraint.le(I, J),
+                Constraint.le(J, C(10)),
+            ]
+        )
+        r = eliminate_all(s, ["i", "j"])
+        assert r.is_universe()
+
+    def test_eliminate_all_keeps_params(self):
+        s = LinearSystem(
+            [Constraint.ge(I, C(1)), Constraint.le(I, N)]
+        )
+        r = eliminate_all(s, ["i"])
+        assert r.variables() == frozenset({"n"})
+
+    def test_eliminate_all_infeasible(self):
+        s = LinearSystem(
+            [
+                Constraint.ge(I, J),
+                Constraint.ge(J, I + 1),
+            ]
+        )
+        r = eliminate_all(s, ["i", "j"])
+        assert r.is_trivially_empty()
+
+    def test_projection_soundness_samples(self):
+        # every point satisfying the original satisfies the projection
+        s = LinearSystem(
+            [
+                Constraint.ge(I, C(0)),
+                Constraint.le(I + J, C(5)),
+                Constraint.ge(J, C(0)),
+            ]
+        )
+        proj = eliminate(s, "i")
+        for i in range(0, 6):
+            for j in range(0, 6):
+                if s.evaluate({"i": i, "j": j}):
+                    assert proj.evaluate({"j": j})

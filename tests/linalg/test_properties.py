@@ -1,0 +1,122 @@
+"""Property-based tests for the linear-algebra substrate (hypothesis)."""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg.constraint import Constraint, Rel
+from repro.linalg.feasibility import is_feasible
+from repro.linalg.fourier_motzkin import eliminate
+from repro.linalg.implication import entails
+from repro.linalg.system import LinearSystem
+from repro.symbolic.affine import AffineExpr
+
+VARS = ["i", "j", "k"]
+
+coeffs = st.integers(min_value=-4, max_value=4)
+consts = st.integers(min_value=-10, max_value=10)
+
+
+@st.composite
+def affine_exprs(draw):
+    cs = {v: draw(coeffs) for v in VARS}
+    return AffineExpr(cs, draw(consts))
+
+
+@st.composite
+def le_constraints(draw):
+    return Constraint(draw(affine_exprs()), Rel.LE)
+
+
+@st.composite
+def systems(draw):
+    n = draw(st.integers(min_value=0, max_value=4))
+    return LinearSystem([draw(le_constraints()) for _ in range(n)])
+
+
+points = st.fixed_dictionaries({v: st.integers(min_value=-6, max_value=6) for v in VARS})
+
+
+class TestAffineAlgebraProperties:
+    @given(affine_exprs(), affine_exprs(), points)
+    def test_addition_pointwise(self, a, b, env):
+        assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+
+    @given(affine_exprs(), st.integers(min_value=-5, max_value=5), points)
+    def test_scaling_pointwise(self, a, s, env):
+        assert (a * s).evaluate(env) == a.evaluate(env) * s
+
+    @given(affine_exprs(), points)
+    def test_negation_involution(self, a, env):
+        assert (-(-a)) == a
+        assert (-a).evaluate(env) == -a.evaluate(env)
+
+    @given(affine_exprs())
+    def test_primitive_preserves_sign(self, a):
+        p = a.primitive()
+        # content is positive, so sign at any point is preserved; check zero
+        if a.is_zero():
+            assert p.is_zero()
+
+
+class TestConstraintProperties:
+    @given(affine_exprs(), points)
+    def test_normalization_preserves_truth(self, e, env):
+        """Constraint normalization (gcd tightening) must not change the
+        integer-point truth value."""
+        c = Constraint(e, Rel.LE)
+        raw = e.evaluate(env) <= 0
+        assert c.evaluate(env) == raw
+
+    @given(le_constraints(), points)
+    def test_negation_complements(self, c, env):
+        assert c.evaluate(env) != c.negate().evaluate(env)
+
+
+class TestSystemProperties:
+    @given(systems(), points)
+    def test_membership_is_conjunction(self, s, env):
+        expected = all(c.evaluate(env) for c in s)
+        assert s.evaluate(env) == expected
+
+    @given(systems(), points)
+    def test_simplified_preserves_membership(self, s, env):
+        assert s.evaluate(env) == s.simplified().evaluate(env)
+
+    @given(systems(), systems(), points)
+    def test_conjoin_is_intersection(self, a, b, env):
+        assert (a & b).evaluate(env) == (a.evaluate(env) and b.evaluate(env))
+
+
+class TestFourierMotzkinProperties:
+    @settings(max_examples=60)
+    @given(systems(), st.sampled_from(VARS), points)
+    def test_projection_superset(self, s, var, env):
+        """Any point of the original system maps into the projection."""
+        if s.evaluate(env):
+            proj = eliminate(s, var)
+            assert var not in proj.variables()
+            # evaluation only consults mentioned variables
+            assert proj.evaluate(env)
+
+    @settings(max_examples=60)
+    @given(systems(), st.sampled_from(VARS))
+    def test_feasibility_monotone_under_projection(self, s, var):
+        """Projection never turns a feasible system infeasible."""
+        if is_feasible(s):
+            assert is_feasible(eliminate(s, var))
+
+
+class TestEntailmentProperties:
+    @settings(max_examples=60)
+    @given(systems(), le_constraints(), points)
+    def test_entailment_sound_on_points(self, s, c, env):
+        """If `s` entails `c`, every sampled point of `s` satisfies `c`."""
+        if entails(s, c) and s.evaluate(env):
+            assert c.evaluate(env)
+
+    @given(systems())
+    def test_system_entails_own_constraints(self, s):
+        for c in s:
+            assert entails(s, c)

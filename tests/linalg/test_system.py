@@ -1,0 +1,121 @@
+"""Unit tests for linear systems (conjunctions of constraints)."""
+
+import pytest
+
+from repro.linalg.constraint import Constraint
+from repro.linalg.system import LinearSystem
+from repro.symbolic.affine import AffineExpr
+
+I = AffineExpr.var("i")
+J = AffineExpr.var("j")
+N = AffineExpr.var("n")
+C = AffineExpr.const
+
+
+def bounds(lo, var, hi):
+    return [Constraint.ge(var, lo), Constraint.le(var, hi)]
+
+
+class TestConstruction:
+    def test_universe(self):
+        u = LinearSystem.universe()
+        assert u.is_universe()
+        assert len(u) == 0
+
+    def test_tautologies_dropped(self):
+        s = LinearSystem([Constraint.le(C(0), C(1)), Constraint.le(I, N)])
+        assert len(s) == 1
+
+    def test_contradiction_collapses(self):
+        s = LinearSystem([Constraint.le(I, N), Constraint.le(C(1), C(0))])
+        assert s.is_trivially_empty()
+        assert s == LinearSystem.empty()
+
+    def test_duplicates_merged(self):
+        s = LinearSystem([Constraint.le(I, N), Constraint.le(I, N)])
+        assert len(s) == 1
+
+    def test_order_irrelevant(self):
+        a = LinearSystem([Constraint.le(I, N), Constraint.ge(I, C(1))])
+        b = LinearSystem([Constraint.ge(I, C(1)), Constraint.le(I, N)])
+        assert a == b and hash(a) == hash(b)
+
+
+class TestAccessors:
+    def test_variables(self):
+        s = LinearSystem(bounds(C(1), I, N))
+        assert s.variables() == frozenset({"i", "n"})
+
+    def test_iteration(self):
+        s = LinearSystem(bounds(C(1), I, N))
+        assert len(list(s)) == 2
+
+    def test_partition_by_vars(self):
+        s = LinearSystem(bounds(C(1), I, N) + bounds(C(1), J, C(10)))
+        touching, rest = s.partition_by_vars(frozenset({"i"}))
+        assert touching.variables() >= frozenset({"i"})
+        assert "i" not in rest.variables()
+
+
+class TestAlgebra:
+    def test_conjoin_constraint(self):
+        s = LinearSystem([Constraint.ge(I, C(1))]).conjoin(Constraint.le(I, N))
+        assert len(s) == 2
+
+    def test_conjoin_system_and_operator(self):
+        a = LinearSystem([Constraint.ge(I, C(1))])
+        b = LinearSystem([Constraint.le(I, N)])
+        assert (a & b) == a.conjoin(b)
+
+    def test_substitute(self):
+        s = LinearSystem(bounds(C(1), I, N)).substitute({"n": C(0)})
+        assert s.is_trivially_empty() or not s.evaluate({"i": 1})
+
+    def test_rename(self):
+        s = LinearSystem([Constraint.le(I, N)]).rename({"i": "k"})
+        assert "k" in s.variables() and "i" not in s.variables()
+
+    def test_evaluate(self):
+        s = LinearSystem(bounds(C(1), I, N))
+        assert s.evaluate({"i": 1, "n": 3})
+        assert not s.evaluate({"i": 0, "n": 3})
+
+    def test_universe_evaluates_true(self):
+        assert LinearSystem.universe().evaluate({})
+
+
+class TestSimplified:
+    def test_keeps_tighter_upper_bound(self):
+        s = LinearSystem([Constraint.le(I, C(5)), Constraint.le(I, C(3))])
+        simp = s.simplified()
+        assert len(simp) == 1
+        assert simp.evaluate({"i": 3}) and not simp.evaluate({"i": 4})
+
+    def test_keeps_distinct_constraints(self):
+        s = LinearSystem(bounds(C(1), I, N))
+        assert len(s.simplified()) == 2
+
+    def test_preserves_semantics_on_samples(self):
+        s = LinearSystem(
+            [
+                Constraint.le(I, C(7)),
+                Constraint.le(I, C(9)),
+                Constraint.ge(I, C(2)),
+            ]
+        )
+        simp = s.simplified()
+        for i in range(-2, 12):
+            assert s.evaluate({"i": i}) == simp.evaluate({"i": i})
+
+
+class TestPlumbing:
+    def test_immutable(self):
+        s = LinearSystem()
+        with pytest.raises(AttributeError):
+            s._constraints = ()
+
+    def test_repr_str(self):
+        assert "universe" in repr(LinearSystem.universe())
+        assert "true" == str(LinearSystem.universe())
+        s = LinearSystem([Constraint.le(I, N)])
+        assert "<=" in str(s)

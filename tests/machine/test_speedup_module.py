@@ -1,0 +1,120 @@
+"""Unit tests for the speedup-curve module and cost-model sensitivity."""
+
+import pytest
+
+from repro.arraydf.options import AnalysisOptions
+from repro.lang.parser import parse_program
+from repro.machine.costmodel import MachineModel
+from repro.machine.speedup import (
+    SpeedupCurve,
+    curve_from_result,
+    speedup_comparison,
+)
+from repro.machine.simulate import MachineResult, ParallelInstance
+
+BIG_LOOP = """
+program t
+  integer n
+  real a(5000)
+  read n
+  do r = 1, 4
+    do i = 1, n
+      a(i) = a(i) * 0.5 + 1.0
+    enddo
+  enddo
+end
+"""
+
+
+class TestCurveFromResult:
+    def make_result(self, work=8000.0, iters=2000):
+        return MachineResult(
+            serial_steps=10000.0,
+            instances=[ParallelInstance("l", work, iters)],
+        )
+
+    def test_curve_points(self):
+        res = self.make_result()
+        curve = curve_from_result("x", res, 10000.0, MachineModel(), (1, 2, 8))
+        assert set(curve.points) == {1, 2, 8}
+        assert curve.at(8) > curve.at(2) > 0
+
+    def test_best(self):
+        res = self.make_result()
+        curve = curve_from_result("x", res, 10000.0, MachineModel(), (1, 8))
+        assert curve.best() == curve.at(8)
+
+    def test_unprofitable_instance_ignored(self):
+        res = MachineResult(
+            serial_steps=10000.0,
+            instances=[ParallelInstance("tiny", 50.0, 10)],
+        )
+        model = MachineModel()
+        assert res.time(8, model) == pytest.approx(res.serial_steps)
+
+
+class TestNestSelection:
+    def test_child_blocked_by_chosen_parent(self):
+        model = MachineModel()
+        res = MachineResult(
+            serial_steps=20000.0,
+            instances=[
+                ParallelInstance("outer", 18000.0, 100, parent=-1),
+                ParallelInstance("inner", 7000.0, 50, parent=0),
+            ],
+        )
+        chosen = res.chosen(model)
+        assert chosen == [0]
+
+    def test_unprofitable_parent_releases_child(self):
+        model = MachineModel()
+        res = MachineResult(
+            serial_steps=20000.0,
+            instances=[
+                ParallelInstance("outer", 300.0, 2, parent=-1),
+                ParallelInstance("inner", 5000.0, 50, parent=0),
+            ],
+        )
+        chosen = res.chosen(model)
+        assert chosen == [1]
+
+    def test_grandchild_blocked_transitively(self):
+        model = MachineModel()
+        res = MachineResult(
+            serial_steps=50000.0,
+            instances=[
+                ParallelInstance("a", 40000.0, 100, parent=-1),
+                ParallelInstance("b", 20000.0, 50, parent=0),
+                ParallelInstance("c", 9000.0, 20, parent=1),
+            ],
+        )
+        assert res.chosen(model) == [0]
+
+
+class TestModelSensitivity:
+    """The *identity* of speedup winners should be robust to moderate
+    cost-model perturbation (claimed in EXPERIMENTS.md)."""
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            MachineModel(),
+            MachineModel(fork_overhead=100.0),
+            MachineModel(fork_overhead=400.0),
+            MachineModel(sched_per_iteration=0.3),
+        ],
+        ids=["default", "cheap-fork", "dear-fork", "dear-sched"],
+    )
+    def test_big_loop_always_speeds_up(self, model):
+        curves = speedup_comparison(
+            parse_program(BIG_LOOP), [4000], model=model
+        )
+        assert curves["predicated"].at(8) > 1.5
+
+    def test_configurations_parameter(self):
+        curves = speedup_comparison(
+            parse_program(BIG_LOOP),
+            [4000],
+            configurations={"only": AnalysisOptions.base()},
+        )
+        assert set(curves) == {"only"}

@@ -1,0 +1,99 @@
+"""Unit tests for win classification by ablation."""
+
+from repro.partests.classify import LoopClassification, classify_wins
+from repro.lang.parser import parse_program
+
+
+def factory(src):
+    return lambda: parse_program(src)
+
+
+class TestClassifyWins:
+    def test_no_wins_on_plain_program(self):
+        src = (
+            "program t\ninteger n\nreal a(50)\nread n\n"
+            "do i = 1, n\na(i) = 1.0\nenddo\nend\n"
+        )
+        assert classify_wins(factory(src)) == []
+
+    def test_offset_win_needs_extraction_and_tests(self):
+        src = (
+            "program t\ninteger n, k\nreal a(100)\nread n, k\n"
+            "do i = 1, n\na(i + k) = a(i) + 1.0\nenddo\nend\n"
+        )
+        wins = classify_wins(factory(src))
+        assert len(wins) == 1
+        w = wins[0]
+        assert w.status == "runtime"
+        assert w.base_status == "serial"
+        assert "extraction" in w.necessary
+        assert "runtime_tests" in w.necessary
+        assert w.mechanism == "extraction"
+
+    def test_correlation_win_needs_no_single_feature(self):
+        src = """
+program t
+  integer n, x
+  real h(20), b(20, 20)
+  read n, x
+  do i = 1, n
+    if (x > 5) then
+      do j = 1, n
+        h(j) = b(j, i)
+      enddo
+    endif
+    if (x > 5) then
+      do j = 1, n
+        b(j, i) = h(j) + 1.0
+      enddo
+    endif
+  enddo
+end
+"""
+        wins = classify_wins(factory(src))
+        labels = {w.label: w for w in wins}
+        assert "t:L1" in labels
+        assert labels["t:L1"].mechanism == "correlation"
+
+    def test_reshape_win_needs_interprocedural(self):
+        src = """
+program t
+  integer p, q
+  real a(200)
+  read p, q
+  do r = 1, 3
+    call fill(a, p, q)
+    do i = 1, 200
+      a(i) = a(i) * 0.5
+    enddo
+  enddo
+end
+subroutine fill(x, p, q)
+  integer p, q
+  real x(p, q)
+  do j = 1, q
+    do i = 1, p
+      x(i, j) = 1.0
+    enddo
+  enddo
+end
+"""
+        wins = classify_wins(factory(src))
+        outer = next(w for w in wins if w.label == "t:L1")
+        assert "interprocedural" in outer.necessary
+        assert outer.mechanism == "interprocedural"
+
+
+class TestMechanismPriority:
+    def test_priority_order(self):
+        c = LoopClassification(
+            "x:L1", "runtime", "serial",
+            necessary=["runtime_tests", "extraction"],
+        )
+        assert c.mechanism == "extraction"
+        c2 = LoopClassification(
+            "x:L1", "runtime", "serial", necessary=["runtime_tests"]
+        )
+        assert c2.mechanism == "runtime_tests"
+        c3 = LoopClassification("x:L1", "parallel", "serial", necessary=[])
+        assert c3.mechanism == "correlation"

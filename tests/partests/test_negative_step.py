@@ -1,0 +1,128 @@
+"""Negative-step and strided loops: execution order matters.
+
+With a descending loop, the execution-earlier iteration has the larger
+index; both the privatization flow test and the exposed-read subtraction
+must flip direction, and strided loops must not claim prior-iteration
+coverage from the index-range hull.
+"""
+
+import pytest
+
+from repro.arraydf.options import AnalysisOptions
+from repro.lang.parser import parse_program
+from repro.partests.driver import analyze_program
+from repro.runtime.elpd import run_oracle
+
+
+def status(src, label="t:L1"):
+    res = analyze_program(parse_program(src), AnalysisOptions.predicated())
+    return res.by_label()[label]
+
+
+class TestNegativeStep:
+    def test_descending_flow_is_serial(self):
+        # descending: iteration i reads a(i+1), written by iteration
+        # i+1 which executed EARLIER — a genuine flow dependence
+        src = (
+            "program t\ninteger n\nreal a(100)\nread n\na(n) = 1.0\n"
+            "do i = n - 1, 1, -1\n a(i) = a(i + 1) + 1.0\nenddo\nend\n"
+        )
+        assert status(src).status == "serial"
+
+    def test_ascending_same_body_is_anti_only(self):
+        # ascending the same body: a(i+1) is read before iteration i+1
+        # overwrites it — an anti dependence, removable by privatization
+        src = (
+            "program t\ninteger n\nreal a(100)\nread n\n"
+            "do i = 1, n - 1\n a(i) = a(i + 1) + 1.0\nenddo\nend\n"
+        )
+        assert status(src).status in ("parallel_private", "runtime")
+
+    def test_descending_anti_parallelizable(self):
+        # descending, reading a(i-1): the read target is overwritten by
+        # the execution-LATER iteration — anti only
+        src = (
+            "program t\ninteger n\nreal a(100)\nread n\n"
+            "do i = n, 2, -1\n a(i) = a(i - 1) + 1.0\nenddo\nend\n"
+        )
+        assert status(src).status in ("parallel_private", "runtime")
+
+    def test_descending_plain_parallel(self):
+        src = (
+            "program t\ninteger n\nreal a(100)\nread n\n"
+            "do i = n, 1, -1\n a(i) = i * 1.0\nenddo\nend\n"
+        )
+        assert status(src).status == "parallel"
+
+    def test_verdicts_match_oracle(self):
+        for src in [
+            "program t\ninteger n\nreal a(100)\nread n\na(n) = 1.0\n"
+            "do i = n - 1, 1, -1\n a(i) = a(i + 1) + 1.0\nenddo\nend\n",
+            "program t\ninteger n\nreal a(100)\nread n\n"
+            "do i = n, 2, -1\n a(i) = a(i - 1) + 1.0\nenddo\nend\n",
+        ]:
+            res = analyze_program(
+                parse_program(src), AnalysisOptions.predicated()
+            )
+            rep = run_oracle(parse_program(src), [12])
+            for l in res.loops:
+                if l.status in ("parallel", "parallel_private"):
+                    assert (
+                        rep.observations[l.label].classification
+                        != "dependent"
+                    ), src
+
+
+class TestStridedLoops:
+    def test_stride_two_no_false_coverage(self):
+        # the strided loop writes only even elements; the following loop
+        # reads all of them — odd reads stay exposed, so the enclosing
+        # repeat loop carries real flow on any n >= 2.  The analysis may
+        # keep a degenerate run-time test (parallel when n <= 1), but it
+        # must evaluate FALSE — never parallelize — on a flowing input.
+        src = """
+program t
+  integer n
+  real a(100), b(100)
+  read n
+  do r = 1, 3
+    do i = 2, n, 2
+      a(i) = b(i) + r
+    enddo
+    do i = 1, n
+      b(i) = a(i) * 0.5
+    enddo
+  enddo
+end
+"""
+        res = analyze_program(parse_program(src), AnalysisOptions.predicated())
+        outer = res.by_label()["t:L1"]
+        rep = run_oracle(parse_program(src), [10])
+        assert rep.observations["t:L1"].classification == "dependent"
+        if outer.status == "runtime":
+            from repro.predicates.evaluate import evaluate
+
+            assert not evaluate(outer.condition, {"n": 10})
+        else:
+            assert outer.status == "serial"
+
+    def test_strided_loop_itself_parallel(self):
+        src = (
+            "program t\ninteger n\nreal a(100)\nread n\n"
+            "do i = 2, n, 2\n a(i) = i * 1.0\nenddo\nend\n"
+        )
+        assert status(src).status == "parallel"
+
+    def test_interleaved_strides_conservative(self):
+        # writes evens reads odds with stride 2: actually independent,
+        # but the hulled iteration space may or may not prove it — it
+        # must never be *unsound* (oracle check)
+        src = (
+            "program t\ninteger n\nreal a(100)\nread n\n"
+            "do i = 2, n, 2\n a(i) = a(i - 1) + 1.0\nenddo\nend\n"
+        )
+        res = analyze_program(parse_program(src), AnalysisOptions.predicated())
+        l = res.by_label()["t:L1"]
+        if l.status in ("parallel", "parallel_private"):
+            rep = run_oracle(parse_program(src), [20])
+            assert rep.observations["t:L1"].classification != "dependent"

@@ -1,0 +1,120 @@
+"""Tests for reaching path predicates (forward test conjunction).
+
+"Prior to performing the predicated array data-flow analysis,
+predicates can be derived via a forward interprocedural data-flow
+analysis that forms the conjunction of all the tests along the
+control-flow paths reaching the current program point" (Section 4.1).
+"""
+
+from repro.arraydf.options import AnalysisOptions
+from repro.lang.parser import parse_program
+from repro.partests.driver import analyze_program
+
+
+def status(src, label, opts=None):
+    res = analyze_program(
+        parse_program(src), opts or AnalysisOptions.predicated()
+    )
+    return res.by_label()[label]
+
+
+class TestPathPredicates:
+    GUARDED = """
+program t
+  integer n, k
+  real a(300)
+  read n, k
+  if (k > n) then
+    do i = 1, n
+      a(i + k) = a(i) + 1.0
+    enddo
+  endif
+end
+"""
+
+    def test_guard_discharges_runtime_test(self):
+        l = status(self.GUARDED, "t:L1")
+        assert l.status in ("parallel", "parallel_private")
+        assert l.runtime_test is None
+
+    def test_base_still_serial(self):
+        l = status(self.GUARDED, "t:L1", AnalysisOptions.base())
+        assert l.status == "serial"
+
+    def test_unguarded_needs_runtime_test(self):
+        src = (
+            "program t\ninteger n, k\nreal a(300)\nread n, k\n"
+            "do i = 1, n\na(i + k) = a(i) + 1.0\nenddo\nend\n"
+        )
+        assert status(src, "t:L1").status == "runtime"
+
+    def test_insufficient_guard_keeps_test(self):
+        # k > 0 does not resolve the dependence; the test survives
+        src = """
+program t
+  integer n, k
+  real a(300)
+  read n, k
+  if (k > 0) then
+    do i = 1, n
+      a(i + k) = a(i) + 1.0
+    enddo
+  endif
+end
+"""
+        l = status(src, "t:L1")
+        assert l.status == "runtime"
+
+    def test_else_branch_negation_used(self):
+        # the else-arm carries ¬(k <= n), i.e. k > n: parallel
+        src = """
+program t
+  integer n, k
+  real a(300)
+  read n, k
+  if (k <= n) then
+    x = 1
+  else
+    do i = 1, n
+      a(i + k) = a(i) + 1.0
+    enddo
+  endif
+end
+"""
+        l = status(src, "t:L1")
+        assert l.status in ("parallel", "parallel_private")
+
+    def test_nested_guards_conjoin(self):
+        src = """
+program t
+  integer n, k, m
+  real a(400)
+  read n, k, m
+  if (m > 0) then
+    if (k > n + m) then
+      do i = 1, n
+        a(i + k) = a(i) + 1.0
+      enddo
+    endif
+  endif
+end
+"""
+        l = status(src, "t:L1")
+        assert l.status in ("parallel", "parallel_private")
+
+    def test_guard_strengthens_conflict_system(self):
+        # guard makes the nominally-overlapping accesses disjoint
+        src = """
+program t
+  integer n, d
+  real a(300)
+  read n, d
+  if (d >= n) then
+    do i = 1, n
+      a(i + d) = a(i) * 0.5
+    enddo
+  endif
+end
+"""
+        l = status(src, "t:L1")
+        assert l.status in ("parallel", "parallel_private")

@@ -1,0 +1,98 @@
+"""Precision tests: cases the exact integer substrate must get right."""
+
+import pytest
+
+from repro.arraydf.options import AnalysisOptions
+from repro.lang.parser import parse_program
+from repro.partests.driver import analyze_program
+
+OPTS = AnalysisOptions.predicated()
+
+
+def status_of(src, label, opts=OPTS):
+    res = analyze_program(parse_program(src), opts)
+    return {l.label: l for l in res.loops}[label]
+
+
+class TestIntegerReasoning:
+    def test_parity_independence(self):
+        # writes even elements, reads odd: 2i == 2j+1 has no integer
+        # solution — gcd tightening proves independence
+        src = (
+            "program t\ninteger n\nreal a(200)\nread n\n"
+            "do i = 1, n\na(2 * i) = a(2 * i + 1) + 1.0\nenddo\nend\n"
+        )
+        assert status_of(src, "t:L1").status == "parallel"
+
+    def test_stride_three_offset_two(self):
+        # 3i vs 3j+2: no integer solution either
+        src = (
+            "program t\ninteger n\nreal a(300)\nread n\n"
+            "do i = 1, n\na(3 * i) = a(3 * i + 2) + 1.0\nenddo\nend\n"
+        )
+        assert status_of(src, "t:L1").status == "parallel"
+
+    def test_same_parity_dependent(self):
+        # writes 2i, reads 2i - 2 = 2(i-1): genuine carried flow
+        src = (
+            "program t\ninteger n\nreal a(200)\nread n\na(2) = 1.0\n"
+            "do i = 2, n\na(2 * i) = a(2 * i - 2) + 1.0\nenddo\nend\n"
+        )
+        assert status_of(src, "t:L1").status == "serial"
+
+
+class TestShapePrecision:
+    def test_distinct_columns_independent(self):
+        src = (
+            "program t\ninteger n\nreal b(100, 100)\nread n\n"
+            "do j = 1, n\n do i = 1, n\n  b(i, j) = b(i, j) * 2.0\n enddo\nenddo\nend\n"
+        )
+        assert status_of(src, "t:L1").status == "parallel"
+
+    def test_row_vs_column_conflict(self):
+        # writes row i, reads column i: they cross at (i1, i2)
+        src = (
+            "program t\ninteger n\nreal b(100, 100)\nread n\nb(1,1) = 1.0\n"
+            "do i = 2, n\n do j = 1, n\n  b(i, j) = b(j, i - 1) + 1.0\n enddo\nenddo\nend\n"
+        )
+        assert status_of(src, "t:L1").status == "serial"
+
+    def test_triangular_write_independent(self):
+        src = (
+            "program t\ninteger n\nreal b(100, 100)\nread n\n"
+            "do j = 2, n\n do i = 1, j - 1\n  b(i, j) = 1.0\n enddo\nenddo\nend\n"
+        )
+        assert status_of(src, "t:L1").status == "parallel"
+
+    def test_first_iteration_peel_pattern(self):
+        # every iteration writes a(i) and additionally reads a(1):
+        # a(1) is written only by iteration 1 *before* any later read in
+        # serial order — but in parallel order that's a flow: serial
+        src = (
+            "program t\ninteger n\nreal a(100), b(100)\nread n\n"
+            "do i = 1, n\n a(i) = i * 1.0\n b(i) = a(1) + 1.0\nenddo\nend\n"
+        )
+        assert status_of(src, "t:L1").status == "serial"
+
+    def test_read_only_shared_element(self):
+        src = (
+            "program t\ninteger n\nreal a(100), b(100)\nread n\na(1) = 5.0\n"
+            "do i = 2, n\n b(i) = a(1) + 1.0\nenddo\nend\n"
+        )
+        assert status_of(src, "t:L1").status == "parallel"
+
+
+class TestScalarPropagationPrecision:
+    def test_derived_bound_relation(self):
+        src = (
+            "program t\ninteger n, m\nreal a(300)\nread n\nm = 2 * n\n"
+            "do i = 1, n\n a(i + m) = a(i) + 1.0\nenddo\nend\n"
+        )
+        assert status_of(src, "t:L1").status in ("parallel", "parallel_private")
+
+    def test_unrelated_symbol_stays_runtime(self):
+        src = (
+            "program t\ninteger n, m\nreal a(300)\nread n, m\n"
+            "do i = 1, n\n a(i + m) = a(i) + 1.0\nenddo\nend\n"
+        )
+        assert status_of(src, "t:L1").status == "runtime"

@@ -1,0 +1,113 @@
+"""Unit tests for run-time test legality, rendering and cost."""
+
+import pytest
+
+from repro.partests.runtime_tests import is_runtime_evaluable, render_predicate
+from repro.partests.runtime_tests import test_cost as predicate_cost
+from repro.predicates.atoms import DivAtom, LinAtom, OpaqueAtom
+from repro.predicates.evaluate import evaluate
+from repro.predicates.formula import (
+    FALSE,
+    TRUE,
+    p_and,
+    p_atom,
+    p_not,
+    p_or,
+)
+from repro.symbolic.affine import AffineExpr
+
+K = AffineExpr.var("k")
+N = AffineExpr.var("n")
+C = AffineExpr.const
+
+KN = p_atom(LinAtom.ge(K, N))
+DIV = p_atom(DivAtom(N, 4))
+OPQ = p_atom(OpaqueAtom("p*q == 100", ("p", "q")))
+
+
+class TestEvaluability:
+    def test_clean_scalars_ok(self):
+        assert is_runtime_evaluable(KN, frozenset())
+
+    def test_clobbered_scalar_blocks(self):
+        assert not is_runtime_evaluable(KN, frozenset({"k"}))
+
+    def test_loop_index_blocks(self):
+        pred = p_atom(LinAtom.gt(AffineExpr.var("i"), C(5)))
+        assert not is_runtime_evaluable(pred, frozenset({"i"}))
+
+    def test_generated_symbols_block(self):
+        pred = p_atom(LinAtom.gt(AffineExpr.var("__t3"), C(0)))
+        assert not is_runtime_evaluable(pred, frozenset())
+
+    def test_opaque_reads_checked(self):
+        assert is_runtime_evaluable(OPQ, frozenset({"z"}))
+        assert not is_runtime_evaluable(OPQ, frozenset({"q"}))
+
+    def test_constants_always_ok(self):
+        assert is_runtime_evaluable(TRUE, frozenset({"x"}))
+        assert is_runtime_evaluable(FALSE, frozenset({"x"}))
+
+
+class TestRendering:
+    def parses(self, text):
+        from repro.codegen.twoversion import parse_condition
+
+        return parse_condition(text)
+
+    def roundtrip_env(self, pred, env):
+        """Rendered text evaluates the same as the predicate."""
+        from repro.lang.parser import parse_program
+        from repro.runtime.interp import run_program
+
+        text = render_predicate(pred)
+        names = sorted(pred.variables())
+        src = (
+            "program t\n"
+            + (f"read {', '.join(names)}\n" if names else "")
+            + f"zz = {text}\nprint zz\nend\n"
+        )
+        result = run_program(
+            parse_program(src), [env[v] for v in names]
+        )
+        return result.outputs[0] == "1"
+
+    def test_linear_atom(self):
+        for env in ({"k": 5, "n": 3}, {"k": 2, "n": 3}):
+            assert self.roundtrip_env(KN, env) == evaluate(KN, env)
+
+    def test_equality_atom(self):
+        pred = p_atom(LinAtom.eq(K, N))
+        for env in ({"k": 3, "n": 3}, {"k": 3, "n": 4}):
+            assert self.roundtrip_env(pred, env) == evaluate(pred, env)
+
+    def test_divisibility_atom(self):
+        for env in ({"n": 8}, {"n": 9}):
+            assert self.roundtrip_env(DIV, env) == evaluate(DIV, env)
+
+    def test_connectives(self):
+        pred = p_or(p_and(KN, DIV), p_not(DIV))
+        for n, k in [(8, 9), (8, 2), (9, 1), (9, 12)]:
+            env = {"k": k, "n": n}
+            assert self.roundtrip_env(pred, env) == evaluate(pred, env)
+
+    def test_constants_renderable(self):
+        assert self.parses(render_predicate(TRUE)) is not None
+        assert self.parses(render_predicate(FALSE)) is not None
+
+    def test_opaque_key_rendered_verbatim(self):
+        assert render_predicate(OPQ) == "p*q == 100"
+
+
+class TestCost:
+    def test_constants_free(self):
+        assert predicate_cost(TRUE) == 0
+        assert predicate_cost(FALSE) == 0
+
+    def test_atoms_counted(self):
+        assert predicate_cost(KN) == 1
+        assert predicate_cost(p_and(KN, DIV)) == 2
+        assert predicate_cost(p_or(p_and(KN, DIV), OPQ)) == 3
+
+    def test_negation_free(self):
+        assert predicate_cost(p_not(OPQ)) == 1

@@ -1,0 +1,97 @@
+"""Unit tests for predicate atoms."""
+
+import pytest
+
+from repro.predicates.atoms import DivAtom, LinAtom, OpaqueAtom
+from repro.symbolic.affine import AffineExpr
+
+X = AffineExpr.var("x")
+N = AffineExpr.var("n")
+C = AffineExpr.const
+
+
+class TestLinAtom:
+    def test_constructors(self):
+        assert LinAtom.gt(X, C(5)).evaluate({"x": 6})
+        assert not LinAtom.gt(X, C(5)).evaluate({"x": 5})
+        assert LinAtom.lt(X, C(5)).evaluate({"x": 4})
+        assert LinAtom.ge(X, C(5)).evaluate({"x": 5})
+        assert LinAtom.le(X, C(5)).evaluate({"x": 5})
+        assert LinAtom.eq(X, C(5)).evaluate({"x": 5})
+        assert not LinAtom.eq(X, C(5)).evaluate({"x": 4})
+
+    def test_equality_via_normalization(self):
+        assert LinAtom.gt(X, C(5)) == LinAtom.ge(X, C(6))
+
+    def test_substitute(self):
+        a = LinAtom.le(X, N).substitute({"n": C(3)})
+        assert a == LinAtom.le(X, C(3))
+
+    def test_rename(self):
+        a = LinAtom.le(X, N).rename({"x": "y"})
+        assert "y" in a.variables()
+
+    def test_immutable(self):
+        with pytest.raises(AttributeError):
+            LinAtom.le(X, N).constraint = None
+
+    def test_hashable(self):
+        assert len({LinAtom.le(X, N), LinAtom.le(X, N)}) == 1
+
+
+class TestDivAtom:
+    def test_evaluate(self):
+        a = DivAtom(N, 4)
+        assert a.evaluate({"n": 8})
+        assert not a.evaluate({"n": 9})
+
+    def test_modulus_validation(self):
+        with pytest.raises(ValueError):
+            DivAtom(N, 1)
+
+    def test_integral_required(self):
+        from fractions import Fraction
+
+        with pytest.raises(ValueError):
+            DivAtom(AffineExpr.var("n", Fraction(1, 2)), 2)
+
+    def test_substitute(self):
+        a = DivAtom(N, 4).substitute({"n": AffineExpr.var("m") * 2})
+        assert a.evaluate({"m": 2})
+        assert not a.evaluate({"m": 1})
+
+    def test_equality(self):
+        assert DivAtom(N, 4) == DivAtom(N, 4)
+        assert DivAtom(N, 4) != DivAtom(N, 2)
+
+
+class TestOpaqueAtom:
+    def test_identity_is_key(self):
+        a = OpaqueAtom("a(k) > 0", ("k",))
+        b = OpaqueAtom("a(k) > 0", ("k",))
+        assert a == b and hash(a) == hash(b)
+
+    def test_reads_sorted_unique(self):
+        a = OpaqueAtom("f(x,y)", ("y", "x", "y"))
+        assert a.reads == ("x", "y")
+
+    def test_evaluate_requires_callback(self):
+        a = OpaqueAtom("weird", ())
+        with pytest.raises(ValueError):
+            a.evaluate({})
+
+    def test_evaluate_with_callback(self):
+        a = OpaqueAtom("x*y > 0", ("x", "y"))
+        result = a.evaluate(
+            {"x": 2, "y": 3}, lambda atom, env: env["x"] * env["y"] > 0
+        )
+        assert result
+
+    def test_substitute_noop(self):
+        a = OpaqueAtom("x*y > 0", ("x", "y"))
+        assert a.substitute({"x": AffineExpr.const(1)}) is a
+
+    def test_rename(self):
+        a = OpaqueAtom("x > 0", ("x",)).rename({"x": "z"})
+        assert a.reads == ("z",)
+        assert "z" in a.key

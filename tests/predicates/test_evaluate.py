@@ -1,0 +1,76 @@
+"""Unit tests for concrete predicate evaluation."""
+
+import pytest
+
+from repro.predicates.atoms import DivAtom, LinAtom, OpaqueAtom
+from repro.predicates.evaluate import evaluate
+from repro.predicates.formula import FALSE, TRUE, p_and, p_atom, p_not, p_or
+from repro.symbolic.affine import AffineExpr
+
+X = AffineExpr.var("x")
+C = AffineExpr.const
+
+
+class TestEvaluate:
+    def test_constants(self):
+        assert evaluate(TRUE, {})
+        assert not evaluate(FALSE, {})
+
+    def test_linear(self):
+        f = p_atom(LinAtom.gt(X, C(5)))
+        assert evaluate(f, {"x": 6})
+        assert not evaluate(f, {"x": 5})
+
+    def test_divisibility(self):
+        f = p_atom(DivAtom(X, 3))
+        assert evaluate(f, {"x": 9})
+        assert not evaluate(f, {"x": 10})
+
+    def test_opaque_with_callback(self):
+        f = p_atom(OpaqueAtom("x*x > 10", ("x",)))
+        ev = lambda atom, env: env["x"] ** 2 > 10
+        assert evaluate(f, {"x": 4}, ev)
+        assert not evaluate(f, {"x": 3}, ev)
+
+    def test_opaque_without_callback_raises(self):
+        f = p_atom(OpaqueAtom("mystery", ()))
+        with pytest.raises(ValueError):
+            evaluate(f, {})
+
+    def test_connectives(self):
+        a = p_atom(LinAtom.gt(X, C(0)))
+        b = p_atom(LinAtom.lt(X, C(10)))
+        assert evaluate(p_and(a, b), {"x": 5})
+        assert not evaluate(p_and(a, b), {"x": 10})
+        assert evaluate(p_or(a, b), {"x": 10})
+        assert evaluate(p_not(a), {"x": 0})
+
+    def test_short_circuit_not_required_semantics(self):
+        # And/Or evaluate every operand type correctly regardless of order
+        a = p_atom(LinAtom.gt(X, C(0)))
+        f = p_or(a, p_not(a))
+        for x in (-1, 0, 1):
+            assert evaluate(f, {"x": x})
+
+
+class TestTruthTableAgreement:
+    """Structural constructors agree with brute-force truth tables."""
+
+    def test_three_opaque_vars(self):
+        import itertools
+
+        from repro.predicates.formula import p_and, p_not, p_or
+
+        p = p_atom(OpaqueAtom("p", ()))
+        q = p_atom(OpaqueAtom("q", ()))
+        r = p_atom(OpaqueAtom("r", ()))
+        formula = p_or(p_and(p, q), p_and(p_not(p), r))
+
+        def ev(vals):
+            table = {"p": vals[0], "q": vals[1], "r": vals[2]}
+            cb = lambda atom, env: table[atom.key]
+            return evaluate(formula, {}, cb)
+
+        for vals in itertools.product([False, True], repeat=3):
+            expected = (vals[0] and vals[1]) or ((not vals[0]) and vals[2])
+            assert ev(vals) == expected

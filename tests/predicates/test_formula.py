@@ -1,0 +1,121 @@
+"""Unit tests for predicate formula construction and NNF negation."""
+
+from repro.predicates.atoms import LinAtom, OpaqueAtom
+from repro.predicates.formula import (
+    AndPred,
+    Atom,
+    FALSE,
+    NotPred,
+    OrPred,
+    TRUE,
+    literals,
+    p_and,
+    p_atom,
+    p_not,
+    p_or,
+)
+from repro.symbolic.affine import AffineExpr
+
+X = AffineExpr.var("x")
+C = AffineExpr.const
+
+A = p_atom(LinAtom.gt(X, C(5)))
+B = p_atom(LinAtom.le(X, C(0)))
+P = p_atom(OpaqueAtom("p", ()))
+Q = p_atom(OpaqueAtom("q", ()))
+
+
+class TestSmartConstructors:
+    def test_atom_folding(self):
+        assert p_atom(LinAtom.le(C(0), C(1))) is TRUE
+        assert p_atom(LinAtom.le(C(1), C(0))) is FALSE
+
+    def test_and_identity(self):
+        assert p_and() is TRUE
+        assert p_and(A) == A
+        assert p_and(A, TRUE) == A
+
+    def test_and_annihilator(self):
+        assert p_and(A, FALSE) is FALSE
+
+    def test_and_flattens(self):
+        inner = p_and(A, P)
+        flat = p_and(inner, Q)
+        assert isinstance(flat, AndPred)
+        assert len(flat.operands) == 3
+
+    def test_and_dedup(self):
+        assert p_and(A, A) == A
+
+    def test_and_complement_opaque(self):
+        assert p_and(P, p_not(P)) is FALSE
+
+    def test_and_complement_linear(self):
+        assert p_and(A, p_not(A)) is FALSE
+
+    def test_or_identity(self):
+        assert p_or() is FALSE
+        assert p_or(A) == A
+        assert p_or(A, FALSE) == A
+
+    def test_or_annihilator(self):
+        assert p_or(A, TRUE) is TRUE
+
+    def test_or_complement(self):
+        assert p_or(P, p_not(P)) is TRUE
+
+    def test_commutativity_structural(self):
+        assert p_and(A, P) == p_and(P, A)
+        assert p_or(A, P) == p_or(P, A)
+
+
+class TestNegation:
+    def test_not_constants(self):
+        assert p_not(TRUE) is FALSE
+        assert p_not(FALSE) is TRUE
+
+    def test_double_negation_opaque(self):
+        assert p_not(p_not(P)) == P
+
+    def test_linear_negation_is_atom(self):
+        n = p_not(A)  # ¬(x > 5) = x <= 5
+        assert isinstance(n, Atom)
+        assert n == p_atom(LinAtom.le(X, C(5)))
+
+    def test_equality_negation_splits(self):
+        eq = p_atom(LinAtom.eq(X, C(3)))
+        n = p_not(eq)
+        assert isinstance(n, OrPred)
+        # x <= 2 or x >= 4
+        assert p_atom(LinAtom.le(X, C(2))) in n.operands
+        assert p_atom(LinAtom.ge(X, C(4))) in n.operands
+
+    def test_demorgan(self):
+        n = p_not(p_and(P, Q))
+        assert n == p_or(p_not(P), p_not(Q))
+        n2 = p_not(p_or(P, Q))
+        assert n2 == p_and(p_not(P), p_not(Q))
+
+    def test_opaque_negation_stays_literal(self):
+        n = p_not(P)
+        assert isinstance(n, NotPred)
+
+
+class TestUtilities:
+    def test_literals_iteration(self):
+        f = p_and(A, p_or(P, p_not(Q)))
+        lits = list(literals(f))
+        assert len(lits) == 3
+
+    def test_variables(self):
+        f = p_and(A, P)
+        assert f.variables() == frozenset({"x"})
+
+    def test_sugar_operators(self):
+        assert (A & P) == p_and(A, P)
+        assert (A | P) == p_or(A, P)
+        assert (~P) == p_not(P)
+
+    def test_substitute_folds(self):
+        f = p_atom(LinAtom.gt(X, C(5))).substitute({"x": C(10)})
+        assert f is TRUE

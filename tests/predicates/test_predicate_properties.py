@@ -1,0 +1,120 @@
+"""Property-based tests for the predicate layer (hypothesis)."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.predicates.atoms import LinAtom, OpaqueAtom
+from repro.predicates.evaluate import evaluate
+from repro.predicates.formula import (
+    p_and,
+    p_atom,
+    p_not,
+    p_or,
+)
+from repro.predicates.simplify import implies, is_unsat, simplify, to_dnf
+from repro.symbolic.affine import AffineExpr
+
+VARS = ["x", "y"]
+OPAQUE_KEYS = ["p", "q"]
+
+
+@st.composite
+def lin_atoms(draw):
+    coeffs = {v: draw(st.integers(min_value=-2, max_value=2)) for v in VARS}
+    const = draw(st.integers(min_value=-4, max_value=4))
+    from repro.linalg.constraint import Constraint, Rel
+
+    return p_atom(LinAtom(Constraint(AffineExpr(coeffs, const), Rel.LE)))
+
+
+@st.composite
+def formulas(draw, depth=0):
+    if depth >= 3:
+        choice = "atom"
+    else:
+        choice = draw(st.sampled_from(["atom", "opaque", "not", "and", "or"]))
+    if choice == "atom":
+        return draw(lin_atoms())
+    if choice == "opaque":
+        return p_atom(OpaqueAtom(draw(st.sampled_from(OPAQUE_KEYS)), ()))
+    if choice == "not":
+        return p_not(draw(formulas(depth=depth + 1)))
+    op = p_and if choice == "and" else p_or
+    return op(
+        draw(formulas(depth=depth + 1)), draw(formulas(depth=depth + 1))
+    )
+
+
+ENVS = [
+    {"x": x, "y": y} for x in (-3, 0, 2) for y in (-2, 1, 4)
+]
+OPAQUE_TABLES = [
+    {"p": a, "q": b} for a in (False, True) for b in (False, True)
+]
+
+
+def eval_with(f, env, table):
+    return evaluate(f, env, lambda atom, _e: table[atom.key])
+
+
+class TestFormulaSemantics:
+    @settings(max_examples=80, deadline=None)
+    @given(formulas())
+    def test_double_negation_preserves_semantics(self, f):
+        g = p_not(p_not(f))
+        for env in ENVS[:4]:
+            for table in OPAQUE_TABLES:
+                assert eval_with(f, env, table) == eval_with(g, env, table)
+
+    @settings(max_examples=80, deadline=None)
+    @given(formulas(), formulas())
+    def test_demorgan(self, a, b):
+        lhs = p_not(p_and(a, b))
+        rhs = p_or(p_not(a), p_not(b))
+        for env in ENVS[:3]:
+            for table in OPAQUE_TABLES:
+                assert eval_with(lhs, env, table) == eval_with(rhs, env, table)
+
+    @settings(max_examples=60, deadline=None)
+    @given(formulas())
+    def test_simplify_preserves_semantics(self, f):
+        s = simplify(f)
+        for env in ENVS:
+            for table in OPAQUE_TABLES:
+                assert eval_with(f, env, table) == eval_with(s, env, table)
+
+    @settings(max_examples=60, deadline=None)
+    @given(formulas())
+    def test_unsat_is_sound(self, f):
+        """is_unsat == True must mean no sampled model satisfies f."""
+        if is_unsat(f):
+            for env in ENVS:
+                for table in OPAQUE_TABLES:
+                    assert not eval_with(f, env, table)
+
+    @settings(max_examples=60, deadline=None)
+    @given(formulas(), formulas())
+    def test_implies_is_sound(self, a, b):
+        """implies(a, b) must hold on every sampled model of a."""
+        if implies(a, b):
+            for env in ENVS:
+                for table in OPAQUE_TABLES:
+                    if eval_with(a, env, table):
+                        assert eval_with(b, env, table)
+
+    @settings(max_examples=60, deadline=None)
+    @given(formulas())
+    def test_dnf_preserves_semantics(self, f):
+        dnf = to_dnf(f)
+        if dnf is None:
+            return
+        for env in ENVS[:4]:
+            for table in OPAQUE_TABLES:
+                expected = eval_with(f, env, table)
+                got = any(
+                    all(eval_with(lit, env, table) for lit in conj)
+                    for conj in dnf
+                )
+                assert got == expected

@@ -1,0 +1,98 @@
+"""Unit tests for region binary operations (hull, coalesce, intersect)."""
+
+from repro.linalg.constraint import Constraint
+from repro.linalg.system import LinearSystem
+from repro.regions.operations import (
+    hull_join,
+    intersect_regions,
+    region_contains,
+    try_coalesce,
+)
+from repro.regions.region import ArrayRegion
+from repro.symbolic.affine import AffineExpr
+
+D0 = AffineExpr.var("__d0")
+N = AffineExpr.var("n")
+C = AffineExpr.const
+
+
+def interval(lo, hi, array="a"):
+    return ArrayRegion(
+        array,
+        1,
+        LinearSystem([Constraint.ge(D0, lo), Constraint.le(D0, hi)]),
+    )
+
+
+def pts(region, env=None, rng=range(-5, 40)):
+    env = env or {}
+    return {d for d in rng if region.contains_point((d,), env)}
+
+
+class TestIntersect:
+    def test_overlap(self):
+        x = intersect_regions(interval(C(1), C(8)), interval(C(5), C(12)))
+        assert pts(x) == {5, 6, 7, 8}
+
+    def test_disjoint_empty(self):
+        x = intersect_regions(interval(C(1), C(3)), interval(C(7), C(9)))
+        assert x.is_empty()
+
+    def test_different_arrays_none(self):
+        assert intersect_regions(
+            interval(C(1), C(3), "a"), interval(C(1), C(3), "b")
+        ) is None
+
+    def test_contains_helper(self):
+        assert region_contains(interval(C(1), C(10)), interval(C(2), C(5)))
+        assert not region_contains(interval(C(2), C(5)), interval(C(1), C(10)))
+
+
+class TestHullJoin:
+    def test_hull_covers_both(self):
+        h = hull_join(interval(C(1), C(3)), interval(C(8), C(10)))
+        assert pts(h) >= {1, 2, 3, 8, 9, 10}
+
+    def test_hull_of_adjacent_is_exact(self):
+        h = hull_join(interval(C(1), C(5)), interval(C(6), C(10)))
+        assert pts(h) == set(range(1, 11))
+
+    def test_hull_parametric(self):
+        h = hull_join(interval(C(1), N), interval(C(2), N + 1))
+        assert pts(h, {"n": 6}) >= ({1, 2, 3, 4, 5, 6} | {7})
+
+    def test_hull_rejects_mismatched(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            hull_join(interval(C(1), C(2), "a"), interval(C(1), C(2), "b"))
+
+
+class TestTryCoalesce:
+    def test_containment(self):
+        m = try_coalesce(interval(C(1), C(10)), interval(C(3), C(5)))
+        assert m is not None and pts(m) == set(range(1, 11))
+
+    def test_adjacent_merged_exactly(self):
+        m = try_coalesce(interval(C(1), C(5)), interval(C(6), C(10)))
+        assert m is not None and pts(m) == set(range(1, 11))
+
+    def test_overlapping_merged(self):
+        m = try_coalesce(interval(C(1), C(7)), interval(C(4), C(10)))
+        assert m is not None and pts(m) == set(range(1, 11))
+
+    def test_gap_not_merged(self):
+        assert try_coalesce(interval(C(1), C(3)), interval(C(6), C(9))) is None
+
+    def test_parametric_adjacent(self):
+        # [1, n] ∪ [n+1, 2n]: hull [1, 2n] is exact
+        a = interval(C(1), N)
+        b = interval(N + 1, N * 2)
+        m = try_coalesce(a, b)
+        assert m is not None
+        assert pts(m, {"n": 5}) == set(range(1, 11))
+
+    def test_different_arrays_none(self):
+        assert try_coalesce(
+            interval(C(1), C(5), "a"), interval(C(6), C(9), "b")
+        ) is None

@@ -1,0 +1,117 @@
+"""Unit tests for single array regions."""
+
+import pytest
+
+from repro.linalg.constraint import Constraint
+from repro.linalg.system import LinearSystem
+from repro.regions.region import ArrayRegion
+from repro.symbolic.affine import AffineExpr
+
+D0 = AffineExpr.var("__d0")
+D1 = AffineExpr.var("__d1")
+I = AffineExpr.var("i")
+N = AffineExpr.var("n")
+C = AffineExpr.const
+
+
+def interval(array, lo, hi, rank=1):
+    return ArrayRegion(
+        array,
+        rank,
+        LinearSystem([Constraint.ge(D0, lo), Constraint.le(D0, hi)]),
+    )
+
+
+class TestConstruction:
+    def test_from_subscripts_single(self):
+        r = ArrayRegion.from_subscripts("a", [I])
+        assert r.rank == 1
+        assert r.contains_point((3,), {"i": 3})
+        assert not r.contains_point((4,), {"i": 3})
+
+    def test_from_subscripts_2d(self):
+        r = ArrayRegion.from_subscripts("b", [I, I + 1])
+        assert r.rank == 2
+        assert r.contains_point((2, 3), {"i": 2})
+        assert not r.contains_point((2, 4), {"i": 2})
+
+    def test_from_subscripts_nonaffine_unconstrained(self):
+        r = ArrayRegion.from_subscripts("a", [None])
+        assert r.system.is_universe()
+        assert r.contains_point((99,), {})
+
+    def test_whole_with_extents(self):
+        r = ArrayRegion.whole("a", 1, [C(10)])
+        assert r.contains_point((1,), {})
+        assert r.contains_point((10,), {})
+        assert not r.contains_point((0,), {})
+        assert not r.contains_point((11,), {})
+
+    def test_whole_symbolic_extent(self):
+        r = ArrayRegion.whole("a", 1, [N])
+        assert r.contains_point((5,), {"n": 10})
+        assert not r.contains_point((11,), {"n": 10})
+
+    def test_whole_unbounded(self):
+        r = ArrayRegion.whole("a", 1, [None])
+        assert r.contains_point((1000,), {})
+        assert not r.contains_point((0,), {})
+
+
+class TestQueries:
+    def test_is_empty(self):
+        assert interval("a", C(5), C(2)).is_empty()
+        assert not interval("a", C(2), C(5)).is_empty()
+
+    def test_parameters_exclude_dims(self):
+        r = ArrayRegion.from_subscripts("a", [I + 1]).conjoin(
+            LinearSystem([Constraint.le(I, N)])
+        )
+        assert r.parameters() == frozenset({"i", "n"})
+
+    def test_contains(self):
+        big = interval("a", C(1), C(10))
+        small = interval("a", C(3), C(5))
+        assert big.contains(small)
+        assert not small.contains(big)
+
+    def test_contains_other_array(self):
+        assert not interval("a", C(1), C(10)).contains(interval("b", C(3), C(5)))
+
+    def test_contains_parametric(self):
+        big = interval("a", C(1), N)
+        small = ArrayRegion(
+            "a",
+            1,
+            LinearSystem(
+                [
+                    Constraint.ge(D0, C(1)),
+                    Constraint.le(D0, N - 1),
+                ]
+            ),
+        )
+        assert big.contains(small)
+
+
+class TestTransforms:
+    def test_substitute(self):
+        r = ArrayRegion.from_subscripts("a", [I]).substitute({"i": C(7)})
+        assert r.contains_point((7,), {})
+        assert not r.contains_point((6,), {})
+
+    def test_rename(self):
+        r = ArrayRegion.from_subscripts("a", [I]).rename({"i": "i1"})
+        assert "i1" in r.parameters()
+
+    def test_rename_array(self):
+        r = interval("a", C(1), C(5)).rename_array("x")
+        assert r.array == "x"
+
+    def test_immutable(self):
+        r = interval("a", C(1), C(5))
+        with pytest.raises(AttributeError):
+            r.array = "b"
+
+    def test_hash_eq(self):
+        assert interval("a", C(1), C(5)) == interval("a", C(1), C(5))
+        assert len({interval("a", C(1), C(5)), interval("a", C(1), C(5))}) == 1

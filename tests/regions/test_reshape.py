@@ -1,0 +1,241 @@
+"""Unit tests for interprocedural summary translation (Reshape)."""
+
+import pytest
+
+from repro.ir.symboltable import SymbolTable
+from repro.lang.astnodes import Call
+from repro.lang.parser import parse_program
+from repro.linalg.constraint import Constraint
+from repro.linalg.system import LinearSystem
+from repro.predicates.atoms import OpaqueAtom
+from repro.predicates.formula import Atom
+from repro.regions.region import ArrayRegion
+from repro.regions.reshape import (
+    CallContext,
+    translate_array_summary,
+    translate_summary_set,
+)
+from repro.regions.summary import SummarySet
+from repro.symbolic.affine import AffineExpr
+from repro.symbolic.terms import FreshNameSource
+
+D0 = AffineExpr.var("__d0")
+D1 = AffineExpr.var("__d1")
+C = AffineExpr.const
+
+
+def make_ctx(src, call_index=0):
+    program = parse_program(src)
+    main = program.main_unit
+    calls = [s for s in main.body if isinstance(s, Call)]
+    call = calls[call_index]
+    callee = program.units[call.name]
+    return CallContext(
+        call, SymbolTable(main), SymbolTable(callee), FreshNameSource()
+    )
+
+
+def region_1d(lo, hi, array):
+    return ArrayRegion(
+        array, 1,
+        LinearSystem([Constraint.ge(D0, lo), Constraint.le(D0, hi)]),
+    )
+
+
+def pts1(regions, env=None, rng=range(0, 30)):
+    env = env or {}
+    out = set()
+    for r in regions:
+        out |= {d for d in rng if r.contains_point((d,), env)}
+    return out
+
+
+class TestScalarBindings:
+    SRC = """
+program t
+  real a(10)
+  read m
+  call f(a, m + 1, m * m)
+end
+subroutine f(x, p, q)
+  real x(*)
+  x(p) = q * 1.0
+end
+"""
+
+    def test_affine_actual_substituted(self):
+        ctx = make_ctx(self.SRC)
+        b = ctx.scalar_bindings()
+        assert b["p"] == AffineExpr.var("m") + 1
+
+    def test_nonaffine_actual_freshened(self):
+        ctx = make_ctx(self.SRC)
+        b = ctx.scalar_bindings()
+        # m*m is not affine: bound to a fresh unconstrained symbol
+        assert b["q"].variables()[0].startswith("__t")
+
+
+class TestDirectRename:
+    SRC = """
+program t
+  real a(10, 20)
+  call f(a)
+end
+subroutine f(x)
+  real x(10, 20)
+  x(1, 1) = 0.0
+end
+"""
+
+    def test_same_shape_renamed(self):
+        ctx = make_ctx(self.SRC)
+        region = ArrayRegion.from_subscripts("x", [C(3), C(4)])
+        alts = translate_array_summary([region], "x", ctx, must=True)
+        assert len(alts) == 1
+        pred, regions = alts[0]
+        assert pred.is_true()
+        assert regions[0].array == "a"
+        assert regions[0].contains_point((3, 4), {})
+
+
+class TestLinearization:
+    SRC = """
+program t
+  real a(4, 6)
+  call f(a)
+end
+subroutine f(x)
+  real x(24)
+  x(1) = 0.0
+end
+"""
+
+    def test_flat_range_maps_to_columns(self):
+        ctx = make_ctx(self.SRC)
+        # callee writes x(1..8): the first two caller columns
+        region = region_1d(C(1), C(8), "x")
+        alts = translate_array_summary([region], "x", ctx, must=True)
+        pred, regions = alts[0]
+        assert pred.is_true()
+        covered = {
+            (i, j)
+            for i in range(1, 5)
+            for j in range(1, 7)
+            if any(r.contains_point((i, j), {}) for r in regions)
+        }
+        expected = {(i, j) for j in (1, 2) for i in range(1, 5)}
+        assert covered == expected
+
+    def test_single_flat_element(self):
+        ctx = make_ctx(self.SRC)
+        # x(6) is a(2, 2) in column-major order
+        region = ArrayRegion.from_subscripts("x", [C(6)])
+        alts = translate_array_summary([region], "x", ctx, must=True)
+        _, regions = alts[0]
+        hits = {
+            (i, j)
+            for i in range(1, 5)
+            for j in range(1, 7)
+            if any(r.contains_point((i, j), {}) for r in regions)
+        }
+        assert hits == {(2, 2)}
+
+
+class TestOptimisticReshape:
+    SRC = """
+program t
+  integer p, q
+  real a(24)
+  read p, q
+  call f(a, p, q)
+end
+subroutine f(x, p, q)
+  integer p, q
+  real x(p, q)
+  x(1, 1) = 0.0
+end
+"""
+
+    def test_whole_coverage_guarded(self):
+        ctx = make_ctx(self.SRC)
+        whole = ArrayRegion(
+            "x", 2,
+            LinearSystem(
+                [
+                    Constraint.ge(D0, C(1)),
+                    Constraint.le(D0, AffineExpr.var("p")),
+                    Constraint.ge(D1, C(1)),
+                    Constraint.le(D1, AffineExpr.var("q")),
+                ]
+            ),
+        )
+        alts = translate_array_summary([whole], "x", ctx, must=True)
+        assert len(alts) == 2
+        pred, regions = alts[0]
+        assert isinstance(pred, Atom) and isinstance(pred.atom, OpaqueAtom)
+        assert "==" in pred.atom.key
+        assert regions[0].array == "a"
+        # optimistic region is the whole caller array
+        assert pts1(regions) == set(range(1, 25))
+        # default claims nothing for must
+        dpred, dregions = alts[1]
+        assert dpred.is_true() and dregions == ()
+
+    def test_partial_coverage_gets_default_only(self):
+        ctx = make_ctx(self.SRC)
+        partial = ArrayRegion(
+            "x", 2,
+            LinearSystem(
+                [
+                    Constraint.ge(D0, C(2)),  # misses row 1
+                    Constraint.le(D0, AffineExpr.var("p")),
+                    Constraint.ge(D1, C(1)),
+                    Constraint.le(D1, AffineExpr.var("q")),
+                ]
+            ),
+        )
+        alts = translate_array_summary([partial], "x", ctx, must=True)
+        assert len(alts) == 1
+        assert alts[0][0].is_true() and alts[0][1] == ()
+
+    def test_may_default_is_whole_array(self):
+        ctx = make_ctx(self.SRC)
+        anything = ArrayRegion.from_subscripts(
+            "x", [AffineExpr.var("p"), C(1)]
+        )
+        alts = translate_array_summary([anything], "x", ctx, must=False)
+        default = alts[-1][1]
+        assert pts1(default) == set(range(1, 25))
+
+
+class TestSummarySetTranslation:
+    SRC = """
+program t
+  real a(10)
+  real keepme(5)
+  call f(a)
+  keepme(1) = 0.0
+end
+subroutine f(x)
+  real x(*), local(10)
+  x(1) = 0.0
+  local(1) = 0.0
+end
+"""
+
+    def test_locals_dropped(self):
+        ctx = make_ctx(self.SRC)
+        summary = SummarySet.of(
+            region_1d(C(1), C(5), "x"), region_1d(C(1), C(5), "local")
+        )
+        alts = translate_summary_set(summary, ctx, must=False)
+        assert len(alts) == 1
+        _, out = alts[0]
+        assert out.arrays() == ("a",)
+
+    def test_assumed_size_direct(self):
+        ctx = make_ctx(self.SRC)
+        summary = SummarySet.of(region_1d(C(2), C(7), "x"))
+        alts = translate_summary_set(summary, ctx, must=True)
+        _, out = alts[0]
+        assert pts1(out.regions("a")) == set(range(2, 8))

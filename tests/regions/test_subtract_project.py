@@ -1,0 +1,148 @@
+"""Unit tests for region subtraction and projection."""
+
+from repro.linalg.constraint import Constraint
+from repro.linalg.system import LinearSystem
+from repro.regions.project import (
+    exact_for_integers,
+    must_project_over_loop,
+    project_over_loop,
+)
+from repro.regions.region import ArrayRegion
+from repro.regions.subtract import subtract_region, subtract_summary
+from repro.symbolic.affine import AffineExpr
+
+D0 = AffineExpr.var("__d0")
+I = AffineExpr.var("i")
+N = AffineExpr.var("n")
+C = AffineExpr.const
+
+
+def interval(lo, hi, array="a"):
+    return ArrayRegion(
+        array,
+        1,
+        LinearSystem([Constraint.ge(D0, lo), Constraint.le(D0, hi)]),
+    )
+
+
+def points(region, env, lo=-5, hi=30):
+    return {d for d in range(lo, hi) if region.contains_point((d,), env)}
+
+
+def union_points(regions, env, lo=-5, hi=30):
+    out = set()
+    for r in regions:
+        out |= points(r, env, lo, hi)
+    return out
+
+
+class TestSubtractRegion:
+    def test_middle_cut(self):
+        a = interval(C(1), C(10))
+        b = interval(C(4), C(6))
+        pieces = subtract_region(a, b)
+        assert union_points(pieces, {}) == {1, 2, 3, 7, 8, 9, 10}
+
+    def test_disjoint_pieces(self):
+        a = interval(C(1), C(10))
+        b = interval(C(4), C(6))
+        pieces = subtract_region(a, b)
+        # pieces must be pairwise disjoint
+        seen = set()
+        for p in pieces:
+            pts = points(p, {})
+            assert not (pts & seen)
+            seen |= pts
+
+    def test_subtract_superset_gives_empty(self):
+        a = interval(C(3), C(5))
+        b = interval(C(1), C(10))
+        assert subtract_region(a, b) == []
+
+    def test_subtract_disjoint_keeps_all(self):
+        a = interval(C(1), C(3))
+        b = interval(C(7), C(9))
+        pieces = subtract_region(a, b)
+        assert union_points(pieces, {}) == {1, 2, 3}
+
+    def test_subtract_different_array_noop(self):
+        a = interval(C(1), C(3), "a")
+        b = interval(C(1), C(3), "b")
+        assert subtract_region(a, b) == [a]
+
+    def test_subtract_point(self):
+        a = interval(C(1), C(5))
+        b = ArrayRegion.from_subscripts("a", [C(3)])
+        pieces = subtract_region(a, b)
+        assert union_points(pieces, {}) == {1, 2, 4, 5}
+
+    def test_parametric_boundary(self):
+        # the Figure-1-style case: [1, n] minus [1, n-1] leaves {n}
+        a = interval(C(1), N)
+        b = interval(C(1), N - 1)
+        pieces = subtract_region(a, b)
+        for n in (1, 4, 9):
+            assert union_points(pieces, {"n": n}) == {n}
+
+    def test_subtract_summary_multiple(self):
+        a = interval(C(1), C(10))
+        pieces = subtract_summary(
+            [a], [interval(C(1), C(3)), interval(C(8), C(10))]
+        )
+        assert union_points(pieces, {}) == {4, 5, 6, 7}
+
+    def test_soundness_property(self):
+        # (A - B) ∪ (A ∩ B) ⊇ A and (A - B) ∩ B = ∅ on sample points
+        a = interval(C(2), C(9))
+        b = interval(C(5), C(12))
+        diff = subtract_region(a, b)
+        pa, pb = points(a, {}), points(b, {})
+        pd = union_points(diff, {})
+        assert pd == pa - pb
+
+
+class TestProjection:
+    def test_project_identity_subscript(self):
+        # a(i), 1 <= i <= n projects to 1 <= d <= n
+        r = ArrayRegion.from_subscripts("a", [I])
+        space = LinearSystem([Constraint.ge(I, C(1)), Constraint.le(I, N)])
+        proj = project_over_loop(r, "i", space)
+        assert points(proj, {"n": 5}) == {1, 2, 3, 4, 5}
+
+    def test_project_shifted(self):
+        r = ArrayRegion.from_subscripts("a", [I + 2])
+        space = LinearSystem([Constraint.ge(I, C(1)), Constraint.le(I, C(4))])
+        proj = project_over_loop(r, "i", space)
+        assert points(proj, {}) == {3, 4, 5, 6}
+
+    def test_project_strided_overapproximates(self):
+        # a(2i) over i in [1,5]: may-projection covers the full interval
+        r = ArrayRegion.from_subscripts("a", [I * 2])
+        space = LinearSystem([Constraint.ge(I, C(1)), Constraint.le(I, C(5))])
+        proj = project_over_loop(r, "i", space)
+        assert {2, 4, 6, 8, 10} <= points(proj, {})
+
+    def test_exactness_criterion(self):
+        unit = ArrayRegion.from_subscripts("a", [I]).system
+        assert exact_for_integers(unit, "i")
+        strided = ArrayRegion.from_subscripts("a", [I * 2]).system
+        assert not exact_for_integers(strided, "i")
+
+    def test_must_project_exact_case(self):
+        r = ArrayRegion.from_subscripts("a", [I])
+        space = LinearSystem([Constraint.ge(I, C(1)), Constraint.le(I, N)])
+        proj = must_project_over_loop(r, "i", space)
+        assert proj is not None
+        assert points(proj, {"n": 4}) == {1, 2, 3, 4}
+
+    def test_must_project_rejects_stride(self):
+        r = ArrayRegion.from_subscripts("a", [I * 2])
+        space = LinearSystem([Constraint.ge(I, C(1)), Constraint.le(I, C(5))])
+        assert must_project_over_loop(r, "i", space) is None
+
+    def test_project_keeps_parameters(self):
+        r = ArrayRegion.from_subscripts("a", [I])
+        space = LinearSystem([Constraint.ge(I, C(1)), Constraint.le(I, N)])
+        proj = project_over_loop(r, "i", space)
+        assert "n" in proj.parameters()
+        assert "i" not in proj.parameters()

@@ -1,0 +1,183 @@
+"""Unit tests for summary sets."""
+
+from repro.linalg.constraint import Constraint
+from repro.linalg.system import LinearSystem
+from repro.regions.region import ArrayRegion
+from repro.regions.summary import SummarySet
+from repro.symbolic.affine import AffineExpr
+
+D0 = AffineExpr.var("__d0")
+I = AffineExpr.var("i")
+N = AffineExpr.var("n")
+C = AffineExpr.const
+
+
+def interval(lo, hi, array="a"):
+    return ArrayRegion(
+        array,
+        1,
+        LinearSystem([Constraint.ge(D0, lo), Constraint.le(D0, hi)]),
+    )
+
+
+def pts(summary, array, env, rng=range(-2, 25)):
+    out = set()
+    for r in summary.regions(array):
+        out |= {d for d in rng if r.contains_point((d,), env)}
+    return out
+
+
+class TestConstruction:
+    def test_empty(self):
+        assert SummarySet.empty().is_empty()
+        assert SummarySet.empty().arrays() == ()
+
+    def test_of(self):
+        s = SummarySet.of(interval(C(1), C(3)), interval(C(1), C(2), "b"))
+        assert s.arrays() == ("a", "b")
+
+    def test_empty_regions_dropped(self):
+        s = SummarySet.of(interval(C(5), C(2)))
+        assert s.is_empty()
+
+
+class TestUnion:
+    def test_union_distinct_arrays(self):
+        s1 = SummarySet.of(interval(C(1), C(3)))
+        s2 = SummarySet.of(interval(C(1), C(2), "b"))
+        u = s1.union(s2)
+        assert u.arrays() == ("a", "b")
+
+    def test_union_coalesces_contained(self):
+        s1 = SummarySet.of(interval(C(1), C(10)))
+        s2 = SummarySet.of(interval(C(3), C(5)))
+        u = s1.union(s2)
+        assert len(u.regions("a")) == 1
+
+    def test_union_coalesces_adjacent(self):
+        s1 = SummarySet.of(interval(C(1), C(5)))
+        s2 = SummarySet.of(interval(C(6), C(10)))
+        u = s1.union(s2)
+        assert pts(u, "a", {}) == set(range(1, 11))
+        assert len(u.regions("a")) == 1  # exact hull merge
+
+    def test_union_keeps_disjoint(self):
+        s1 = SummarySet.of(interval(C(1), C(3)))
+        s2 = SummarySet.of(interval(C(8), C(10)))
+        u = s1.union(s2)
+        assert len(u.regions("a")) == 2
+        assert pts(u, "a", {}) == {1, 2, 3, 8, 9, 10}
+
+    def test_widening_respects_budget(self):
+        pieces = [interval(C(4 * k), C(4 * k + 1)) for k in range(10)]
+        u = SummarySet.empty()
+        for p in pieces:
+            u = u.union(SummarySet.of(p), budget=3)
+        assert len(u.regions("a")) <= 3
+        # widening is an over-approximation
+        expected = set()
+        for k in range(10):
+            expected |= {4 * k, 4 * k + 1}
+        assert expected <= pts(u, "a", {}, range(-2, 50))
+
+
+class TestIntersectSubtract:
+    def test_intersect_pairwise(self):
+        s1 = SummarySet.of(interval(C(1), C(6)))
+        s2 = SummarySet.of(interval(C(4), C(9)))
+        x = s1.intersect_pairwise(s2)
+        assert pts(x, "a", {}) == {4, 5, 6}
+
+    def test_intersect_distributes(self):
+        s1 = SummarySet.of(interval(C(1), C(3)), interval(C(7), C(9)))
+        s2 = SummarySet.of(interval(C(2), C(8)))
+        x = s1.intersect_pairwise(s2)
+        assert pts(x, "a", {}) == {2, 3, 7, 8}
+
+    def test_intersect_different_arrays_empty(self):
+        s1 = SummarySet.of(interval(C(1), C(3)))
+        s2 = SummarySet.of(interval(C(1), C(3), "b"))
+        assert s1.intersect_pairwise(s2).is_empty()
+
+    def test_subtract(self):
+        s = SummarySet.of(interval(C(1), C(10)))
+        w = SummarySet.of(interval(C(1), C(9)))
+        d = s.subtract(w)
+        assert pts(d, "a", {}) == {10}
+
+    def test_subtract_full_coverage(self):
+        s = SummarySet.of(interval(C(1), C(5)))
+        w = SummarySet.of(interval(C(1), C(10)))
+        assert s.subtract(w).is_empty()
+
+    def test_intersect_nonempty(self):
+        s1 = SummarySet.of(interval(C(1), C(5)))
+        s2 = SummarySet.of(interval(C(5), C(9)))
+        s3 = SummarySet.of(interval(C(6), C(9)))
+        assert s1.intersect_nonempty(s2)
+        assert not s1.intersect_nonempty(s3)
+
+
+class TestCovers:
+    def test_covers_direct(self):
+        outer = SummarySet.of(interval(C(1), C(10)))
+        inner = SummarySet.of(interval(C(2), C(5)))
+        assert outer.covers(inner)
+        assert not inner.covers(outer)
+
+    def test_covers_by_pieces(self):
+        outer = SummarySet.of(interval(C(1), C(5)), interval(C(6), C(10)))
+        inner = SummarySet.of(interval(C(3), C(8)))
+        assert outer.covers(inner)
+
+    def test_covers_parametric(self):
+        outer = SummarySet.of(interval(C(1), N))
+        inner = SummarySet.of(interval(C(2), N - 1))
+        assert outer.covers(inner)
+
+    def test_covers_empty(self):
+        assert SummarySet.empty().covers(SummarySet.empty())
+        assert SummarySet.of(interval(C(1), C(3))).covers(SummarySet.empty())
+        assert not SummarySet.empty().covers(SummarySet.of(interval(C(1), C(3))))
+
+
+class TestProjection:
+    def test_project_may(self):
+        body = SummarySet.of(ArrayRegion.from_subscripts("a", [I]))
+        space = LinearSystem([Constraint.ge(I, C(1)), Constraint.le(I, C(8))])
+        loop = body.project_may("i", space)
+        assert pts(loop, "a", {}) == set(range(1, 9))
+
+    def test_project_must_exact(self):
+        body = SummarySet.of(ArrayRegion.from_subscripts("a", [I]))
+        space = LinearSystem([Constraint.ge(I, C(1)), Constraint.le(I, C(8))])
+        loop = body.project_must("i", space)
+        assert pts(loop, "a", {}) == set(range(1, 9))
+
+    def test_project_must_drops_stride(self):
+        body = SummarySet.of(ArrayRegion.from_subscripts("a", [I * 2]))
+        space = LinearSystem([Constraint.ge(I, C(1)), Constraint.le(I, C(8))])
+        loop = body.project_must("i", space)
+        assert loop.is_empty()
+
+    def test_conjoin_all_embedding(self):
+        s = SummarySet.of(interval(C(1), N))
+        embedded = s.conjoin_all(LinearSystem([Constraint.le(N, C(3))]))
+        assert pts(embedded, "a", {"n": 10}) == set()
+        assert pts(embedded, "a", {"n": 3}) == {1, 2, 3}
+
+
+class TestPlumbing:
+    def test_eq_order_insensitive(self):
+        s1 = SummarySet.of(interval(C(1), C(3)), interval(C(7), C(9)))
+        s2 = SummarySet.of(interval(C(7), C(9)), interval(C(1), C(3)))
+        assert s1 == s2 and hash(s1) == hash(s2)
+
+    def test_restricted_to(self):
+        s = SummarySet.of(interval(C(1), C(3)), interval(C(1), C(3), "b"))
+        assert s.restricted_to("a").arrays() == ("a",)
+        assert s.restricted_to("zzz").is_empty()
+
+    def test_drop_arrays(self):
+        s = SummarySet.of(interval(C(1), C(3)), interval(C(1), C(3), "b"))
+        assert s.drop_arrays(["b"]).arrays() == ("a",)

@@ -1,0 +1,94 @@
+"""Widening and budget-path tests: precision may drop, soundness may not."""
+
+from repro.linalg.constraint import Constraint
+from repro.linalg.system import LinearSystem
+from repro.regions.region import ArrayRegion
+from repro.regions.subtract import subtract_summary
+from repro.regions.summary import SummarySet, _widen
+from repro.symbolic.affine import AffineExpr
+
+D0 = AffineExpr.var("__d0")
+C = AffineExpr.const
+
+
+def interval(lo, hi, array="a", extra=()):
+    cons = [Constraint.ge(D0, C(lo)), Constraint.le(D0, C(hi))]
+    cons.extend(extra)
+    return ArrayRegion(array, 1, LinearSystem(cons))
+
+
+def big_system_interval(lo, hi, array="a"):
+    """An interval padded with redundant constraints to exceed the
+    coalesce limit."""
+    extra = [
+        Constraint.ge(D0 * (k + 2), C(lo * (k + 2) - k - 1))
+        for k in range(8)
+    ]
+    return interval(lo, hi, array, extra)
+
+
+def pts(regions, rng=range(-5, 60)):
+    out = set()
+    for r in regions:
+        out |= {d for d in rng if r.contains_point((d,), {})}
+    return out
+
+
+class TestWiden:
+    def test_small_systems_semantic_hull(self):
+        regions = [interval(4 * k, 4 * k + 1) for k in range(8)]
+        out = _widen(regions, 3)
+        assert len(out) <= 3
+        expected = set()
+        for k in range(8):
+            expected |= {4 * k, 4 * k + 1}
+        assert expected <= pts(out)  # superset: sound
+
+    def test_large_systems_syntactic_hull(self):
+        regions = [big_system_interval(1, 9), big_system_interval(20, 29)]
+        out = _widen(regions, 1)
+        assert len(out) == 1
+        assert {1, 5, 9, 20, 25, 29} <= pts(out)
+
+    def test_widen_noop_within_budget(self):
+        regions = [interval(1, 3), interval(7, 9)]
+        assert _widen(list(regions), 4) == regions
+
+
+class TestSubtractBudget:
+    def test_many_writes_keep_soundness(self):
+        # subtracting 30 scattered points from [1, 50] blows the piece
+        # budget; the result must still be a superset of the true
+        # difference
+        base = [interval(1, 50)]
+        writes = [interval(2 * k, 2 * k) for k in range(1, 26)]
+        out = subtract_summary(base, writes, budget=6)
+        true_diff = set(range(1, 51)) - {2 * k for k in range(1, 26)}
+        assert true_diff <= pts(out)
+
+    def test_huge_write_skipped(self):
+        base = [interval(1, 20)]
+        huge = big_system_interval(1, 30)
+        # pad further to exceed 2*budget constraints
+        extra = [
+            Constraint.ge(D0 * (k + 3), C(-100)) for k in range(10)
+        ]
+        very_huge = ArrayRegion(
+            "a", 1, huge.system & LinearSystem(extra)
+        )
+        out = subtract_summary(base, [very_huge], budget=4)
+        # the write was skipped: nothing removed, still sound (superset)
+        assert pts(out) == set(range(1, 21))
+
+
+class TestUnionBudgetEndToEnd:
+    def test_union_never_loses_points(self):
+        acc = SummarySet.empty()
+        expected = set()
+        for k in range(15):
+            lo, hi = 3 * k, 3 * k + 1
+            acc = acc.union(SummarySet.of(interval(lo, hi)), budget=4)
+            expected |= {lo, hi}
+        got = pts(acc.regions("a"), range(-5, 60))
+        assert expected <= got
+        assert len(acc.regions("a")) <= 4

@@ -1,0 +1,171 @@
+"""Unit tests for the ELPD dynamic parallelization oracle."""
+
+from repro.lang.parser import parse_program
+from repro.runtime.elpd import run_elpd
+
+
+def elpd(src, inputs=(), targets=None):
+    return run_elpd(parse_program(src), inputs, target_labels=targets)
+
+
+class TestClassification:
+    def test_independent(self):
+        rep = elpd(
+            "program t\nreal a(20)\ndo i = 1, 10\na(i) = i * 1.0\nenddo\nend\n"
+        )
+        assert rep.observations["t:L1"].classification == "independent"
+
+    def test_dependent_flow(self):
+        rep = elpd(
+            "program t\nreal a(20)\na(1) = 1.0\n"
+            "do i = 2, 10\na(i) = a(i - 1)\nenddo\nend\n"
+        )
+        obs = rep.observations["t:L1"]
+        assert obs.classification == "dependent"
+        assert obs.flow_arrays == {"a"}
+
+    def test_privatizable(self):
+        rep = elpd(
+            "program t\nreal w(10), b(10, 10)\n"
+            "do j = 1, 10\n"
+            " do i = 1, 10\n  w(i) = b(i, j) + 1.0\n enddo\n"
+            " do i = 1, 10\n  b(i, j) = w(i)\n enddo\n"
+            "enddo\nend\n"
+        )
+        obs = rep.observations["t:L1"]
+        assert obs.classification == "privatizable"
+        assert obs.conflict_arrays == {"w"}
+
+    def test_read_only_shared_is_independent(self):
+        rep = elpd(
+            "program t\nreal a(10), b(10)\nx = 0.0\n"
+            "do i = 1, 10\nb(i) = a(1) + a(2)\nenddo\nend\n"
+        )
+        assert rep.observations["t:L1"].classification == "independent"
+
+    def test_output_dependence_privatizable(self):
+        # all iterations write a(1); no iteration reads it first
+        rep = elpd(
+            "program t\nreal a(10)\ndo i = 1, 10\na(1) = i * 1.0\nenddo\nend\n"
+        )
+        assert rep.observations["t:L1"].classification == "privatizable"
+
+    def test_write_then_read_same_iteration_ok(self):
+        rep = elpd(
+            "program t\nreal a(10)\ndo i = 1, 10\na(1) = i * 1.0\n"
+            "x = a(1)\nenddo\nend\n"
+        )
+        assert rep.observations["t:L1"].classification == "privatizable"
+
+    def test_exposed_read_of_preloop_value_ok(self):
+        # every iteration reads a(11): written before the loop only
+        rep = elpd(
+            "program t\nreal a(20), b(20)\na(11) = 3.0\n"
+            "do i = 1, 10\nb(i) = a(11)\nenddo\nend\n"
+        )
+        assert rep.observations["t:L1"].classification == "independent"
+
+
+class TestDynamicity:
+    def test_input_dependent_verdict(self):
+        # a(i+k) = a(i): dependent iff 1 <= k < n
+        src = (
+            "program t\ninteger n, k\nreal a(100)\nread n, k\n"
+            "do i = 1, n\na(i + k) = a(i) + 1.0\nenddo\nend\n"
+        )
+        dep = elpd(src, [10, 1])
+        assert dep.observations["t:L1"].classification == "dependent"
+        ok = elpd(src, [10, 50])
+        assert ok.observations["t:L1"].classification == "independent"
+        zero = elpd(src, [10, 0])
+        # k == 0: each iteration reads and writes only its own element
+        assert zero.observations["t:L1"].classification == "independent"
+
+    def test_aggregation_worst_case(self):
+        # inner loop is independent on the first outer iteration (j = 20,
+        # reads land outside the write range) and dependent on the second
+        # (j = 1): the aggregate verdict must be the worst case
+        src = (
+            "program t\ninteger n, j\nreal a(100)\nread n\n"
+            "j = 20\n"
+            "do r = 1, 2\n"
+            " do i = 21, n\n  a(i) = a(i - j) + 1.0\n enddo\n"
+            " j = 1\n"
+            "enddo\nend\n"
+        )
+        rep = elpd(src, [40])
+        assert rep.observations["t:L2"].classification == "dependent"
+
+    def test_multiple_instances_counted(self):
+        src = (
+            "program t\nreal a(10)\n"
+            "do j = 1, 3\n do i = 1, 5\n  a(i) = i * 1.0\n enddo\nenddo\nend\n"
+        )
+        rep = elpd(src)
+        assert rep.observations["t:L2"].instances == 3
+        assert rep.observations["t:L2"].total_iterations == 15
+
+
+class TestTargeting:
+    SRC = (
+        "program t\nreal a(10)\n"
+        "do i = 1, 5\n a(i) = 1.0\nenddo\n"
+        "do i = 2, 5\n a(i) = a(i - 1)\nenddo\nend\n"
+    )
+
+    def test_target_subset(self):
+        rep = elpd(self.SRC, targets=["t:L2"])
+        assert "t:L1" not in rep.observations
+        assert rep.observations["t:L2"].classification == "dependent"
+
+    def test_unexecuted_target_reported(self):
+        rep = elpd(self.SRC, targets=["t:L2", "nope:L9"])
+        assert rep.observations["nope:L9"].classification == "not_executed"
+
+    def test_parallelizable_labels(self):
+        rep = elpd(self.SRC)
+        assert rep.parallelizable_labels() == ["t:L1"]
+        assert rep.dependent_labels() == ["t:L2"]
+
+
+class TestReshapeAliasing:
+    def test_write_then_read_through_view_is_privatizable(self):
+        # each iteration writes a(1,1) through a flat view, then reads it:
+        # cross-iteration conflicts but no exposed-read flow
+        src = """
+program t
+  real a(3, 4)
+  do i = 1, 3
+    call poke(a, i)
+    x = a(1, 1)
+  enddo
+end
+subroutine poke(v, i)
+  real v(12)
+  integer i
+  v(1) = i * 1.0
+end
+"""
+        rep = run_elpd(parse_program(src))
+        assert rep.observations["t:L1"].classification == "privatizable"
+
+    def test_cross_view_flow_detected(self):
+        # the callee accumulates into v(1) (read before write through the
+        # flat view): iteration i reads the value iteration i-1 wrote
+        src = """
+program t
+  real a(3, 4)
+  a(1, 1) = 1.0
+  do i = 1, 3
+    call accum(a, i)
+  enddo
+end
+subroutine accum(v, i)
+  real v(12)
+  integer i
+  v(1) = v(1) * 2.0 + i
+end
+"""
+        rep = run_elpd(parse_program(src))
+        assert rep.observations["t:L1"].classification == "dependent"
+        assert "v" in rep.observations["t:L1"].flow_arrays

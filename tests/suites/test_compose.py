@@ -1,0 +1,81 @@
+"""Unit tests for benchmark-program composition."""
+
+import pytest
+
+from repro.suites import patterns as P
+from repro.suites.compose import BenchmarkProgram, compose
+from repro.suites.patterns import LoopExpectation, PatternInstance
+
+
+class TestCompose:
+    def test_single_pattern(self):
+        bench = compose("one", "extra", [P.stencil("z1")])
+        assert bench.loop_count == 1
+        assert "one:L1" in bench.expectations
+        assert bench.program.main == "one"
+
+    def test_patterns_concatenate_in_order(self):
+        bench = compose("two", "extra", [P.stencil("z1"), P.recurrence("z2")])
+        assert bench.expectations["two:L1"].category == "plain"
+        assert bench.expectations["two:L2"].category == "recurrence"
+
+    def test_setup_loops_counted(self):
+        bench = compose("three", "extra", [P.nonaffine("z3")])
+        # setup loop + main loop
+        assert bench.loop_count == 2
+        assert bench.expectations["three:L1"].category == "plain"
+        assert bench.expectations["three:L2"].category == "nonaffine"
+
+    def test_subroutine_loops_labeled(self):
+        bench = compose("four", "extra", [P.call_row("z4")])
+        labels = set(bench.expectations)
+        assert "four:L1" in labels
+        assert any(l.startswith("crowz4:") for l in labels)
+
+    def test_inputs_concatenate(self):
+        bench = compose(
+            "five", "extra",
+            [P.offset_runtime("z5", k_value=3), P.cond_cover("z6", flag_value=9)],
+        )
+        assert bench.inputs == [3, 9]
+
+    def test_mismatched_expectations_rejected(self):
+        broken = PatternInstance(
+            decls=["real qq(5)"],
+            main_lines=["do i = 1, 5", "  qq(i) = 1.0", "enddo"],
+            main_expect=[],  # missing!
+        )
+        with pytest.raises(ValueError):
+            compose("bad", "extra", [broken])
+
+    def test_fresh_program_is_new_object(self):
+        bench = compose("six", "extra", [P.stencil("z7")])
+        assert bench.fresh_program() is not bench.program
+
+    def test_outer_win_labels(self):
+        bench = compose("seven", "extra", [P.offset_runtime("z8")])
+        assert bench.outer_win_labels() == ["seven:L1"]
+        plain = compose("eight", "extra", [P.stencil("z9")])
+        assert plain.outer_win_labels() == []
+
+
+class TestPatternHygiene:
+    def test_unique_suffixes_no_collision(self):
+        bench = compose(
+            "nine", "extra",
+            [P.stencil("a"), P.stencil("b"), P.work_array("c")],
+        )
+        # all loops analyzable; names did not collide
+        assert bench.loop_count == 5
+
+    def test_every_pattern_composes_alone(self):
+        builders = [
+            P.stencil, P.init2d, P.triangular, P.reduction, P.work_array,
+            P.call_row, P.recurrence, P.scalar_recurrence, P.wavefront,
+            P.io_loop, P.nonaffine, P.data_dependent, P.cond_cover,
+            P.guard_zero_trip, P.index_guard, P.offset_runtime,
+            P.outer_offset, P.reshape_size,
+        ]
+        for k, builder in enumerate(builders):
+            bench = compose(f"solo{k}", "extra", [builder(f"u{k}")])
+            assert bench.loop_count >= 1, builder.__name__

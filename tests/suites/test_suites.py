@@ -1,0 +1,159 @@
+"""Verification of the benchmark-suite ground truth.
+
+These are the calibration tests: every per-loop expectation (base,
+predicated, ELPD oracle) is checked against the actual pipeline, and the
+aggregate statistics are checked against the paper's claims.
+"""
+
+import pytest
+
+from repro.arraydf.options import AnalysisOptions
+from repro.partests.driver import analyze_program
+from repro.runtime.elpd import run_oracle
+from repro.runtime.interp import run_program
+from repro.suites import SUITE_NAMES, all_programs, by_suite, get_program
+
+PROGRAMS = all_programs()
+
+
+@pytest.fixture(scope="module")
+def driver_results():
+    out = {}
+    for p in PROGRAMS:
+        out[p.name] = {
+            "base": analyze_program(p.fresh_program(), AnalysisOptions.base()),
+            "predicated": analyze_program(
+                p.fresh_program(), AnalysisOptions.predicated()
+            ),
+        }
+    return out
+
+
+class TestRegistry:
+    def test_thirty_programs(self):
+        assert len(PROGRAMS) == 30
+
+    def test_suite_sizes(self):
+        assert len(by_suite("specfp95")) == 10
+        assert len(by_suite("nas")) == 8
+        assert len(by_suite("perfect")) == 11
+        assert len(by_suite("extra")) == 1
+
+    def test_get_program(self):
+        assert get_program("tomcatv").suite == "specfp95"
+        with pytest.raises(KeyError):
+            get_program("nope")
+
+    def test_unknown_suite(self):
+        with pytest.raises(KeyError):
+            by_suite("spec2000")
+
+    def test_every_loop_has_expectation(self):
+        from repro.lang.astnodes import loops_of
+
+        for p in PROGRAMS:
+            labels = {
+                l.label
+                for u in p.program.units.values()
+                for l in loops_of(u)
+            }
+            assert labels == set(p.expectations)
+
+
+@pytest.mark.parametrize("prog", PROGRAMS, ids=lambda p: p.name)
+class TestPerProgramGroundTruth:
+    def test_base_statuses(self, prog, driver_results):
+        actual = {
+            l.label: l.status for l in driver_results[prog.name]["base"].loops
+        }
+        for label, exp in prog.expectations.items():
+            assert actual[label] == exp.base, label
+
+    def test_predicated_statuses(self, prog, driver_results):
+        actual = {
+            l.label: l.status
+            for l in driver_results[prog.name]["predicated"].loops
+        }
+        for label, exp in prog.expectations.items():
+            assert actual[label] == exp.predicated, label
+
+    def test_oracle_classifications(self, prog):
+        rep = run_oracle(prog.fresh_program(), prog.inputs)
+        for label, exp in prog.expectations.items():
+            assert rep.observations[label].classification == exp.elpd, label
+
+    def test_program_executes(self, prog):
+        result = run_program(prog.fresh_program(), prog.inputs)
+        assert result.steps > 0
+
+
+class TestAggregateShape:
+    """The paper's headline numbers, reproduced in shape."""
+
+    @staticmethod
+    def _counts():
+        total = cands = base_par = remaining = elpd_par = rec = rt = 0
+        outer = set()
+        for p in PROGRAMS:
+            for label, e in p.expectations.items():
+                total += 1
+                if e.base == "not_candidate":
+                    continue
+                cands += 1
+                if e.base in ("parallel", "parallel_private"):
+                    base_par += 1
+                    continue
+                remaining += 1
+                if e.elpd in ("independent", "privatizable"):
+                    elpd_par += 1
+                    if e.predicated in (
+                        "parallel",
+                        "parallel_private",
+                        "runtime",
+                    ):
+                        rec += 1
+                        if e.predicated == "runtime":
+                            rt += 1
+                        if e.outer_win:
+                            outer.add(p.name)
+        return total, cands, base_par, remaining, elpd_par, rec, rt, outer
+
+    def test_base_parallelizes_over_half(self):
+        _, cands, base_par, *_ = self._counts()
+        assert base_par / cands > 0.5
+
+    def test_predicated_recovers_over_40_percent(self):
+        *_, elpd_par, rec, rt, _ = self._counts()
+        assert rec / elpd_par > 0.40
+
+    def test_runtime_and_compile_time_wins_both_present(self):
+        *_, elpd_par, rec, rt, _ = self._counts()
+        assert 0 < rt < rec  # some run-time, some compile-time
+
+    def test_nine_outer_win_programs(self):
+        *_, outer = self._counts()
+        assert len(outer) == 9
+
+    def test_five_speedup_candidates(self):
+        assert sum(1 for p in PROGRAMS if p.speedup_candidate) == 5
+
+    def test_speedup_candidates_have_outer_wins(self):
+        for p in PROGRAMS:
+            if p.speedup_candidate:
+                assert p.outer_win_labels(), p.name
+
+
+class TestAnalysisSoundnessVsOracle:
+    """A loop the compiler parallelizes must never be dynamically
+    dependent — the analysis is sound with respect to the ELPD oracle
+    (on the arrays; scalar obstacles are screened statically)."""
+
+    @pytest.mark.parametrize("prog", PROGRAMS, ids=lambda p: p.name)
+    def test_no_compile_time_parallel_loop_is_dependent(self, prog, driver_results):
+        rep = run_oracle(prog.fresh_program(), prog.inputs)
+        res = driver_results[prog.name]["predicated"]
+        for l in res.loops:
+            if l.status in ("parallel", "parallel_private"):
+                obs = rep.observations.get(l.label)
+                assert obs is not None
+                assert obs.classification != "dependent", l.label

@@ -1,0 +1,154 @@
+"""Unit tests for the affine-expression algebra."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.symbolic.affine import AffineExpr, sum_exprs
+
+
+class TestConstruction:
+    def test_const(self):
+        e = AffineExpr.const(5)
+        assert e.is_constant()
+        assert e.constant == 5
+        assert e.variables() == ()
+
+    def test_var(self):
+        e = AffineExpr.var("i")
+        assert e.coeff("i") == 1
+        assert e.coeff("j") == 0
+        assert not e.is_constant()
+
+    def test_var_with_coeff(self):
+        e = AffineExpr.var("i", 3)
+        assert e.coeff("i") == 3
+
+    def test_zero_coefficients_dropped(self):
+        e = AffineExpr({"i": 0, "j": 2})
+        assert e.variables() == ("j",)
+
+    def test_zero_one_constants(self):
+        assert AffineExpr.ZERO.is_zero()
+        assert AffineExpr.ONE.constant == 1
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            AffineExpr({"i": 1.5})
+
+
+class TestArithmetic:
+    def test_add_exprs(self):
+        e = AffineExpr.var("i") + AffineExpr.var("j")
+        assert e.coeff("i") == 1 and e.coeff("j") == 1
+
+    def test_add_cancels(self):
+        e = AffineExpr.var("i") + AffineExpr.var("i", -1)
+        assert e.is_zero()
+
+    def test_add_scalar(self):
+        e = AffineExpr.var("i") + 4
+        assert e.constant == 4
+
+    def test_radd(self):
+        e = 4 + AffineExpr.var("i")
+        assert e.constant == 4
+
+    def test_sub(self):
+        e = AffineExpr.var("i") - AffineExpr.var("j")
+        assert e.coeff("j") == -1
+
+    def test_rsub(self):
+        e = 10 - AffineExpr.var("i")
+        assert e.constant == 10 and e.coeff("i") == -1
+
+    def test_neg(self):
+        e = -(AffineExpr.var("i") + 2)
+        assert e.coeff("i") == -1 and e.constant == -2
+
+    def test_mul(self):
+        e = (AffineExpr.var("i") + 1) * 3
+        assert e.coeff("i") == 3 and e.constant == 3
+
+    def test_mul_by_zero(self):
+        assert ((AffineExpr.var("i") + 1) * 0).is_zero()
+
+    def test_div(self):
+        e = AffineExpr.var("i", 4) / 2
+        assert e.coeff("i") == 2
+
+    def test_div_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            AffineExpr.var("i") / 0
+
+    def test_fraction_coeffs(self):
+        e = AffineExpr.var("i") * Fraction(1, 3)
+        assert e.coeff("i") == Fraction(1, 3)
+        assert not e.is_integral()
+
+
+class TestSubstitution:
+    def test_substitute_number(self):
+        e = AffineExpr.var("i") + AffineExpr.var("j")
+        assert e.substitute({"i": 5}) == AffineExpr.var("j") + 5
+
+    def test_substitute_expr(self):
+        e = AffineExpr.var("i", 2)
+        r = e.substitute({"i": AffineExpr.var("j") + 1})
+        assert r == AffineExpr.var("j", 2) + 2
+
+    def test_substitute_simultaneous_swap(self):
+        e = AffineExpr({"x": 1, "y": 2})
+        r = e.substitute({"x": AffineExpr.var("y"), "y": AffineExpr.var("x")})
+        assert r == AffineExpr({"y": 1, "x": 2})
+
+    def test_substitute_unbound_kept(self):
+        e = AffineExpr.var("i") + AffineExpr.var("j")
+        assert e.substitute({"i": 0}).variables() == ("j",)
+
+    def test_rename(self):
+        e = AffineExpr({"i": 1, "j": 1})
+        assert e.rename({"i": "k"}) == AffineExpr({"k": 1, "j": 1})
+
+    def test_rename_merges(self):
+        e = AffineExpr({"i": 1, "j": 2})
+        assert e.rename({"j": "i"}) == AffineExpr({"i": 3})
+
+
+class TestEvaluate:
+    def test_evaluate(self):
+        e = AffineExpr({"i": 2, "j": -1}, 3)
+        assert e.evaluate({"i": 4, "j": 1}) == 10
+
+    def test_evaluate_unbound_raises(self):
+        with pytest.raises(KeyError):
+            AffineExpr.var("i").evaluate({})
+
+
+class TestNormalization:
+    def test_equality_is_structural(self):
+        a = AffineExpr.var("i") + AffineExpr.var("j")
+        b = AffineExpr.var("j") + AffineExpr.var("i")
+        assert a == b and hash(a) == hash(b)
+
+    def test_primitive(self):
+        e = AffineExpr({"i": 4, "j": 6}, 2)
+        p = e.primitive()
+        assert p.coeff("i") == 2 and p.coeff("j") == 3 and p.constant == 1
+
+    def test_content_constant_expr(self):
+        assert AffineExpr.const(7).content() == 1
+
+    def test_sum_exprs(self):
+        assert sum_exprs([]).is_zero()
+        total = sum_exprs([AffineExpr.var("i"), AffineExpr.var("i")])
+        assert total.coeff("i") == 2
+
+    def test_str_roundtrip_readable(self):
+        e = AffineExpr({"i": 1, "j": -2}, 5)
+        s = str(e)
+        assert "i" in s and "j" in s and "5" in s
+
+    def test_bool(self):
+        assert not AffineExpr.ZERO
+        assert AffineExpr.ONE

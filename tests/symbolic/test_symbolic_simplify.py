@@ -1,0 +1,77 @@
+"""Unit tests for normalization helpers (integerize / tighten / bounds)."""
+
+from fractions import Fraction
+
+from repro.symbolic.affine import AffineExpr
+from repro.symbolic.simplify import bounds_to_int, integerize, tighten_le
+
+I = AffineExpr.var("i")
+J = AffineExpr.var("j")
+
+
+class TestIntegerize:
+    def test_fractions_scaled_to_integers(self):
+        e = AffineExpr({"i": Fraction(1, 2), "j": Fraction(1, 3)}, Fraction(1, 6))
+        out = integerize(e)
+        assert out.is_integral()
+        # 3i + 2j + 1 (scaled by lcm 6, content 1)
+        assert out.coeff("i") == 3 and out.coeff("j") == 2
+        assert out.constant == 1
+
+    def test_content_divided_out(self):
+        e = AffineExpr({"i": 4, "j": 6}, 8)
+        out = integerize(e)
+        assert out.coeff("i") == 2 and out.coeff("j") == 3
+        assert out.constant == 4
+
+    def test_already_primitive_unchanged(self):
+        e = AffineExpr({"i": 2, "j": 3}, 5)
+        assert integerize(e) == e
+
+    def test_sign_preserved(self):
+        e = AffineExpr({"i": Fraction(-1, 2)}, Fraction(3, 2))
+        out = integerize(e)
+        # -i/2 + 3/2 <= 0 iff i >= 3; scaled: -i + 3 <= 0 iff i >= 3
+        for i in (2, 3, 4):
+            assert (e.evaluate({"i": i}) <= 0) == (out.evaluate({"i": i}) <= 0)
+
+
+class TestTightenLe:
+    def test_gcd_floor(self):
+        # 2i - 5 <= 0  =>  i <= 2  (i.e. i - 2 <= 0)
+        out = tighten_le(AffineExpr({"i": 2}, -5))
+        assert out == AffineExpr({"i": 1}, -2)
+
+    def test_exact_divisible_unchanged(self):
+        out = tighten_le(AffineExpr({"i": 2}, -4))
+        assert out == AffineExpr({"i": 1}, -2)
+
+    def test_mixed_coefficients_untouched(self):
+        e = AffineExpr({"i": 2, "j": 3}, -5)
+        assert tighten_le(e) == e
+
+    def test_constant_expr_canonicalized(self):
+        # positive constants normalize to the canonical 1 (still false
+        # as a `<= 0` constraint); sign is what matters
+        out = tighten_le(AffineExpr.const(7))
+        assert out.is_constant() and out.constant > 0
+        out0 = tighten_le(AffineExpr.const(0))
+        assert out0.is_zero()
+
+    def test_truth_preserved_on_integers(self):
+        e = AffineExpr({"i": 3}, -7)  # 3i <= 7 iff i <= 2
+        out = tighten_le(e)
+        for i in range(-3, 6):
+            assert (e.evaluate({"i": i}) <= 0) == (out.evaluate({"i": i}) <= 0)
+
+
+class TestBoundsToInt:
+    def test_inward_rounding(self):
+        assert bounds_to_int(Fraction(1, 2), Fraction(7, 2)) == (1, 3)
+
+    def test_exact_endpoints(self):
+        assert bounds_to_int(Fraction(2), Fraction(5)) == (2, 5)
+
+    def test_empty_interval(self):
+        lo, hi = bounds_to_int(Fraction(7, 2), Fraction(7, 2))
+        assert lo > hi  # caller must detect emptiness

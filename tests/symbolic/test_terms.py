@@ -1,0 +1,60 @@
+"""Unit tests for variable-naming conventions and fresh names."""
+
+import pytest
+
+from repro.symbolic import terms
+
+
+class TestDimVars:
+    def test_dim_var(self):
+        assert terms.dim_var(0) == "__d0"
+        assert terms.dim_var(3) == "__d3"
+
+    def test_dim_var_negative(self):
+        with pytest.raises(ValueError):
+            terms.dim_var(-1)
+
+    def test_is_dim_var(self):
+        assert terms.is_dim_var("__d0")
+        assert terms.is_dim_var("__d12")
+        assert not terms.is_dim_var("__dx")
+        assert not terms.is_dim_var("d0")
+        assert not terms.is_dim_var("__t0")
+
+    def test_dim_index(self):
+        assert terms.dim_index("__d7") == 7
+        with pytest.raises(ValueError):
+            terms.dim_index("i")
+
+    def test_iter_dim_vars(self):
+        assert list(terms.iter_dim_vars(3)) == ["__d0", "__d1", "__d2"]
+        assert list(terms.iter_dim_vars(0)) == []
+
+
+class TestFreshNames:
+    def test_source_distinct(self):
+        src = terms.FreshNameSource()
+        names = {src.fresh() for _ in range(100)}
+        assert len(names) == 100
+
+    def test_source_deterministic(self):
+        a = terms.FreshNameSource()
+        b = terms.FreshNameSource()
+        assert [a.fresh() for _ in range(5)] == [b.fresh() for _ in range(5)]
+
+    def test_hint_embedded(self):
+        src = terms.FreshNameSource()
+        assert "loop" in src.fresh("loop")
+
+    def test_fresh_many(self):
+        src = terms.FreshNameSource()
+        names = src.fresh_many(4)
+        assert len(set(names)) == 4
+
+    def test_generated_detection(self):
+        src = terms.FreshNameSource()
+        assert terms.is_generated(src.fresh())
+        assert not terms.is_generated("i")
+
+    def test_module_level_fresh(self):
+        assert terms.fresh_name() != terms.fresh_name()

@@ -1,0 +1,75 @@
+"""Tests for the `python -m repro` command-line driver."""
+
+import pytest
+
+from repro.__main__ import main
+
+SRC = """
+program cli
+  integer n, k
+  real a(100)
+  read n, k
+  do i = 1, n
+    a(i + k) = a(i) + 1.0
+  enddo
+  print a(n)
+end
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    f = tmp_path / "prog.f"
+    f.write_text(SRC)
+    return str(f)
+
+
+class TestAnalyze:
+    def test_predicated_report(self, source_file, capsys):
+        assert main(["analyze", source_file]) == 0
+        out = capsys.readouterr().out
+        assert "run-time test" in out
+        assert "cli:L1" in out
+
+    def test_base_report(self, source_file, capsys):
+        assert main(["analyze", source_file, "--base"]) == 0
+        out = capsys.readouterr().out
+        assert "serial" in out
+
+    def test_emit_two_version(self, source_file, capsys):
+        assert main(["analyze", source_file, "--emit"]) == 0
+        out = capsys.readouterr().out
+        assert "if (" in out and "else" in out  # the guard
+        assert out.count("do i = 1, n") >= 2  # both versions
+
+
+class TestRun:
+    def test_run_outputs(self, source_file, capsys):
+        assert main(["run", source_file, "6", "50"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip() == "0"
+
+    def test_run_float_inputs(self, tmp_path, capsys):
+        f = tmp_path / "p.f"
+        f.write_text("program p\nread x\nprint x * 2.0\nend\n")
+        assert main(["run", str(f), "1.5"]) == 0
+        assert capsys.readouterr().out.strip() == "3"
+
+
+class TestElpd:
+    def test_elpd_output(self, source_file, capsys):
+        assert main(["elpd", source_file, "6", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cli:L1" in out and "dependent" in out
+
+    def test_elpd_independent_case(self, source_file, capsys):
+        assert main(["elpd", source_file, "6", "70"]) == 0
+        out = capsys.readouterr().out
+        assert "independent" in out
+
+
+class TestExperimentsCommand:
+    def test_fig1(self, capsys):
+        assert main(["experiments", "fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "FIG1" in out

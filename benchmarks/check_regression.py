@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Benchmark regression gate.
+
+Compares a pytest-benchmark JSON result file against the committed
+baseline (``BENCH_baseline.json`` at the repo root) and fails when any
+benchmark present in **both** files is more than ``--threshold`` slower
+(by mean time).  New or removed benchmarks are reported but never fail
+the check.
+
+Usage::
+
+    # run the micro-benchmarks and compare in one step
+    python benchmarks/check_regression.py
+
+    # compare a pre-recorded run
+    python benchmarks/check_regression.py --current /tmp/bench_now.json
+
+    # stricter gate
+    python benchmarks/check_regression.py --threshold 0.10
+
+Exit status: 0 when no gated regression, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_baseline.json")
+MICRO_BENCH = os.path.join(REPO_ROOT, "benchmarks", "test_core_micro.py")
+
+
+def _load_means(path: str) -> dict:
+    with open(path) as f:
+        data = json.load(f)
+    return {
+        b["name"]: b["stats"]["mean"] for b in data.get("benchmarks", [])
+    }
+
+
+def _run_benchmarks(json_out: str) -> None:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        MICRO_BENCH,
+        "-q",
+        "--benchmark-json",
+        json_out,
+    ]
+    subprocess.run(cmd, check=True, cwd=REPO_ROOT, env=env)
+
+
+def compare(baseline: dict, current: dict, threshold: float):
+    """Returns (regressions, improvements, only_in_one) summaries."""
+    regressions = []
+    rows = []
+    for name in sorted(set(baseline) & set(current)):
+        old, new = baseline[name], current[name]
+        ratio = new / old if old else float("inf")
+        rows.append((name, old, new, ratio))
+        if ratio > 1.0 + threshold:
+            regressions.append((name, old, new, ratio))
+    skipped = sorted(set(baseline) ^ set(current))
+    return regressions, rows, skipped
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_BASELINE,
+        help="baseline pytest-benchmark JSON (default: BENCH_baseline.json)",
+    )
+    parser.add_argument(
+        "--current",
+        default=None,
+        help="pytest-benchmark JSON to check; omitted = run the "
+        "micro-benchmarks now",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional slowdown before failing (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = _load_means(args.baseline)
+    if args.current is not None:
+        current = _load_means(args.current)
+    else:
+        with tempfile.NamedTemporaryFile(
+            suffix=".json", delete=False
+        ) as tmp:
+            json_out = tmp.name
+        try:
+            _run_benchmarks(json_out)
+            current = _load_means(json_out)
+        finally:
+            os.unlink(json_out)
+
+    regressions, rows, skipped = compare(
+        baseline, current, args.threshold
+    )
+    print(f"{'benchmark':<40} {'baseline':>12} {'current':>12} {'ratio':>8}")
+    for name, old, new, ratio in rows:
+        flag = "  << REGRESSION" if (name, old, new, ratio) in regressions else ""
+        print(
+            f"{name:<40} {old * 1e3:>10.3f}ms {new * 1e3:>10.3f}ms "
+            f"{ratio:>7.2f}x{flag}"
+        )
+    for name in skipped:
+        print(f"{name:<40} (present in only one file; not gated)")
+    if regressions:
+        print(
+            f"\nFAIL: {len(regressions)} benchmark(s) slower than "
+            f"{args.threshold:.0%} over baseline"
+        )
+        return 1
+    print(f"\nOK: no benchmark regressed more than {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,10 +3,18 @@
 These time the kernels the whole-program analyses are built from —
 useful for profiling-guided work on the Fourier–Motzkin and feasibility
 layers (per the optimization-workflow guidance: measure first).
+
+The ``*_warm`` / ``*_cold`` variants isolate the effect of the interning
+and memoization layer: warm benchmarks repeat an operation the memo
+tables have already seen (steady-state analysis behaviour), cold ones
+call :func:`repro.perf.reset_all_caches` each round to time the
+construction path itself.  Compare runs against ``BENCH_baseline.json``
+with ``benchmarks/check_regression.py``.
 """
 
 import pytest
 
+from repro import perf
 from repro.linalg.constraint import Constraint
 from repro.linalg.feasibility import clear_cache, is_feasible
 from repro.linalg.fourier_motzkin import eliminate_all
@@ -71,6 +79,48 @@ def test_whole_program_analysis(benchmark):
 
     result = benchmark(analyze)
     assert result.total_loops > 0
+
+
+def test_fourier_motzkin_chain_cold(benchmark):
+    """The elimination itself, without memo hits (reset every round)."""
+    variables = [f"x{i}" for i in range(1, 7)]
+
+    def probe():
+        perf.reset_all_caches()
+        return eliminate_all(_chain_system(), variables)
+
+    result = benchmark(probe)
+    assert not result.is_trivially_empty()
+
+
+def test_region_subtraction_warm(benchmark):
+    """Steady-state subtraction: interned keys, memoized result."""
+    d = AffineExpr.var("__d0")
+    n = AffineExpr.var("n")
+    a = ArrayRegion(
+        "a", 1, LinearSystem([Constraint.ge(d, C(1)), Constraint.le(d, n)])
+    )
+    b = ArrayRegion(
+        "a", 1, LinearSystem([Constraint.ge(d, C(5)), Constraint.le(d, n - 5)])
+    )
+    subtract_region(a, b)  # prime the memo
+    pieces = benchmark(subtract_region, a, b)
+    assert len(pieces) == 2
+
+
+def test_interned_expr_arithmetic(benchmark):
+    """Hot-path affine arithmetic over interned all-int expressions."""
+    x = AffineExpr.var("x")
+    y = AffineExpr.var("y")
+
+    def probe():
+        e = x * 3 + y - 7
+        e = e + x
+        e = -e
+        e = e / 2  # falls back to exact rational path
+        return e * 2 + e
+
+    assert not benchmark(probe).is_constant()
 
 
 def test_interpreter_throughput(benchmark):

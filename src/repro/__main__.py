@@ -6,6 +6,7 @@ Usage::
     python -m repro run FILE [inputs...]
     python -m repro elpd FILE [inputs...]
     python -m repro experiments [fig1|tab1|tab2|tab3|figs|figo|all]
+                    [--jobs N] [--profile]
 
 ``analyze`` parses a mini-Fortran source file and prints the
 parallelization report (``--base`` switches to the non-predicated
@@ -94,8 +95,14 @@ def _cmd_experiments(args) -> int:
     }
     chosen = modules.values() if args.which == "all" else [modules[args.which]]
     for mod in chosen:
-        print(mod.run().format())
+        print(mod.run(jobs=args.jobs).format())
         print()
+    if args.profile:
+        import json
+
+        from repro import perf
+
+        print(json.dumps(perf.snapshot(), indent=2, sort_keys=True))
     return 0
 
 
@@ -130,6 +137,20 @@ def main(argv=None) -> int:
         nargs="?",
         default="all",
         choices=["fig1", "tab1", "tab2", "tab3", "figs", "figo", "all"],
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan per-program analyses over N worker processes "
+        "(output is byte-identical for any N)",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="append a JSON performance snapshot (counters, phase timers, "
+        "cache hit rates) after the tables",
     )
     p.set_defaults(func=_cmd_experiments)
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import lru_cache
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple, TypeVar
 
 from repro.arraydf.options import AnalysisOptions
 from repro.partests.driver import ProgramResult, analyze_program
@@ -53,3 +53,62 @@ def format_table(
 
 def percent(num: int, den: int) -> str:
     return f"{100 * num / den:.0f}%" if den else "-"
+
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def _instrumented(fn: Callable[[_T], _R], item: _T):
+    """Worker-side wrapper: run *fn* and report this process's perf state."""
+    import os
+
+    from repro import perf
+
+    return os.getpid(), fn(item), perf.snapshot()
+
+
+def parallel_map(
+    fn: Callable[[_T], _R], items: Iterable[_T], jobs: int = 1
+) -> List[_R]:
+    """Map *fn* over *items*, optionally fanning out over worker processes.
+
+    Results are merged back **in input order**, so the output — and hence
+    every table built from it — is byte-identical for any job count.
+    *fn* must be a module-level (picklable) function and every item and
+    result must pickle; the experiment workers return small dataclass
+    payloads rather than full analysis objects to keep that cheap.
+
+    Each worker also ships back its :func:`repro.perf.snapshot`; the
+    parent folds the per-worker deltas (relative to its own state at
+    pool creation, which forked workers inherit) into the local perf
+    tables so ``--profile`` sees cache/counter activity under any job
+    count.
+    """
+    items = list(items)
+    if jobs <= 1 or len(items) <= 1:
+        return [fn(it) for it in items]
+    from concurrent.futures import ProcessPoolExecutor
+    from functools import partial
+    import multiprocessing as mp
+
+    from repro import perf
+
+    # fork (where available) shares the warmed parser/suite state and
+    # avoids re-importing the package in every worker
+    methods = mp.get_all_start_methods()
+    ctx = mp.get_context("fork" if "fork" in methods else None)
+    base = perf.snapshot()
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(items)), mp_context=ctx
+    ) as pool:
+        raw = list(pool.map(partial(_instrumented, fn), items))
+    per_worker: Dict[int, Dict] = {}
+    for pid, _result, snap in raw:
+        seen = per_worker.get(pid)
+        per_worker[pid] = (
+            snap if seen is None else perf.snapshot_max(seen, snap)
+        )
+    for snap in per_worker.values():
+        perf.absorb_snapshot(perf.snapshot_delta(snap, base))
+    return [result for _pid, result, _snap in raw]

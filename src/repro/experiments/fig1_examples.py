@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.arraydf.options import AnalysisOptions
-from repro.experiments.common import format_table
+from repro.experiments.common import format_table, parallel_map
 from repro.lang.parser import parse_program
 from repro.partests.driver import analyze_program
 
@@ -153,21 +153,31 @@ def _outer_status(source: str, opts: AnalysisOptions) -> str:
     raise AssertionError("no outer loop found")
 
 
-def run() -> Fig1Result:
+def _example_result(name: str):
+    """Self-contained per-example worker (picklable; runs in a pool)."""
+    source, _claim = EXAMPLES[name]
+    _, ablated_opts = ABLATION_FOR[name]
+    statuses = {
+        "base": _outer_status(source, AnalysisOptions.base()),
+        "predicated": _outer_status(source, AnalysisOptions.predicated()),
+        "ablated": _outer_status(source, ablated_opts),
+    }
+    runtime_test = ""
+    res = analyze_program(parse_program(source), AnalysisOptions.predicated())
+    for l in res.loops:
+        if l.label.endswith(":L1") and l.runtime_test:
+            runtime_test = l.runtime_test
+    return name, statuses, runtime_test
+
+
+def run(jobs: int = 1) -> Fig1Result:
     out = Fig1Result()
-    for name, (source, _claim) in EXAMPLES.items():
-        _, ablated_opts = ABLATION_FOR[name]
-        out.statuses[name] = {
-            "base": _outer_status(source, AnalysisOptions.base()),
-            "predicated": _outer_status(source, AnalysisOptions.predicated()),
-            "ablated": _outer_status(source, ablated_opts),
-        }
-        res = analyze_program(
-            parse_program(source), AnalysisOptions.predicated()
-        )
-        for l in res.loops:
-            if l.label.endswith(":L1") and l.runtime_test:
-                out.runtime_tests[name] = l.runtime_test
+    for name, statuses, runtime_test in parallel_map(
+        _example_result, list(EXAMPLES), jobs
+    ):
+        out.statuses[name] = statuses
+        if runtime_test:
+            out.runtime_tests[name] = runtime_test
     return out
 
 

@@ -3,36 +3,45 @@
 Two of the paper's quantified claims:
 
 * the predicated analysis costs more compile time than the base
-  analysis, but the blowup stays modest (per-suite wall-clock ratio);
+  analysis, but the blowup stays modest (per-suite cost ratio);
 * the derived run-time tests are **low-cost** — a handful of scalar
   predicate atoms, versus an inspector/executor whose overhead is "on
   the order of the aggregate size of the arrays" involved.  We measure
   both quantities for every run-time-tested loop.
+
+Analysis cost is measured in **deterministic substrate operations**
+(:func:`repro.perf.total_ops`: affine/constraint/system constructions,
+FM eliminations and pair combinations, ground feasibility runs) rather
+than wall-clock seconds.  Each measured analysis starts from cold caches
+(:func:`repro.perf.reset_all_caches`), so the counts are a pure function
+of the program and options — identical across machines, runs, and
+``--jobs`` fan-out — while still tracking the work ratio the paper's
+wall-clock figure reports.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from repro import perf
 from repro.arraydf.options import AnalysisOptions
-from repro.experiments.common import format_table
+from repro.experiments.common import format_table, parallel_map
 from repro.partests.driver import analyze_program
-from repro.suites import SUITE_NAMES, all_programs
+from repro.suites import SUITE_NAMES, all_programs, get_program
 
 
 @dataclass
 class SuiteCost:
     suite: str
-    base_seconds: float = 0.0
-    predicated_seconds: float = 0.0
+    base_ops: int = 0
+    predicated_ops: int = 0
 
     @property
     def ratio(self) -> float:
         return (
-            self.predicated_seconds / self.base_seconds
-            if self.base_seconds
+            self.predicated_ops / self.base_ops
+            if self.base_ops
             else float("inf")
         )
 
@@ -46,6 +55,17 @@ class TestCostRow:
 
 
 @dataclass
+class ProgramCost:
+    """Per-program worker payload (picklable)."""
+
+    program: str
+    suite: str
+    base_ops: int = 0
+    predicated_ops: int = 0
+    test_costs: List[TestCostRow] = field(default_factory=list)
+
+
+@dataclass
 class FigOverhead:
     suite_costs: List[SuiteCost] = field(default_factory=list)
     test_costs: List[TestCostRow] = field(default_factory=list)
@@ -54,8 +74,8 @@ class FigOverhead:
         body = [
             [
                 c.suite,
-                f"{c.base_seconds * 1000:.0f} ms",
-                f"{c.predicated_seconds * 1000:.0f} ms",
+                f"{c.base_ops} ops",
+                f"{c.predicated_ops} ops",
                 f"{c.ratio:.2f}x",
             ]
             for c in self.suite_costs
@@ -63,7 +83,7 @@ class FigOverhead:
         out = format_table(
             ["suite", "base analysis", "predicated analysis", "ratio"],
             body,
-            title="FIGO-a: compile-time analysis cost",
+            title="FIGO-a: compile-time analysis cost (substrate ops)",
         )
         body2 = [
             [
@@ -101,31 +121,43 @@ def _inspector_cost(bench, label: str) -> int:
     return obs.total_iterations  # per-iteration at least one access
 
 
-def run() -> FigOverhead:
+def _measured_ops(bench, opts: AnalysisOptions):
+    """(result, substrate op count) of one cold-cache analysis."""
+    perf.reset_all_caches()
+    perf.reset_counters()
+    result = analyze_program(bench.fresh_program(), opts)
+    return result, perf.total_ops()
+
+
+def _program_cost(name: str) -> ProgramCost:
+    """Self-contained per-program worker (picklable; runs in a pool)."""
+    bench = get_program(name)
+    _, base_ops = _measured_ops(bench, AnalysisOptions.base())
+    pred, pred_ops = _measured_ops(bench, AnalysisOptions.predicated())
+    cost = ProgramCost(bench.name, bench.suite, base_ops, pred_ops)
+    for l in pred.loops:
+        if l.status == "runtime":
+            cost.test_costs.append(
+                TestCostRow(
+                    bench.name,
+                    l.label,
+                    l.runtime_cost,
+                    _inspector_cost(bench, l.label),
+                )
+            )
+    return cost
+
+
+def run(jobs: int = 1) -> FigOverhead:
     out = FigOverhead()
     per_suite: Dict[str, SuiteCost] = {
         s: SuiteCost(s) for s in SUITE_NAMES
     }
-    for bench in all_programs():
-        t0 = time.perf_counter()
-        analyze_program(bench.fresh_program(), AnalysisOptions.base())
-        t1 = time.perf_counter()
-        pred = analyze_program(
-            bench.fresh_program(), AnalysisOptions.predicated()
-        )
-        t2 = time.perf_counter()
-        per_suite[bench.suite].base_seconds += t1 - t0
-        per_suite[bench.suite].predicated_seconds += t2 - t1
-        for l in pred.loops:
-            if l.status == "runtime":
-                out.test_costs.append(
-                    TestCostRow(
-                        bench.name,
-                        l.label,
-                        l.runtime_cost,
-                        _inspector_cost(bench, l.label),
-                    )
-                )
+    names = [b.name for b in all_programs()]
+    for cost in parallel_map(_program_cost, names, jobs):
+        per_suite[cost.suite].base_ops += cost.base_ops
+        per_suite[cost.suite].predicated_ops += cost.predicated_ops
+        out.test_costs.extend(cost.test_costs)
     out.suite_costs = [per_suite[s] for s in SUITE_NAMES]
     return out
 

@@ -15,10 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
-from repro.experiments.common import format_table
+from repro.experiments.common import format_table, parallel_map
 from repro.machine.costmodel import MachineModel
 from repro.machine.speedup import SpeedupCurve, speedup_comparison
-from repro.suites import all_programs
+from repro.suites import all_programs, get_program
 
 PROCESSORS = (1, 2, 4, 8)
 IMPROVEMENT_THRESHOLD = 1.15  # ≥15% better at 8 processors counts as improved
@@ -68,28 +68,47 @@ class FigSpeedups:
         return out
 
 
+def _program_speedup(name: str) -> ProgramSpeedup:
+    """Self-contained per-program worker (picklable; runs in a pool)."""
+    bench = get_program(name)
+    curves = speedup_comparison(
+        bench.fresh_program(),
+        bench.inputs,
+        processors=PROCESSORS,
+        model=MachineModel(),
+    )
+    return ProgramSpeedup(bench.name, curves["base"], curves["predicated"])
+
+
 def run(
     processors: Sequence[int] = PROCESSORS,
     model: MachineModel = MachineModel(),
+    jobs: int = 1,
 ) -> FigSpeedups:
     out = FigSpeedups()
     # simulate every program containing a predicated outer-loop win,
     # plus a few unchanged controls
     targets = [
-        p
+        p.name
         for p in all_programs()
         if p.outer_win_labels() or p.name in ("swim", "arc2d", "ms2d")
     ]
-    for bench in targets:
-        curves = speedup_comparison(
-            bench.fresh_program(),
-            bench.inputs,
-            processors=processors,
-            model=model,
-        )
-        out.results.append(
-            ProgramSpeedup(bench.name, curves["base"], curves["predicated"])
-        )
+    if processors != PROCESSORS or model != MachineModel():
+        # custom machine settings can't be shipped to the pooled worker
+        # (it builds its own defaults); run them inline
+        for name in targets:
+            bench = get_program(name)
+            curves = speedup_comparison(
+                bench.fresh_program(),
+                bench.inputs,
+                processors=processors,
+                model=model,
+            )
+            out.results.append(
+                ProgramSpeedup(bench.name, curves["base"], curves["predicated"])
+            )
+        return out
+    out.results.extend(parallel_map(_program_speedup, targets, jobs))
     return out
 
 

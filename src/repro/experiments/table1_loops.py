@@ -16,9 +16,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
-from repro.experiments.common import WIN_STATUSES, analyzed, format_table, percent
+from repro.experiments.common import (
+    WIN_STATUSES,
+    analyzed,
+    format_table,
+    parallel_map,
+    percent,
+)
 from repro.runtime.elpd import run_oracle
-from repro.suites import SUITE_NAMES, all_programs
+from repro.suites import SUITE_NAMES, all_programs, get_program
 
 
 @dataclass
@@ -91,35 +97,41 @@ class Table1:
         return format_table(headers, body, title="TAB1: loop statistics")
 
 
-def run() -> Table1:
-    table = Table1()
-    for bench in all_programs():
-        base = analyzed(bench.name, "base")
-        pred = analyzed(bench.name, "predicated")
-        oracle = run_oracle(bench.fresh_program(), bench.inputs)
-        base_status = {l.label: l.status for l in base.loops}
-        pred_status = {l.label: l.status for l in pred.loops}
+def _program_row(name: str) -> ProgramRow:
+    """Self-contained per-program worker (picklable; runs in a pool)."""
+    bench = get_program(name)
+    base = analyzed(bench.name, "base")
+    pred = analyzed(bench.name, "predicated")
+    oracle = run_oracle(bench.fresh_program(), bench.inputs)
+    base_status = {l.label: l.status for l in base.loops}
+    pred_status = {l.label: l.status for l in pred.loops}
 
-        row = ProgramRow(bench.name, bench.suite)
-        for label, bstat in base_status.items():
-            row.loops += 1
-            if bstat == "not_candidate":
-                continue
-            row.candidates += 1
-            if bstat in ("parallel", "parallel_private"):
-                row.base_parallel += 1
-                continue
-            row.remaining += 1
-            obs = oracle.observations.get(label)
-            if obs is None or not obs.dynamically_parallel:
-                continue
-            row.elpd_parallel += 1
-            p = pred_status.get(label)
-            if p in ("parallel", "parallel_private"):
-                row.pred_compile_time += 1
-            elif p == "runtime":
-                row.pred_runtime += 1
-        table.rows.append(row)
+    row = ProgramRow(bench.name, bench.suite)
+    for label, bstat in base_status.items():
+        row.loops += 1
+        if bstat == "not_candidate":
+            continue
+        row.candidates += 1
+        if bstat in ("parallel", "parallel_private"):
+            row.base_parallel += 1
+            continue
+        row.remaining += 1
+        obs = oracle.observations.get(label)
+        if obs is None or not obs.dynamically_parallel:
+            continue
+        row.elpd_parallel += 1
+        p = pred_status.get(label)
+        if p in ("parallel", "parallel_private"):
+            row.pred_compile_time += 1
+        elif p == "runtime":
+            row.pred_runtime += 1
+    return row
+
+
+def run(jobs: int = 1) -> Table1:
+    table = Table1()
+    names = [b.name for b in all_programs()]
+    table.rows.extend(parallel_map(_program_row, names, jobs))
     return table
 
 

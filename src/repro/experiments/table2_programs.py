@@ -16,10 +16,15 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.codegen.plan import build_plan
-from repro.experiments.common import WIN_STATUSES, analyzed, format_table
+from repro.experiments.common import (
+    WIN_STATUSES,
+    analyzed,
+    format_table,
+    parallel_map,
+)
 from repro.machine.simulate import simulate
 from repro.partests.classify import classify_wins
-from repro.suites import all_programs
+from repro.suites import all_programs, get_program
 
 
 @dataclass
@@ -73,47 +78,56 @@ class Table2:
         return out
 
 
-def run() -> Table2:
+def _program_rows(name: str) -> List[WinRow]:
+    """Self-contained per-program worker (picklable; runs in a pool)."""
+    bench = get_program(name)
+    pred = analyzed(bench.name, "predicated")
+    base = analyzed(bench.name, "base")
+    base_status = {l.label: l.status for l in base.loops}
+    wins = [
+        l
+        for l in pred.loops
+        if l.status in WIN_STATUSES
+        and base_status.get(l.label) not in WIN_STATUSES
+        and base_status.get(l.label) != "not_candidate"
+    ]
+    if not wins:
+        return []
+    mech = {
+        c.label: c.mechanism
+        for c in classify_wins(bench.fresh_program)
+    }
+    # dynamic granularity/coverage from one plan-aware simulation
+    plan = build_plan(pred)
+    sim = simulate(bench.fresh_program(), plan, bench.inputs)
+    per_loop: Dict[str, List[float]] = {}
+    for inst in sim.instances:
+        per_loop.setdefault(inst.label, []).append(inst.serial_work)
+    win_labels = {l.label for l in wins}
+    rows: List[WinRow] = []
+    for l in wins:
+        works = per_loop.get(l.label)
+        enclosed = l.enclosed or _nested_in_win(l, pred, win_labels)
+        row = WinRow(
+            program=bench.name,
+            label=l.label,
+            status=l.status,
+            mechanism=mech.get(l.label, "correlation"),
+            runtime_test=l.runtime_test or "",
+            enclosed=enclosed,
+        )
+        if not enclosed and works:
+            row.granularity = sum(works) / len(works)
+            row.coverage = sum(works) / sim.serial_steps
+        rows.append(row)
+    return rows
+
+
+def run(jobs: int = 1) -> Table2:
     table = Table2()
-    for bench in all_programs():
-        pred = analyzed(bench.name, "predicated")
-        base = analyzed(bench.name, "base")
-        base_status = {l.label: l.status for l in base.loops}
-        wins = [
-            l
-            for l in pred.loops
-            if l.status in WIN_STATUSES
-            and base_status.get(l.label) not in WIN_STATUSES
-            and base_status.get(l.label) != "not_candidate"
-        ]
-        if not wins:
-            continue
-        mech = {
-            c.label: c.mechanism
-            for c in classify_wins(bench.fresh_program)
-        }
-        # dynamic granularity/coverage from one plan-aware simulation
-        plan = build_plan(pred)
-        sim = simulate(bench.fresh_program(), plan, bench.inputs)
-        per_loop: Dict[str, List[float]] = {}
-        for inst in sim.instances:
-            per_loop.setdefault(inst.label, []).append(inst.serial_work)
-        win_labels = {l.label for l in wins}
-        for l in wins:
-            works = per_loop.get(l.label)
-            enclosed = l.enclosed or _nested_in_win(l, pred, win_labels)
-            row = WinRow(
-                program=bench.name,
-                label=l.label,
-                status=l.status,
-                mechanism=mech.get(l.label, "correlation"),
-                runtime_test=l.runtime_test or "",
-                enclosed=enclosed,
-            )
-            if not enclosed and works:
-                row.granularity = sum(works) / len(works)
-                row.coverage = sum(works) / sim.serial_steps
-            table.rows.append(row)
+    names = [b.name for b in all_programs()]
+    for rows in parallel_map(_program_rows, names, jobs):
+        table.rows.extend(rows)
     return table
 
 

@@ -11,8 +11,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from repro.experiments.common import WIN_STATUSES, analyzed, format_table
-from repro.suites import all_programs
+from repro.experiments.common import (
+    WIN_STATUSES,
+    analyzed,
+    format_table,
+    parallel_map,
+)
+from repro.suites import all_programs, get_program
 
 CATEGORIES = (
     "conditional-def",
@@ -46,27 +51,34 @@ class Table3:
         )
 
 
-def run() -> Table3:
+def _program_wins(name: str) -> List[Tuple[str, bool]]:
+    """Per-program worker: (category, is_runtime) per win; "" = uncategorized."""
+    bench = get_program(name)
+    pred = analyzed(bench.name, "predicated")
+    base = analyzed(bench.name, "base")
+    base_status = {l.label: l.status for l in base.loops}
+    wins: List[Tuple[str, bool]] = []
+    for l in pred.loops:
+        if l.status not in WIN_STATUSES:
+            continue
+        if base_status.get(l.label) in WIN_STATUSES + ("not_candidate",):
+            continue
+        exp = bench.expectations.get(l.label)
+        category = exp.category if exp else ""
+        wins.append((category, l.status == "runtime"))
+    return wins
+
+
+def run(jobs: int = 1) -> Table3:
     table = Table3()
-    for bench in all_programs():
-        pred = analyzed(bench.name, "predicated")
-        base = analyzed(bench.name, "base")
-        base_status = {l.label: l.status for l in base.loops}
-        for l in pred.loops:
-            if l.status not in WIN_STATUSES:
-                continue
-            if base_status.get(l.label) in WIN_STATUSES + ("not_candidate",):
-                continue
-            exp = bench.expectations.get(l.label)
-            category = exp.category if exp else ""
+    names = [b.name for b in all_programs()]
+    for wins in parallel_map(_program_wins, names, jobs):
+        for category, is_runtime in wins:
             if category not in CATEGORIES:
                 table.uncategorized += 1
                 continue
             bucket = table.counts.setdefault(category, [0, 0])
-            if l.status == "runtime":
-                bucket[1] += 1
-            else:
-                bucket[0] += 1
+            bucket[1 if is_runtime else 0] += 1
     return table
 
 

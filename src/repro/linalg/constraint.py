@@ -4,6 +4,11 @@ A constraint is ``expr REL 0`` with ``REL`` one of ``<=`` or ``==``.
 Strict inequalities over the integers are normalized away at construction:
 ``e < 0`` becomes ``e + 1 <= 0`` (valid because all region/predicate
 constraints in this system range over integer-valued program quantities).
+
+Constraints are **hash-consed** at two levels: a raw memo keyed on the
+(interned) input expression short-circuits re-normalization of arguments
+seen before, and an intern table on the normalized form guarantees that
+structurally equal constraints are pointer-equal.
 """
 
 from __future__ import annotations
@@ -12,10 +17,14 @@ import enum
 from fractions import Fraction
 from typing import Mapping, Union
 
+from repro import perf
 from repro.symbolic.affine import AffineExpr
 from repro.symbolic.simplify import integerize, tighten_le
 
 Number = Union[int, Fraction]
+
+_RAW = perf.memo_table("constraint.raw")
+_INTERN = perf.memo_table("constraint.intern")
 
 
 class Rel(enum.Enum):
@@ -26,7 +35,7 @@ class Rel(enum.Enum):
 
 
 class Constraint:
-    """An immutable, normalized linear constraint ``expr REL 0``.
+    """An immutable, interned, normalized linear constraint ``expr REL 0``.
 
     Normalization:
 
@@ -40,19 +49,37 @@ class Constraint:
 
     __slots__ = ("expr", "rel", "_hash", "_sort_key", "_trivial")
 
-    def __init__(self, expr: AffineExpr, rel: Rel = Rel.LE) -> None:
-        if rel is Rel.LE:
-            expr = tighten_le(expr)
+    def __new__(cls, expr: AffineExpr, rel: Rel = Rel.LE) -> "Constraint":
+        raw_key = (expr, rel)
+        self = _RAW.data.get(raw_key)
+        if self is not None:
+            _RAW.hits += 1
+            return self
+        _RAW.misses += 1
+        perf.bump("constraint.norm")
+        norm = tighten_le(expr) if rel is Rel.LE else integerize(expr)
+        key = (norm, rel)
+        self = _INTERN.data.get(key)
+        if self is None:
+            _INTERN.misses += 1
+            self = object.__new__(cls)
+            object.__setattr__(self, "expr", norm)
+            object.__setattr__(self, "rel", rel)
+            object.__setattr__(self, "_hash", hash(key))
+            object.__setattr__(self, "_sort_key", None)
+            object.__setattr__(self, "_trivial", None)
+            _INTERN.data[key] = self
         else:
-            expr = integerize(expr)
-        object.__setattr__(self, "expr", expr)
-        object.__setattr__(self, "rel", rel)
-        object.__setattr__(self, "_hash", hash((expr, rel)))
-        object.__setattr__(self, "_sort_key", None)
-        object.__setattr__(self, "_trivial", None)
+            _INTERN.hits += 1
+        _RAW.data[raw_key] = self
+        return self
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Constraint is immutable")
+
+    def __reduce__(self):
+        # re-intern on unpickle (canonical identity in every process)
+        return (Constraint, (self.expr, self.rel))
 
     # ------------------------------------------------------------------
     # constructors mirroring source-level comparisons
@@ -83,7 +110,7 @@ class Constraint:
         return Constraint(lhs - rhs, Rel.EQ)
 
     # ------------------------------------------------------------------
-    # classification (computed once; constraints are immutable)
+    # classification (computed once; constraints are interned)
     # ------------------------------------------------------------------
     def _classify(self) -> str:
         if self.expr.is_constant():
@@ -148,10 +175,16 @@ class Constraint:
     def substitute(
         self, bindings: Mapping[str, Union[AffineExpr, Number]]
     ) -> "Constraint":
-        return Constraint(self.expr.substitute(bindings), self.rel)
+        new = self.expr.substitute(bindings)
+        if new is self.expr:
+            return self
+        return Constraint(new, self.rel)
 
     def rename(self, mapping: Mapping[str, str]) -> "Constraint":
-        return Constraint(self.expr.rename(mapping), self.rel)
+        new = self.expr.rename(mapping)
+        if new is self.expr:
+            return self
+        return Constraint(new, self.rel)
 
     def evaluate(self, env: Mapping[str, Number]) -> bool:
         v = self.expr.evaluate(env)
@@ -164,8 +197,11 @@ class Constraint:
     # plumbing
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Constraint):
             return NotImplemented
+        # distinct-but-equal instances only exist across a cache reset
         return self.rel is other.rel and self.expr == other.expr
 
     def __hash__(self) -> int:
@@ -180,3 +216,12 @@ class Constraint:
 
 TRUE = Constraint(AffineExpr.ZERO, Rel.LE)
 FALSE = Constraint(AffineExpr.ONE, Rel.LE)
+
+
+def _reseed() -> None:
+    for c in (TRUE, FALSE):
+        _INTERN.data[(c.expr, c.rel)] = c
+        _RAW.data[(c.expr, c.rel)] = c
+
+
+perf.on_reset(_reseed)

@@ -13,12 +13,14 @@ from __future__ import annotations
 
 from functools import lru_cache
 
+from repro import perf
 from repro.linalg.fourier_motzkin import eliminate_all
 from repro.linalg.system import LinearSystem
 
 
 @lru_cache(maxsize=16384)
 def _feasible_cached(system: LinearSystem) -> bool:
+    perf.bump("feasibility.ground")
     if system.is_universe():
         return True
     if system.is_trivially_empty():
@@ -52,3 +54,17 @@ def cache_stats():
     """(hits, misses, currsize) of the feasibility memo table."""
     info = _feasible_cached.cache_info()
     return info.hits, info.misses, info.currsize
+
+
+def _registry_stats():
+    info = _feasible_cached.cache_info()
+    total = info.hits + info.misses
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "size": info.currsize,
+        "hit_rate": (info.hits / total) if total else 0.0,
+    }
+
+
+perf.register_cache("feasibility.is_feasible", _registry_stats, clear_cache)

@@ -14,12 +14,19 @@ Constraint normalization in :class:`~repro.linalg.constraint.Constraint`
 additionally applies gcd-based integer tightening to every produced
 inequality, which recovers exactness for the common single-variable cases
 (e.g. ``2*i <= 5`` becomes ``i <= 2``).
+
+Both :func:`eliminate` and :func:`eliminate_all` are memoized on the
+interned identity of their arguments; region projection repeatedly
+eliminates the same loop indices from the same systems, and the memo
+turns those repeats into dictionary lookups.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, List, Tuple
 
+from repro import perf
 from repro.linalg.constraint import Constraint, Rel
 from repro.linalg.system import LinearSystem
 
@@ -27,6 +34,43 @@ from repro.linalg.system import LinearSystem
 # back to dropping the variable's constraints entirely (a coarser but still
 # sound superset).
 MAX_CONSTRAINTS = 600
+
+# Intermediate systems larger than this get a cheap pairwise-redundancy
+# sweep between eliminations; small systems are left untouched so their
+# canonical forms (and rendered predicates) match the unswept pipeline.
+SIMPLIFY_THRESHOLD = 32
+
+_ELIM = perf.memo_table("fm.eliminate")
+_ELIM_ALL = perf.memo_table("fm.eliminate_all")
+
+perf.declare("fm.fallback_drop")
+
+_warned_fallback = False
+
+
+def _reset_warned() -> None:
+    global _warned_fallback
+    _warned_fallback = False
+
+
+perf.on_reset(_reset_warned)
+
+
+def _note_fallback(var: str, n_pairs: int) -> None:
+    """Record (and warn once about) a precision-losing fallback drop."""
+    global _warned_fallback
+    perf.bump("fm.fallback_drop")
+    if not _warned_fallback:
+        _warned_fallback = True
+        warnings.warn(
+            "Fourier-Motzkin elimination of %r would combine %d bound pairs "
+            "(> %d); dropping the variable's constraints instead. The result "
+            "is a sound superset but loses precision. Further occurrences "
+            "are counted in perf counter 'fm.fallback_drop' without warning."
+            % (var, n_pairs, MAX_CONSTRAINTS * 4),
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 def _split_bounds(
@@ -57,7 +101,7 @@ def _split_bounds(
 
 
 def eliminate(system: LinearSystem, var: str) -> LinearSystem:
-    """Project *var* out of *system*.
+    """Project *var* out of *system* (memoized).
 
     Strategy: if an equality pins ``var`` with a unit coefficient, solve
     and substitute (exact over the integers).  Otherwise rewrite remaining
@@ -66,6 +110,19 @@ def eliminate(system: LinearSystem, var: str) -> LinearSystem:
     """
     if var not in system.variables():
         return system
+    key = (system, var)
+    cached = _ELIM.data.get(key)
+    if cached is not None:
+        _ELIM.hits += 1
+        return cached
+    _ELIM.misses += 1
+    result = _eliminate_uncached(system, var)
+    _ELIM.data[key] = result
+    return result
+
+
+def _eliminate_uncached(system: LinearSystem, var: str) -> LinearSystem:
+    perf.bump("fm.eliminate")
     lowers, uppers, eqs, others = _split_bounds(system, var)
 
     # Exact substitution via a unit-coefficient equality.
@@ -94,9 +151,11 @@ def eliminate(system: LinearSystem, var: str) -> LinearSystem:
             lowers.append(le)
             uppers.append(ge)
 
-    if len(lowers) * len(uppers) > MAX_CONSTRAINTS * 4:
+    n_pairs = len(lowers) * len(uppers)
+    if n_pairs > MAX_CONSTRAINTS * 4:
         # Combinatorial blowup: drop the variable's constraints (sound
         # superset).  In practice region systems stay tiny.
+        _note_fallback(var, n_pairs)
         return LinearSystem(others)
 
     combined: List[Constraint] = list(others)
@@ -110,6 +169,7 @@ def eliminate(system: LinearSystem, var: str) -> LinearSystem:
             new_expr = lo.expr * a_up - up.expr * a_lo
             # the var terms cancel: a_lo*a_up - a_up*a_lo = 0
             combined.append(Constraint(new_expr, Rel.LE))
+    perf.bump("fm.pair_combine", n_pairs)
     result = LinearSystem(combined)
     if len(result) > MAX_CONSTRAINTS:
         result = result.simplified()
@@ -117,29 +177,53 @@ def eliminate(system: LinearSystem, var: str) -> LinearSystem:
 
 
 def eliminate_all(system: LinearSystem, variables: Iterable[str]) -> LinearSystem:
-    """Project out *variables* one at a time, fewest-occurrences first.
+    """Project out *variables* one at a time, cheapest-first (memoized).
 
-    The ordering heuristic keeps intermediate systems small.
+    The ordering heuristic minimizes the expected constraint growth each
+    round: variables pinned by a unit-coefficient equality are eliminated
+    first (exact substitution, no growth), then the variable with the
+    smallest lower-bound × upper-bound product.
     """
-    todo = [v for v in variables if v in system.variables()]
+    todo0 = tuple(sorted(v for v in set(variables) if v in system.variables()))
+    if not todo0:
+        return system
+    key = (system, todo0)
+    cached = _ELIM_ALL.data.get(key)
+    if cached is not None:
+        _ELIM_ALL.hits += 1
+        return cached
+    _ELIM_ALL.misses += 1
+
+    todo = list(todo0)
     current = system
     while todo:
         # re-rank each round: elimination changes occurrence counts
-        counts = {}
         live = current.variables()
         todo = [v for v in todo if v in live]
         if not todo:
             break
+        costs = {}
         for v in todo:
             n_lo = n_up = 0
+            unit_eq = False
             for c in current:
                 a = c.expr.coeff(v)
-                if a > 0:
-                    n_up += 1
-                elif a < 0:
+                if a == 0:
+                    continue
+                if c.rel is Rel.EQ:
+                    if abs(a) == 1:
+                        unit_eq = True
                     n_lo += 1
-            counts[v] = n_lo * n_up
-        todo.sort(key=lambda v: (counts[v], v))
+                    n_up += 1
+                elif a > 0:
+                    n_up += 1
+                else:
+                    n_lo += 1
+            costs[v] = (0 if unit_eq else 1, n_lo * n_up)
+        todo.sort(key=lambda v: (costs[v], v))
         var = todo.pop(0)
         current = eliminate(current, var)
+        if len(current) > SIMPLIFY_THRESHOLD:
+            current = current.simplified()
+    _ELIM_ALL.data[key] = current
     return current

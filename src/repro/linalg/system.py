@@ -5,6 +5,11 @@ array region is a system over the dimension variables, loop indices and
 symbolic parameters.  Systems are immutable; all operations return new
 systems.  Redundant duplicate constraints are removed at construction and a
 cheap pairwise-redundancy sweep is available via :meth:`simplified`.
+
+Construction is **hash-consed**: a raw memo keyed on the input constraint
+tuple skips re-canonicalization of sequences seen before, and an intern
+table on the canonical sorted tuple makes structurally equal systems
+pointer-equal (O(1) equality/hash for all downstream memo keys).
 """
 
 from __future__ import annotations
@@ -12,27 +17,42 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import FrozenSet, Iterable, Iterator, Mapping, Optional, Tuple, Union
 
+from repro import perf
 from repro.linalg.constraint import Constraint, Rel
 from repro.symbolic.affine import AffineExpr
 
 Number = Union[int, Fraction]
 
+_RAW = perf.memo_table("system.raw")
+_INTERN = perf.memo_table("system.intern")
+
 
 class LinearSystem:
-    """An immutable conjunction of :class:`Constraint`.
+    """An immutable, interned conjunction of :class:`Constraint`.
 
     The empty conjunction is the universe (always true).  A system that
     contains a contradictory constraint normalizes to the canonical
     *false* system.
     """
 
-    __slots__ = ("_constraints", "_hash")
+    __slots__ = ("_constraints", "_hash", "_vars")
 
-    def __init__(self, constraints: Iterable[Constraint] = ()) -> None:
+    def __new__(cls, constraints: Iterable[Constraint] = ()) -> "LinearSystem":
+        raw = (
+            constraints
+            if type(constraints) is tuple
+            else tuple(constraints)
+        )
+        self = _RAW.data.get(raw)
+        if self is not None:
+            _RAW.hits += 1
+            return self
+        _RAW.misses += 1
+        perf.bump("system.norm")
         kept = []
         seen = set()
         false = False
-        for c in constraints:
+        for c in raw:
             if c.is_tautology():
                 continue
             if c.is_contradiction():
@@ -46,11 +66,26 @@ class LinearSystem:
 
             kept = [FALSE]
         kept.sort(key=Constraint.sort_key)
-        object.__setattr__(self, "_constraints", tuple(kept))
-        object.__setattr__(self, "_hash", hash(self._constraints))
+        canonical = tuple(kept)
+        self = _INTERN.data.get(canonical)
+        if self is None:
+            _INTERN.misses += 1
+            self = object.__new__(cls)
+            object.__setattr__(self, "_constraints", canonical)
+            object.__setattr__(self, "_hash", hash(canonical))
+            object.__setattr__(self, "_vars", None)
+            _INTERN.data[canonical] = self
+        else:
+            _INTERN.hits += 1
+        _RAW.data[raw] = self
+        return self
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("LinearSystem is immutable")
+
+    def __reduce__(self):
+        # re-intern on unpickle (canonical identity in every process)
+        return (LinearSystem, (self._constraints,))
 
     # ------------------------------------------------------------------
     # constructors
@@ -83,10 +118,14 @@ class LinearSystem:
         return any(c.is_contradiction() for c in self._constraints)
 
     def variables(self) -> FrozenSet[str]:
-        vs: set = set()
-        for c in self._constraints:
-            vs.update(c.variables())
-        return frozenset(vs)
+        cached = self._vars
+        if cached is None:
+            vs: set = set()
+            for c in self._constraints:
+                vs.update(c.variables())
+            cached = frozenset(vs)
+            object.__setattr__(self, "_vars", cached)
+        return cached
 
     def __iter__(self) -> Iterator[Constraint]:
         return iter(self._constraints)
@@ -101,6 +140,10 @@ class LinearSystem:
         """Conjunction (polyhedron intersection)."""
         if isinstance(other, Constraint):
             return LinearSystem(self._constraints + (other,))
+        if not other._constraints:
+            return self
+        if not self._constraints:
+            return other
         return LinearSystem(self._constraints + other._constraints)
 
     __and__ = conjoin
@@ -108,10 +151,14 @@ class LinearSystem:
     def substitute(
         self, bindings: Mapping[str, Union[AffineExpr, Number]]
     ) -> "LinearSystem":
-        return LinearSystem(c.substitute(bindings) for c in self._constraints)
+        return LinearSystem(
+            tuple(c.substitute(bindings) for c in self._constraints)
+        )
 
     def rename(self, mapping: Mapping[str, str]) -> "LinearSystem":
-        return LinearSystem(c.rename(mapping) for c in self._constraints)
+        return LinearSystem(
+            tuple(c.rename(mapping) for c in self._constraints)
+        )
 
     def evaluate(self, env: Mapping[str, Number]) -> bool:
         return all(c.evaluate(env) for c in self._constraints)
@@ -126,7 +173,7 @@ class LinearSystem:
                 touching.append(c)
             else:
                 rest.append(c)
-        return LinearSystem(touching), LinearSystem(rest)
+        return LinearSystem(tuple(touching)), LinearSystem(tuple(rest))
 
     # ------------------------------------------------------------------
     # simplification
@@ -168,14 +215,17 @@ class LinearSystem:
                 if -eq_exprs[neg] >= c.expr.constant:
                     continue
             kept.append(c)
-        return LinearSystem(kept)
+        return LinearSystem(tuple(kept))
 
     # ------------------------------------------------------------------
     # plumbing
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, LinearSystem):
             return NotImplemented
+        # distinct-but-equal instances only exist across a cache reset
         return self._constraints == other._constraints
 
     def __hash__(self) -> int:
@@ -196,3 +246,12 @@ _UNIVERSE = LinearSystem(())
 from repro.linalg.constraint import FALSE as _FALSE_C  # noqa: E402
 
 _EMPTY = LinearSystem((_FALSE_C,))
+
+
+def _reseed() -> None:
+    for s in (_UNIVERSE, _EMPTY):
+        _INTERN.data[s._constraints] = s
+        _RAW.data[s._constraints] = s
+
+
+perf.on_reset(_reseed)

@@ -26,6 +26,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import perf
 from repro.arraydf.analysis import ArrayDataflow, LoopSummary
 from repro.arraydf.options import AnalysisOptions
 from repro.lang.astnodes import DoLoop, Program, walk_stmts
@@ -117,17 +118,19 @@ class ParallelizationDriver:
 
     def run(self) -> ProgramResult:
         start = time.perf_counter()
-        dataflow = ArrayDataflow(self.program, self.opts).run()
+        with perf.phase("driver.arraydf"):
+            dataflow = ArrayDataflow(self.program, self.opts).run()
         result = ProgramResult(self.program, self.opts)
 
-        for unit_name, unit in self.program.units.items():
-            summary = dataflow.units[unit_name]
-            symtab = dataflow.symtabs[unit_name]
-            for loop, loop_summary in summary.loops.items():
-                result.loops.append(
-                    self._decide(loop_summary, symtab)
-                )
-        self._mark_enclosed(result)
+        with perf.phase("driver.decide"):
+            for unit_name, unit in self.program.units.items():
+                summary = dataflow.units[unit_name]
+                symtab = dataflow.symtabs[unit_name]
+                for loop, loop_summary in summary.loops.items():
+                    result.loops.append(
+                        self._decide(loop_summary, symtab)
+                    )
+            self._mark_enclosed(result)
         result.analysis_seconds = time.perf_counter() - start
         return result
 

@@ -1,0 +1,50 @@
+"""Observability layer: counters, phase timers, cache registry.
+
+See :mod:`repro.perf.counters` for the implementation.  Typical uses::
+
+    from repro import perf
+
+    perf.bump("fm.fallback_drop")
+    with perf.phase("arraydf"):
+        ...
+    perf.reset_all_caches()   # cold-path benchmarking
+    perf.snapshot()           # --profile JSON
+"""
+
+from repro.perf.counters import (
+    MISS,
+    Memo,
+    absorb_snapshot,
+    bump,
+    counter,
+    declare,
+    memo_table,
+    on_reset,
+    phase,
+    register_cache,
+    reset_all_caches,
+    reset_counters,
+    snapshot,
+    snapshot_delta,
+    snapshot_max,
+    total_ops,
+)
+
+__all__ = [
+    "MISS",
+    "Memo",
+    "absorb_snapshot",
+    "bump",
+    "counter",
+    "declare",
+    "memo_table",
+    "on_reset",
+    "phase",
+    "register_cache",
+    "reset_all_caches",
+    "reset_counters",
+    "snapshot",
+    "snapshot_delta",
+    "snapshot_max",
+    "total_ops",
+]

@@ -1,0 +1,257 @@
+"""Performance observability: counters, phase timers and the cache registry.
+
+Every memo/intern table in the analysis substrate registers itself here so
+that
+
+* ``reset_all_caches()`` restores a genuinely cold state (benchmarks and
+  the deterministic cost measurements in FIGO rely on this), and
+* ``snapshot()`` reports hit/miss statistics for every table plus the
+  event counters (Fourier–Motzkin fallbacks, elimination steps, …) in one
+  JSON-able dict for ``--profile``.
+
+The module is dependency-free: the symbolic/linalg/regions layers import
+it, never the other way around.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Tuple
+
+#: sentinel for memo lookups (``None`` is a legitimate cached value)
+MISS = object()
+
+
+class Memo:
+    """A dict-backed memo table with hit/miss accounting.
+
+    Hot paths access ``data``/``hits``/``misses`` directly instead of
+    going through method calls; the object exists so the registry can
+    clear and report every table uniformly.
+    """
+
+    __slots__ = ("name", "data", "hits", "misses")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.data: Dict = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key, default=None):
+        hit = self.data.get(key, MISS)
+        if hit is not MISS:
+            self.hits += 1
+            return hit
+        self.misses += 1
+        return default
+
+    def clear(self) -> None:
+        self.data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, float]:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self.data),
+            "hit_rate": (self.hits / total) if total else 0.0,
+        }
+
+
+_memos: Dict[str, Memo] = {}
+#: external caches (e.g. ``functools.lru_cache``) as (stats_fn, clear_fn)
+_external: Dict[str, Tuple[Callable[[], Dict], Callable[[], None]]] = {}
+#: callbacks run after a reset (re-seed interned module singletons)
+_reseeders: List[Callable[[], None]] = []
+
+_counters: Dict[str, int] = {}
+_phases: Dict[str, float] = {}
+#: cache statistics absorbed from worker processes (name -> hits/misses/size)
+_foreign: Dict[str, Dict[str, float]] = {}
+
+
+def memo_table(name: str) -> Memo:
+    """Create (or return) the registered memo table *name*."""
+    table = _memos.get(name)
+    if table is None:
+        table = _memos[name] = Memo(name)
+    return table
+
+
+def register_cache(
+    name: str,
+    stats: Callable[[], Dict],
+    clear: Callable[[], None],
+) -> None:
+    """Register an externally managed cache (stats dict + clear fn)."""
+    _external[name] = (stats, clear)
+
+
+def on_reset(callback: Callable[[], None]) -> None:
+    """Run *callback* after every :func:`reset_all_caches` (used to
+    re-seed interned module singletons like ``AffineExpr.ZERO``)."""
+    _reseeders.append(callback)
+
+
+def reset_all_caches() -> None:
+    """Clear every registered memo/intern table and external cache.
+
+    The one entry point benchmarks use to measure cold paths honestly.
+    Module singletons are re-interned afterwards so identity stays
+    canonical across resets.
+    """
+    for table in _memos.values():
+        table.clear()
+    for _stats, clear in _external.values():
+        clear()
+    _foreign.clear()
+    for callback in _reseeders:
+        callback()
+
+
+def bump(name: str, n: int = 1) -> None:
+    """Increment event counter *name* by *n*."""
+    _counters[name] = _counters.get(name, 0) + n
+
+
+def declare(name: str) -> None:
+    """Ensure *name* appears in snapshots even while zero."""
+    _counters.setdefault(name, 0)
+
+
+def counter(name: str) -> int:
+    return _counters.get(name, 0)
+
+
+def reset_counters() -> None:
+    """Zero every event counter and phase timer (keeps declarations)."""
+    for name in _counters:
+        _counters[name] = 0
+    _phases.clear()
+    _foreign.clear()
+
+
+def snapshot_delta(snap: Dict, base: Dict) -> Dict:
+    """Subtract *base* from *snap*, clamping at zero.
+
+    Worker processes forked from a warm parent inherit its counters and
+    cache statistics; subtracting the parent's snapshot taken at pool
+    creation leaves only the work the worker itself performed.  (Under a
+    ``spawn`` start method workers begin cold, so the clamp keeps the
+    delta correct there too.)
+    """
+    counters = {
+        k: max(0, v - base.get("counters", {}).get(k, 0))
+        for k, v in snap.get("counters", {}).items()
+    }
+    phases = {
+        k: max(0.0, v - base.get("phases", {}).get(k, 0.0))
+        for k, v in snap.get("phases", {}).items()
+    }
+    caches = {}
+    for name, stats in snap.get("caches", {}).items():
+        ref = base.get("caches", {}).get(name, {})
+        caches[name] = {
+            k: max(0, stats.get(k, 0) - ref.get(k, 0))
+            for k in ("hits", "misses", "size")
+        }
+    return {"counters": counters, "phases": phases, "caches": caches}
+
+
+def snapshot_max(a: Dict, b: Dict) -> Dict:
+    """Field-wise maximum of two snapshots from the *same* process.
+
+    Per-process statistics only grow, so the maximum over any set of a
+    worker's snapshots equals its latest one — this lets the driver keep
+    one cumulative snapshot per worker PID without ordering assumptions.
+    """
+    counters = dict(a.get("counters", {}))
+    for k, v in b.get("counters", {}).items():
+        counters[k] = max(counters.get(k, 0), v)
+    phases = dict(a.get("phases", {}))
+    for k, v in b.get("phases", {}).items():
+        phases[k] = max(phases.get(k, 0.0), v)
+    caches = {name: dict(stats) for name, stats in a.get("caches", {}).items()}
+    for name, stats in b.get("caches", {}).items():
+        ref = caches.setdefault(name, {"hits": 0, "misses": 0, "size": 0})
+        for k in ("hits", "misses", "size"):
+            ref[k] = max(ref.get(k, 0), stats.get(k, 0))
+    return {"counters": counters, "phases": phases, "caches": caches}
+
+
+def absorb_snapshot(snap: Dict) -> None:
+    """Fold a worker process's (delta) snapshot into this process.
+
+    Counters and phase timers add into the local tables; cache
+    statistics accumulate in a side table that :func:`snapshot` sums
+    onto the local stats, so ``--profile`` reflects work done in worker
+    processes under ``--jobs N`` as well.
+    """
+    for name, value in snap.get("counters", {}).items():
+        if value:
+            _counters[name] = _counters.get(name, 0) + value
+    for name, value in snap.get("phases", {}).items():
+        if value:
+            _phases[name] = _phases.get(name, 0.0) + value
+    for name, stats in snap.get("caches", {}).items():
+        agg = _foreign.setdefault(name, {"hits": 0, "misses": 0, "size": 0})
+        for k in ("hits", "misses", "size"):
+            agg[k] += stats.get(k, 0)
+
+
+@contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Accumulate wall-clock time under *name* in the phase table."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        _phases[name] = _phases.get(name, 0.0) + time.perf_counter() - start
+
+
+def total_ops() -> int:
+    """Deterministic substrate-work proxy: the sum of the kernel-level
+    event counters.  Used by FIGO for machine-independent cost ratios."""
+    return sum(
+        v for k, v in _counters.items() if k in _OP_COUNTERS
+    )
+
+
+#: counters that measure substrate kernel work (deterministic given a
+#: cold cache state); extend when instrumenting new kernels
+_OP_COUNTERS = frozenset(
+    {
+        "affine.new",
+        "constraint.norm",
+        "system.norm",
+        "fm.eliminate",
+        "fm.pair_combine",
+        "feasibility.ground",
+    }
+)
+
+
+def snapshot() -> Dict:
+    """One JSON-able dict of counters, phases and per-cache statistics."""
+    caches = {name: table.stats() for name, table in _memos.items()}
+    for name, (stats, _clear) in _external.items():
+        caches[name] = stats()
+    for name, agg in _foreign.items():
+        merged = dict(
+            caches.get(name, {"hits": 0, "misses": 0, "size": 0})
+        )
+        for k in ("hits", "misses", "size"):
+            merged[k] = merged.get(k, 0) + agg[k]
+        total = merged["hits"] + merged["misses"]
+        merged["hit_rate"] = (merged["hits"] / total) if total else 0.0
+        caches[name] = merged
+    return {
+        "counters": dict(sorted(_counters.items())),
+        "phases": {k: round(v, 6) for k, v in sorted(_phases.items())},
+        "caches": {k: caches[k] for k in sorted(caches)},
+        "total_ops": total_ops(),
+    }

@@ -36,6 +36,9 @@ class LinAtom:
     def __setattr__(self, name, value):
         raise AttributeError("LinAtom is immutable")
 
+    def __reduce__(self):
+        return (LinAtom, (self.constraint,))
+
     # convenience constructors mirroring Constraint's
     @staticmethod
     def le(lhs: AffineExpr, rhs: AffineExpr) -> "LinAtom":
@@ -98,6 +101,9 @@ class DivAtom:
     def __setattr__(self, name, value):
         raise AttributeError("DivAtom is immutable")
 
+    def __reduce__(self):
+        return (DivAtom, (self.expr, self.modulus))
+
     def variables(self) -> Tuple[str, ...]:
         return self.expr.variables()
 
@@ -146,6 +152,9 @@ class OpaqueAtom:
 
     def __setattr__(self, name, value):
         raise AttributeError("OpaqueAtom is immutable")
+
+    def __reduce__(self):
+        return (OpaqueAtom, (self.key, self.reads))
 
     def variables(self) -> Tuple[str, ...]:
         return self.reads

@@ -54,6 +54,9 @@ class Predicate:
 class _TruePred(Predicate):
     __slots__ = ()
 
+    def __reduce__(self):
+        return (_TruePred, ())
+
     def variables(self):
         return frozenset()
 
@@ -77,6 +80,9 @@ class _TruePred(Predicate):
 
 class _FalsePred(Predicate):
     __slots__ = ()
+
+    def __reduce__(self):
+        return (_FalsePred, ())
 
     def variables(self):
         return frozenset()
@@ -113,6 +119,9 @@ class Atom(Predicate):
 
     def __setattr__(self, name, value):
         raise AttributeError("Atom is immutable")
+
+    def __reduce__(self):
+        return (Atom, (self.atom,))
 
     def variables(self):
         return frozenset(self.atom.variables())
@@ -153,6 +162,9 @@ class NotPred(Predicate):
     def __setattr__(self, name, value):
         raise AttributeError("NotPred is immutable")
 
+    def __reduce__(self):
+        return (NotPred, (self.operand,))
+
     def variables(self):
         return self.operand.variables()
 
@@ -184,6 +196,9 @@ class _NaryPred(Predicate):
 
     def __setattr__(self, name, value):
         raise AttributeError("predicate nodes are immutable")
+
+    def __reduce__(self):
+        return (type(self), (self.operands,))
 
     def variables(self):
         vs: set = set()

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterable, List, Optional, Tuple
 
+from repro.linalg.constraint import Constraint
 from repro.linalg.feasibility import is_feasible
 from repro.linalg.implication import entails
 from repro.linalg.system import LinearSystem
@@ -93,6 +94,9 @@ def conjunct_infeasible(conj: Conjunct) -> bool:
     if positives & negatives:
         return True
     if constraints:
+        # conjuncts are frozensets: sort so the constructed system (and
+        # every op count derived from it) is hash-seed independent
+        constraints.sort(key=Constraint.sort_key)
         return not is_feasible(LinearSystem(constraints))
     return False
 
@@ -123,11 +127,13 @@ def equivalent(p: Predicate, q: Predicate) -> bool:
 
 def linear_system_of(conj: Conjunct) -> LinearSystem:
     """The conjunction of the linear atoms of a conjunct."""
-    return LinearSystem(
+    constraints = [
         lit.atom.constraint
         for lit in conj
         if isinstance(lit, Atom) and isinstance(lit.atom, LinAtom)
-    )
+    ]
+    constraints.sort(key=Constraint.sort_key)
+    return LinearSystem(constraints)
 
 
 def simplify(pred: Predicate) -> Predicate:

@@ -9,9 +9,12 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro import perf
 from repro.linalg.implication import entails, system_implies
 from repro.linalg.system import LinearSystem
 from repro.regions.region import ArrayRegion
+
+_COALESCE = perf.memo_table("region.coalesce")
 
 
 def intersect_regions(a: ArrayRegion, b: ArrayRegion) -> Optional[ArrayRegion]:
@@ -48,7 +51,7 @@ COALESCE_LIMIT = 6
 
 def try_coalesce(a: ArrayRegion, b: ArrayRegion) -> Optional[ArrayRegion]:
     """Merge two regions exactly when one contains the other, or when
-    their constraint hull is proven equal to the union.
+    their constraint hull is proven equal to the union (memoized).
 
     The second case covers the ubiquitous adjacent-interval pattern
     (e.g. ``1 <= d <= k`` ∪ ``k+1 <= d <= n``): the hull is exact iff
@@ -56,6 +59,18 @@ def try_coalesce(a: ArrayRegion, b: ArrayRegion) -> Optional[ArrayRegion]:
     Returns ``None`` when no exact merge is found.  Regions with large
     constraint systems only attempt the cheap containment merges.
     """
+    key = (a, b)
+    cached = _COALESCE.data.get(key, perf.MISS)
+    if cached is not perf.MISS:
+        _COALESCE.hits += 1
+        return cached
+    _COALESCE.misses += 1
+    result = _try_coalesce_impl(a, b)
+    _COALESCE.data[key] = result
+    return result
+
+
+def _try_coalesce_impl(a: ArrayRegion, b: ArrayRegion) -> Optional[ArrayRegion]:
     if a.array != b.array or a.rank != b.rank:
         return None
     if len(a.system) > COALESCE_LIMIT or len(b.system) > COALESCE_LIMIT:

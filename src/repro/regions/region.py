@@ -5,13 +5,16 @@
 also mention loop indices and symbolic parameters; those are free
 variables parameterizing the region).
 
-Regions are immutable value objects.
+Regions are immutable, **interned** value objects: structurally equal
+regions are pointer-equal, so they serve as O(1) memo keys for the region
+algebra (subtraction, coalescing, projection).
 """
 
 from __future__ import annotations
 
 from typing import FrozenSet, Iterable, Mapping, Optional, Tuple
 
+from repro import perf
 from repro.linalg.constraint import Constraint
 from repro.linalg.feasibility import is_feasible
 from repro.linalg.implication import system_implies
@@ -19,20 +22,36 @@ from repro.linalg.system import LinearSystem
 from repro.symbolic.affine import AffineExpr
 from repro.symbolic.terms import dim_var, is_dim_var, iter_dim_vars
 
+_INTERN = perf.memo_table("region.intern")
+
 
 class ArrayRegion:
-    """An immutable convex region of one array."""
+    """An immutable, interned convex region of one array."""
 
-    __slots__ = ("array", "rank", "system", "_hash")
+    __slots__ = ("array", "rank", "system", "_hash", "_empty")
 
-    def __init__(self, array: str, rank: int, system: LinearSystem) -> None:
+    def __new__(cls, array: str, rank: int, system: LinearSystem) -> "ArrayRegion":
+        key = (array, rank, system)
+        self = _INTERN.data.get(key)
+        if self is not None:
+            _INTERN.hits += 1
+            return self
+        _INTERN.misses += 1
+        self = object.__new__(cls)
         object.__setattr__(self, "array", array)
         object.__setattr__(self, "rank", rank)
         object.__setattr__(self, "system", system)
-        object.__setattr__(self, "_hash", hash((array, rank, system)))
+        object.__setattr__(self, "_hash", hash(key))
+        object.__setattr__(self, "_empty", None)
+        _INTERN.data[key] = self
+        return self
 
     def __setattr__(self, name, value):
         raise AttributeError("ArrayRegion is immutable")
+
+    def __reduce__(self):
+        # re-intern on unpickle (canonical identity in every process)
+        return (ArrayRegion, (self.array, self.rank, self.system))
 
     # ------------------------------------------------------------------
     # constructors
@@ -78,7 +97,11 @@ class ArrayRegion:
     # ------------------------------------------------------------------
     def is_empty(self) -> bool:
         """Proven-empty test (conservative: False = maybe non-empty)."""
-        return not is_feasible(self.system)
+        cached = self._empty
+        if cached is None:
+            cached = not is_feasible(self.system)
+            object.__setattr__(self, "_empty", cached)
+        return cached
 
     def dim_vars(self) -> Tuple[str, ...]:
         return tuple(iter_dim_vars(self.rank))
@@ -125,8 +148,11 @@ class ArrayRegion:
     # plumbing
     # ------------------------------------------------------------------
     def __eq__(self, other):
+        if self is other:
+            return True
         if not isinstance(other, ArrayRegion):
             return NotImplemented
+        # distinct-but-equal instances only exist across a cache reset
         return (
             self.array == other.array
             and self.rank == other.rank

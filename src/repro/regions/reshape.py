@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import perf
 from repro.ir.exprtools import to_affine
 from repro.ir.symboltable import SymbolTable
 from repro.lang.astnodes import ASSUMED, Call, Expr, VarRef
@@ -157,22 +158,34 @@ def _linear_offset(extents: Sequence[int], dvs: Sequence[str]) -> AffineExpr:
     return total
 
 
+_RESHAPE = perf.memo_table("region.reshape")
+
+
 def _translate_region_linear(
     region: ArrayRegion,
     actual: str,
     callee_ext: List[int],
     caller_ext: List[int],
-    fresh: FreshNameSource,
 ) -> ArrayRegion:
-    """Exact rank-changing translation with constant extents.
+    """Exact rank-changing translation with constant extents (memoized).
 
     Equates the callee-side and caller-side linear offsets through an
-    auxiliary variable and eliminates the callee dimensions.
+    auxiliary variable and eliminates the callee dimensions.  The
+    callee-dimension temporaries use fixed reserved names (``__rs{k}``)
+    rather than fresh symbols: they are always eliminated below, so they
+    can never leak, and fixed names make the translation a pure function
+    of its arguments — cacheable, and independent of call order.
     """
+    key = (region, actual, tuple(callee_ext), tuple(caller_ext))
+    cached = _RESHAPE.data.get(key)
+    if cached is not None:
+        _RESHAPE.hits += 1
+        return cached
+    _RESHAPE.misses += 1
     callee_rank = region.rank
     caller_rank = len(caller_ext)
-    # rename callee dims to temporaries
-    tmp = {dim_var(k): fresh.fresh(f"fd{k}") for k in range(callee_rank)}
+    # rename callee dims to reserved temporaries (always eliminated)
+    tmp = {dim_var(k): f"__rs{k}" for k in range(callee_rank)}
     sys = region.system.rename(tmp)
     callee_dvs = [tmp[dim_var(k)] for k in range(callee_rank)]
     caller_dvs = [dim_var(k) for k in range(caller_rank)]
@@ -190,7 +203,9 @@ def _translate_region_linear(
         box.append(Constraint.le(AffineExpr.var(dv), AffineExpr.const(ext)))
     sys = sys & LinearSystem(box)
     sys = eliminate_all(sys, callee_dvs)
-    return ArrayRegion(actual, caller_rank, sys)
+    result = ArrayRegion(actual, caller_rank, sys)
+    _RESHAPE.data[key] = result
+    return result
 
 
 def _whole_caller_array(caller: SymbolTable, actual: str) -> ArrayRegion:
@@ -278,7 +293,7 @@ def translate_array_summary(
     caller_ext = _const_extents(ctx.caller, actual)
     if callee_ext is not None and caller_ext is not None:
         translated = tuple(
-            _translate_region_linear(r, actual, callee_ext, caller_ext, ctx.fresh)
+            _translate_region_linear(r, actual, callee_ext, caller_ext)
             for r in regions
         )
         return [(TRUE, translated)]

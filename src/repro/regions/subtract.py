@@ -16,9 +16,12 @@ from __future__ import annotations
 
 from typing import List
 
+from repro import perf
 from repro.linalg.constraint import Constraint, Rel
 from repro.linalg.system import LinearSystem
 from repro.regions.region import ArrayRegion
+
+_SUBTRACT = perf.memo_table("region.subtract")
 
 
 def _complement_pieces(constraint: Constraint) -> List[Constraint]:
@@ -33,10 +36,25 @@ def _complement_pieces(constraint: Constraint) -> List[Constraint]:
 
 
 def subtract_region(a: ArrayRegion, b: ArrayRegion) -> List[ArrayRegion]:
-    """``a − b`` as a list of disjoint convex regions.
+    """``a − b`` as a list of disjoint convex regions (memoized).
 
     Regions of different arrays don't interact: returns ``[a]``.
+    Regions are interned, so the memo key hashes in O(1); a fresh list
+    is returned each call so callers may extend/consume it freely.
     """
+    key = (a, b)
+    cached = _SUBTRACT.data.get(key)
+    if cached is not None:
+        _SUBTRACT.hits += 1
+        return list(cached)
+    _SUBTRACT.misses += 1
+    result = _subtract_region_impl(a, b)
+    _SUBTRACT.data[key] = tuple(result)
+    return result
+
+
+def _subtract_region_impl(a: ArrayRegion, b: ArrayRegion) -> List[ArrayRegion]:
+    """The unmemoized subtraction (exposed for cache-correctness tests)."""
     if a.array != b.array or a.rank != b.rank:
         return [a]
     if b.system.is_universe():

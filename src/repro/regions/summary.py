@@ -47,6 +47,9 @@ class SummarySet:
     def __setattr__(self, name, value):
         raise AttributeError("SummarySet is immutable")
 
+    def __reduce__(self):
+        return (SummarySet, (self._data,))
+
     # ------------------------------------------------------------------
     # constructors
     # ------------------------------------------------------------------

@@ -1,11 +1,17 @@
 """Exact affine expressions ``c0 + c1*x1 + … + cn*xn``.
 
-Coefficients are exact rationals (:class:`fractions.Fraction`); most program
-expressions are integral but Fourier–Motzkin elimination introduces rational
-coefficients, and exactness is what makes the dependence/privatization tests
-sound.
+Coefficients are exact rationals; most program expressions are integral
+but Fourier–Motzkin elimination introduces rational coefficients, and
+exactness is what makes the dependence/privatization tests sound.
+Integral coefficients are stored as plain ``int`` (``int`` exposes the
+same ``numerator``/``denominator`` protocol as :class:`~fractions.Fraction`),
+so the dominant all-integer arithmetic never boxes into ``Fraction``.
 
-Instances are immutable and hashable; all arithmetic returns new objects.
+Instances are immutable and **hash-consed**: the constructor interns every
+canonical (coefficients, constant) form in a table registered with
+:mod:`repro.perf`, so structurally equal expressions are pointer-equal,
+``__eq__`` is an identity check in the common case, and downstream memo
+keys hash in O(1) via the precomputed hash.
 """
 
 from __future__ import annotations
@@ -13,47 +19,77 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Dict, Iterable, Mapping, Optional, Tuple, Union
 
+from repro import perf
+
 Number = Union[int, Fraction]
 
+_INTERN = perf.memo_table("affine.intern")
 
-_SMALL_FRACTIONS = {i: Fraction(i) for i in range(-32, 33)}
 
-
-def _as_fraction(value: Number) -> Fraction:
-    if isinstance(value, Fraction):
+def _norm(value: Number) -> Number:
+    """Canonicalize a scalar: integral values become plain ``int``."""
+    t = type(value)
+    if t is int:
         return value
+    if t is Fraction:
+        return value.numerator if value.denominator == 1 else value
     if isinstance(value, int):
-        # small integers dominate analysis arithmetic; avoid re-boxing
-        cached = _SMALL_FRACTIONS.get(value)
-        return cached if cached is not None else Fraction(value)
+        return int(value)
+    if isinstance(value, Fraction):
+        return value.numerator if value.denominator == 1 else value
     raise TypeError(f"expected int or Fraction, got {type(value).__name__}")
 
 
 class AffineExpr:
-    """An immutable affine expression over named variables.
+    """An immutable, interned affine expression over named variables.
 
     The canonical representation stores only non-zero coefficients, sorted
     by variable name, so structural equality coincides with mathematical
-    equality.
+    equality — and by interning, with object identity.
     """
 
-    __slots__ = ("_coeffs", "_const", "_hash")
+    __slots__ = ("_coeffs", "_const", "_hash", "_integral")
 
-    def __init__(
-        self,
+    def __new__(
+        cls,
         coeffs: Optional[Mapping[str, Number]] = None,
         const: Number = 0,
-    ) -> None:
-        items = []
+    ) -> "AffineExpr":
+        items: Tuple[Tuple[str, Number], ...]
         if coeffs:
+            pairs = []
             for var, c in coeffs.items():
-                f = _as_fraction(c)
-                if f != 0:
-                    items.append((var, f))
-        items.sort()
-        self._coeffs: Tuple[Tuple[str, Fraction], ...] = tuple(items)
-        self._const: Fraction = _as_fraction(const)
-        self._hash: Optional[int] = None
+                c = _norm(c)
+                if c:
+                    pairs.append((var, c))
+            pairs.sort()
+            items = tuple(pairs)
+        else:
+            items = ()
+        return cls._make(items, _norm(const))
+
+    @classmethod
+    def _make(
+        cls, items: Tuple[Tuple[str, Number], ...], const: Number
+    ) -> "AffineExpr":
+        """Intern a pre-canonicalized (sorted, zero-free, normalized) form."""
+        key = (items, const)
+        table = _INTERN.data
+        self = table.get(key)
+        if self is not None:
+            _INTERN.hits += 1
+            return self
+        _INTERN.misses += 1
+        perf.bump("affine.new")
+        self = object.__new__(cls)
+        self._coeffs = items
+        self._const = const
+        self._hash = hash(key)
+        self._integral = type(const) is int and all(
+            type(c) is int for _, c in items
+        )
+        table[key] = self
+        return self
 
     # ------------------------------------------------------------------
     # constructors
@@ -61,12 +97,15 @@ class AffineExpr:
     @staticmethod
     def const(value: Number) -> "AffineExpr":
         """The constant expression *value*."""
-        return AffineExpr(None, value)
+        return AffineExpr._make((), _norm(value))
 
     @staticmethod
     def var(name: str, coeff: Number = 1) -> "AffineExpr":
         """The expression ``coeff * name``."""
-        return AffineExpr({name: coeff}, 0)
+        c = _norm(coeff)
+        if not c:
+            return AffineExpr.ZERO
+        return AffineExpr._make(((name, c),), 0)
 
     ZERO: "AffineExpr"
     ONE: "AffineExpr"
@@ -75,21 +114,21 @@ class AffineExpr:
     # accessors
     # ------------------------------------------------------------------
     @property
-    def constant(self) -> Fraction:
+    def constant(self) -> Number:
         return self._const
 
-    def coeff(self, var: str) -> Fraction:
+    def coeff(self, var: str) -> Number:
         """Coefficient of *var* (zero if absent)."""
         for v, c in self._coeffs:
             if v == var:
                 return c
-        return Fraction(0)
+        return 0
 
     def variables(self) -> Tuple[str, ...]:
         """Variables with non-zero coefficient, sorted."""
         return tuple(v for v, _ in self._coeffs)
 
-    def terms(self) -> Tuple[Tuple[str, Fraction], ...]:
+    def terms(self) -> Tuple[Tuple[str, Number], ...]:
         """The (variable, coefficient) pairs, sorted by variable."""
         return self._coeffs
 
@@ -101,31 +140,41 @@ class AffineExpr:
 
     def is_integral(self) -> bool:
         """True if all coefficients and the constant are integers."""
-        return self._const.denominator == 1 and all(
-            c.denominator == 1 for _, c in self._coeffs
-        )
+        return self._integral
 
     # ------------------------------------------------------------------
     # arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other: Union["AffineExpr", Number]) -> "AffineExpr":
         if isinstance(other, (int, Fraction)):
-            return AffineExpr(dict(self._coeffs), self._const + other)
+            if not other:
+                return self
+            return AffineExpr._make(self._coeffs, _norm(self._const + other))
         if not isinstance(other, AffineExpr):
             return NotImplemented
-        coeffs: Dict[str, Fraction] = dict(self._coeffs)
+        if not other._coeffs:
+            if not other._const:
+                return self
+            return AffineExpr._make(
+                self._coeffs, _norm(self._const + other._const)
+            )
+        coeffs: Dict[str, Number] = dict(self._coeffs)
         for v, c in other._coeffs:
-            coeffs[v] = coeffs.get(v, Fraction(0)) + c
+            coeffs[v] = coeffs.get(v, 0) + c
         return AffineExpr(coeffs, self._const + other._const)
 
     __radd__ = __add__
 
     def __neg__(self) -> "AffineExpr":
-        return AffineExpr({v: -c for v, c in self._coeffs}, -self._const)
+        return AffineExpr._make(
+            tuple((v, -c) for v, c in self._coeffs), -self._const
+        )
 
     def __sub__(self, other: Union["AffineExpr", Number]) -> "AffineExpr":
         if isinstance(other, (int, Fraction)):
-            return AffineExpr(dict(self._coeffs), self._const - other)
+            if not other:
+                return self
+            return AffineExpr._make(self._coeffs, _norm(self._const - other))
         if not isinstance(other, AffineExpr):
             return NotImplemented
         return self + (-other)
@@ -136,9 +185,16 @@ class AffineExpr:
     def __mul__(self, scalar: Number) -> "AffineExpr":
         if not isinstance(scalar, (int, Fraction)):
             return NotImplemented
-        s = _as_fraction(scalar)
-        return AffineExpr(
-            {v: c * s for v, c in self._coeffs}, self._const * s
+        s = _norm(scalar)
+        if s == 1:
+            return self
+        if not s:
+            return AffineExpr.ZERO
+        # variable order is unchanged by scaling, so the canonical form
+        # can be built directly
+        return AffineExpr._make(
+            tuple((v, _norm(c * s)) for v, c in self._coeffs),
+            _norm(self._const * s),
         )
 
     __rmul__ = __mul__
@@ -146,10 +202,23 @@ class AffineExpr:
     def __truediv__(self, scalar: Number) -> "AffineExpr":
         if not isinstance(scalar, (int, Fraction)):
             return NotImplemented
-        s = _as_fraction(scalar)
+        s = _norm(scalar)
         if s == 0:
             raise ZeroDivisionError("division of affine expression by zero")
-        return self * Fraction(1, 1) * Fraction(s.denominator, s.numerator)
+        if s == 1:
+            return self
+        if type(s) is int and self._integral:
+            if self._const % s == 0 and all(
+                c % s == 0 for _, c in self._coeffs
+            ):
+                return AffineExpr._make(
+                    tuple((v, c // s) for v, c in self._coeffs),
+                    self._const // s,
+                )
+            inv = Fraction(1, s)
+        else:
+            inv = Fraction(s.denominator, s.numerator)
+        return self * inv
 
     # ------------------------------------------------------------------
     # substitution / evaluation
@@ -162,34 +231,43 @@ class AffineExpr:
         Unbound variables are kept.  Substitution is simultaneous, so
         ``{x: y, y: x}`` swaps the two variables.
         """
-        result = AffineExpr(None, self._const)
+        if not any(v in bindings for v, _ in self._coeffs):
+            return self
+        coeffs: Dict[str, Number] = {}
+        const: Number = self._const
         for v, c in self._coeffs:
             if v in bindings:
                 repl = bindings[v]
                 if isinstance(repl, (int, Fraction)):
-                    repl = AffineExpr.const(repl)
-                result = result + repl * c
+                    const = const + repl * c
+                else:
+                    const = const + repl._const * c
+                    for rv, rc in repl._coeffs:
+                        coeffs[rv] = coeffs.get(rv, 0) + rc * c
             else:
-                result = result + AffineExpr.var(v, c)
-        return result
+                coeffs[v] = coeffs.get(v, 0) + c
+        return AffineExpr(coeffs, const)
 
     def rename(self, mapping: Mapping[str, str]) -> "AffineExpr":
         """Rename variables; unmapped variables are kept."""
-        coeffs: Dict[str, Fraction] = {}
+        if not any(v in mapping for v, _ in self._coeffs):
+            return self
+        coeffs: Dict[str, Number] = {}
         for v, c in self._coeffs:
             nv = mapping.get(v, v)
-            coeffs[nv] = coeffs.get(nv, Fraction(0)) + c
+            coeffs[nv] = coeffs.get(nv, 0) + c
         return AffineExpr(coeffs, self._const)
 
-    def evaluate(self, env: Mapping[str, Number]) -> Fraction:
+    def evaluate(self, env: Mapping[str, Number]) -> Number:
         """Evaluate with every variable bound in *env*.
 
         Raises ``KeyError`` on an unbound variable — callers decide the
-        policy for partial environments via :meth:`substitute`.
+        policy for partial environments via :meth:`substitute`.  Returns
+        an exact number (``int`` or ``Fraction``).
         """
         total = self._const
         for v, c in self._coeffs:
-            total += c * _as_fraction(env[v])
+            total += c * env[v]
         return total
 
     # ------------------------------------------------------------------
@@ -239,17 +317,23 @@ class AffineExpr:
         )
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, AffineExpr):
             return NotImplemented
+        # interning makes equal-but-distinct instances possible only
+        # across a cache reset; fall back to the structural comparison
         return self._coeffs == other._coeffs and self._const == other._const
 
     def __hash__(self) -> int:
-        if self._hash is None:
-            self._hash = hash((self._coeffs, self._const))
         return self._hash
 
     def __bool__(self) -> bool:
         return not self.is_zero()
+
+    def __reduce__(self):
+        # re-intern on unpickle (canonical identity in every process)
+        return (AffineExpr, (dict(self._coeffs), self._const))
 
     def __repr__(self) -> str:
         return f"AffineExpr({self})"
@@ -282,9 +366,20 @@ AffineExpr.ZERO = AffineExpr.const(0)
 AffineExpr.ONE = AffineExpr.const(1)
 
 
+def _reseed() -> None:
+    for e in (AffineExpr.ZERO, AffineExpr.ONE):
+        _INTERN.data[(e._coeffs, e._const)] = e
+
+
+perf.on_reset(_reseed)
+
+
 def sum_exprs(exprs: Iterable[AffineExpr]) -> AffineExpr:
     """Sum an iterable of affine expressions (zero if empty)."""
-    total = AffineExpr.ZERO
+    coeffs: Dict[str, Number] = {}
+    const: Number = 0
     for e in exprs:
-        total = total + e
-    return total
+        const = const + e._const
+        for v, c in e._coeffs:
+            coeffs[v] = coeffs.get(v, 0) + c
+    return AffineExpr(coeffs, const)

@@ -15,7 +15,17 @@ def integerize(expr: AffineExpr) -> AffineExpr:
 
     Scaling by a positive factor preserves the sign of the expression, so
     this is safe for both ``expr <= 0`` and ``expr == 0`` constraints.
+    Already-normalized expressions are returned unchanged (identical
+    object), which keeps re-normalization on interned values free.
     """
+    if expr.is_integral():
+        # all-int fast path: skip the denominator scan entirely
+        g = abs(expr.constant)
+        for _, c in expr.terms():
+            g = gcd(g, abs(c))
+        if g > 1:
+            return expr / g
+        return expr
     dens = [expr.constant.denominator] + [c.denominator for _, c in expr.terms()]
     lcm = 1
     for d in dens:
@@ -52,7 +62,7 @@ def tighten_le(expr: AffineExpr) -> AffineExpr:
     # e = g*e' + c with e' primitive; e <= 0  <=>  e' <= floor(-c/g)
     const = int(e.constant)
     var_part = (e - const) / g
-    new_const = -floor(Fraction(-const, g))
+    new_const = -((-const) // g)  # == -floor(Fraction(-const, g))
     return var_part + new_const
 
 

@@ -1,5 +1,7 @@
 """Unit tests for Fourier–Motzkin elimination."""
 
+import pytest
+
 from repro.linalg.constraint import Constraint
 from repro.linalg.fourier_motzkin import eliminate, eliminate_all
 from repro.linalg.system import LinearSystem
@@ -119,3 +121,54 @@ class TestEliminateAll:
             for j in range(0, 6):
                 if s.evaluate({"i": i, "j": j}):
                     assert proj.evaluate({"j": j})
+
+
+class TestFallback:
+    """The combinatorial-blowup fallback is counted and warned about."""
+
+    def _blowup_system(self, tag=""):
+        # 50 distinct lower bounds x 50 distinct upper bounds on `z` gives
+        # 2500 pairs, past the MAX_CONSTRAINTS * 4 = 2400 fallback limit.
+        z = AffineExpr.var("z" + tag)
+        lows = [Constraint.ge(z, C(k)) for k in range(50)]
+        ups = [
+            Constraint.le(z, AffineExpr.var(f"u{tag}{k}")) for k in range(50)
+        ]
+        return LinearSystem(lows + ups), "z" + tag
+
+    def test_fallback_counts_and_warns_once(self):
+        import warnings
+
+        from repro import perf
+
+        perf.reset_all_caches()  # also re-arms the one-time warning
+        perf.reset_counters()
+        s, var = self._blowup_system()
+        with pytest.warns(RuntimeWarning, match="Fourier-Motzkin"):
+            r = eliminate(s, var)
+        # sound superset: the variable's constraints were dropped
+        assert var not in r.variables()
+        assert r.is_universe()
+        assert perf.counter("fm.fallback_drop") == 1
+
+        # a second fallback still counts but does not warn again
+        s2, var2 = self._blowup_system("b")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            eliminate(s2, var2)
+        assert perf.counter("fm.fallback_drop") == 2
+
+    def test_fallback_is_sound_superset(self):
+        from repro import perf
+
+        perf.reset_all_caches()
+        s, var = self._blowup_system("c")
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            proj = eliminate(s, var)
+        # every point of the original satisfies the (relaxed) projection
+        point = {v: 60 for v in s.variables()}
+        assert s.evaluate(point)
+        assert proj.evaluate(point)

@@ -152,3 +152,41 @@ class TestNormalization:
     def test_bool(self):
         assert not AffineExpr.ZERO
         assert AffineExpr.ONE
+
+
+class TestIntegerExactness:
+    """The all-int fast paths stay exact and never box into Fraction."""
+
+    def test_integral_arithmetic_stays_int(self):
+        x = AffineExpr.var("x")
+        e = (x * 3 + 5) - x + 2
+        assert type(e.coeff("x")) is int and e.coeff("x") == 2
+        assert type(e.constant) is int and e.constant == 7
+
+    def test_exact_int_division_stays_int(self):
+        x = AffineExpr.var("x")
+        e = (x * 4 + 8) / 2
+        assert type(e.coeff("x")) is int and e.coeff("x") == 2
+        assert type(e.constant) is int and e.constant == 4
+
+    def test_inexact_division_is_exact_rational(self):
+        x = AffineExpr.var("x")
+        e = (x * 3) / 2
+        assert e.coeff("x") == Fraction(3, 2)
+        # round-trips back to the int representation exactly
+        assert (e * 2).coeff("x") == 3
+        assert type((e * 2).coeff("x")) is int
+
+    def test_integral_fraction_inputs_normalize_to_int(self):
+        e = AffineExpr.var("x", Fraction(6, 3)) + Fraction(4, 2)
+        assert type(e.coeff("x")) is int and e.coeff("x") == 2
+        assert type(e.constant) is int and e.constant == 2
+
+    def test_float_scalar_ops_rejected(self):
+        x = AffineExpr.var("x")
+        with pytest.raises(TypeError):
+            x * 1.5
+        with pytest.raises(TypeError):
+            x / 0.5
+        with pytest.raises(TypeError):
+            x + 0.5

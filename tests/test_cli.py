@@ -73,3 +73,38 @@ class TestExperimentsCommand:
         assert main(["experiments", "fig1"]) == 0
         out = capsys.readouterr().out
         assert "FIG1" in out
+
+    def test_jobs_output_identical(self, capsys):
+        assert main(["experiments", "fig1", "--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["experiments", "fig1", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_profile_emits_json(self, capsys):
+        import json
+
+        assert main(["experiments", "fig1", "--profile"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert "fm.fallback_drop" in payload["counters"]
+        assert payload["total_ops"] > 0
+        assert any(
+            st["hit_rate"] > 0 for st in payload["caches"].values()
+        )
+
+    def test_profile_sees_worker_activity(self, capsys):
+        """Perf stats from --jobs worker processes merge into --profile."""
+        import json
+
+        from repro import perf
+
+        perf.reset_all_caches()
+        perf.reset_counters()
+        assert main(["experiments", "fig1", "--jobs", "2", "--profile"]) == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["total_ops"] > 0
+        assert any(
+            st["hits"] > 0 for st in payload["caches"].values()
+        )

@@ -1,0 +1,32 @@
+# Developer entry points.  `make check` is the pre-merge gate: lint
+# (when the tools are installed), the full test suite, and the
+# benchmark regression gate against BENCH_baseline.json.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check lint test perfgate bench
+
+check: lint test perfgate
+
+lint:
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src tests benchmarks; \
+	else \
+		echo "lint: ruff not installed, skipping"; \
+	fi
+	@if command -v mypy >/dev/null 2>&1; then \
+		mypy; \
+	else \
+		echo "lint: mypy not installed, skipping"; \
+	fi
+
+test:
+	$(PYTHON) -m pytest tests/
+
+perfgate:
+	$(PYTHON) benchmarks/check_regression.py
+
+# re-record the micro-benchmark timings (compare with perfgate)
+bench:
+	$(PYTHON) -m pytest benchmarks/test_core_micro.py --benchmark-json BENCH_current.json

@@ -3,23 +3,39 @@
 Usage::
 
     python -m repro analyze FILE [--base] [--report] [--emit]
+                    [--cache DIR] [--profile]
+                    [--max-wall S] [--max-ops N] [--max-fm N]
     python -m repro run FILE [inputs...]
     python -m repro elpd FILE [inputs...]
     python -m repro experiments [fig1|tab1|tab2|tab3|figs|figo|all]
-                    [--jobs N] [--profile]
+                    [--jobs N] [--profile] [--cache DIR]
+    python -m repro serve [--jobs N] [--cache DIR] [--profile]
 
 ``analyze`` parses a mini-Fortran source file and prints the
 parallelization report (``--base`` switches to the non-predicated
 analysis; ``--emit`` additionally prints the two-version transformed
 source).  ``run`` interprets the program, reading ``read`` inputs from
 the command line.  ``elpd`` runs the dynamic oracle.  ``experiments``
-regenerates paper tables/figures.
+regenerates paper tables/figures.  ``serve`` is the JSON-lines analysis
+server (requests on stdin, one JSON result per line on stdout).
+
+``--cache DIR`` attaches the content-addressed procedure-summary cache;
+``--max-wall``/``--max-ops``/``--max-fm`` bound one request's resources
+(exhaustion degrades the answer soundly instead of failing).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _print_profile() -> None:
+    import json
+
+    from repro import perf
+
+    print(json.dumps(perf.snapshot(), indent=2, sort_keys=True))
 
 
 def _cmd_analyze(args) -> int:
@@ -30,16 +46,28 @@ def _cmd_analyze(args) -> int:
     from repro.lang.parser import parse_program
     from repro.lang.prettyprint import pretty
     from repro.partests.driver import analyze_program
+    from repro.service import Budget, budget_scope, default_cache
+    from repro.service import set_default_cache_dir
 
+    if args.cache:
+        set_default_cache_dir(args.cache)
     source = open(args.file).read()
     opts = AnalysisOptions.base() if args.base else AnalysisOptions.predicated()
     program = parse_program(source)
-    result = analyze_program(program, opts)
+    budget = Budget(
+        max_wall_s=args.max_wall,
+        max_ops=args.max_ops,
+        max_fm_constraints=args.max_fm,
+    )
+    with budget_scope(budget):
+        result = analyze_program(program, opts, cache=default_cache())
     print(format_report(result, title=args.file))
     if args.emit:
         plan = build_plan(result)
         print()
         print(pretty(transform_program(program, plan)))
+    if args.profile:
+        _print_profile()
     return 0
 
 
@@ -93,16 +121,32 @@ def _cmd_experiments(args) -> int:
         "figs": fig_speedups,
         "figo": fig_overhead,
     }
+    if args.cache:
+        from repro.service import set_default_cache_dir
+
+        set_default_cache_dir(args.cache)
     chosen = modules.values() if args.which == "all" else [modules[args.which]]
     for mod in chosen:
         print(mod.run(jobs=args.jobs).format())
         print()
     if args.profile:
+        _print_profile()
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.service.server import serve
+
+    serve(sys.stdin, sys.stdout, jobs=args.jobs, cache_dir=args.cache)
+    if args.profile:
         import json
 
         from repro import perf
 
-        print(json.dumps(perf.snapshot(), indent=2, sort_keys=True))
+        print(
+            json.dumps(perf.snapshot(), indent=2, sort_keys=True),
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -118,6 +162,39 @@ def main(argv=None) -> int:
     p.add_argument("--base", action="store_true", help="base analysis only")
     p.add_argument(
         "--emit", action="store_true", help="print two-version output"
+    )
+    p.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="content-addressed summary cache directory (reused across "
+        "runs; only edited procedures are re-analyzed)",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="append a JSON performance snapshot after the report",
+    )
+    p.add_argument(
+        "--max-wall",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock budget in seconds (exhaustion degrades soundly)",
+    )
+    p.add_argument(
+        "--max-ops",
+        type=int,
+        default=None,
+        metavar="N",
+        help="substrate-operation budget (see perf.total_ops)",
+    )
+    p.add_argument(
+        "--max-fm",
+        type=int,
+        default=None,
+        metavar="N",
+        help="Fourier-Motzkin bound-pair budget",
     )
     p.set_defaults(func=_cmd_analyze)
 
@@ -152,7 +229,40 @@ def main(argv=None) -> int:
         help="append a JSON performance snapshot (counters, phase timers, "
         "cache hit rates) after the tables",
     )
+    p.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="summary cache directory shared by the whole run (and by "
+        "worker processes under --jobs)",
+    )
     p.set_defaults(func=_cmd_experiments)
+
+    p = sub.add_parser(
+        "serve",
+        help="JSON-lines analysis server: requests on stdin, one JSON "
+        "result per line on stdout",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan requests over N worker processes (results stream in "
+        "request order)",
+    )
+    p.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="summary cache directory shared by all workers",
+    )
+    p.add_argument(
+        "--profile",
+        action="store_true",
+        help="write a JSON performance snapshot to stderr at EOF",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -21,13 +21,29 @@ region tree:
 For every loop the walker records a :class:`LoopSummary` carrying both
 the per-iteration body value and the projected loop value — the
 parallelization tests in :mod:`repro.partests` consume the former.
+
+Two serving-substrate hooks wrap the per-unit walk:
+
+* **summary cache** — with a :class:`~repro.service.cache.SummaryCache`,
+  each unit's summary is stored under a content key (canonical unit
+  source + callee keys + options); a warm run loads and *rebinds* the
+  summary to the current AST instead of re-walking the unit.  Fresh
+  generated names are drawn from a per-unit source so a unit's summary
+  is a pure function of its key — cached and recomputed summaries are
+  structurally identical.
+* **budgets** — when the active :class:`~repro.service.budgets.Budget`
+  trips mid-unit, the unit degrades to the conservative whole-array
+  summary from :mod:`repro.service.degrade` (sound, never stored in the
+  cache) instead of crashing; callers of a degraded unit are tainted and
+  bypass the cache store as well.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
+from repro import perf
 from repro.arraydf.embedding import (
     embed_into_summary,
     split_guard_cases,
@@ -76,6 +92,8 @@ from repro.predicates.formula import Predicate, TRUE, p_and
 from repro.regions.region import ArrayRegion
 from repro.regions.reshape import CallContext, translate_summary_set
 from repro.regions.summary import SummarySet
+from repro.service.budgets import BudgetExceeded, checkpoint
+from repro.service.cache import SummaryCache, unit_key
 from repro.symbolic.affine import AffineExpr
 from repro.symbolic.terms import FreshNameSource
 
@@ -109,7 +127,12 @@ class UnitSummary:
 class ArrayDataflow:
     """The interprocedural array data-flow analysis."""
 
-    def __init__(self, program: Program, opts: Optional[AnalysisOptions] = None):
+    def __init__(
+        self,
+        program: Program,
+        opts: Optional[AnalysisOptions] = None,
+        cache: Optional[SummaryCache] = None,
+    ):
         self.opts = opts or AnalysisOptions.predicated()
         if self.opts.scalar_propagation:
             from repro.ir.scalarprop import propagate_scalars
@@ -122,6 +145,13 @@ class ArrayDataflow:
         }
         self.fresh = FreshNameSource()
         self.units: Dict[str, UnitSummary] = {}
+        self.cache = cache
+        #: content key per analyzed unit (filled even without a cache
+        #: only when one is attached; callers use it for decision caching)
+        self.unit_keys: Dict[str, str] = {}
+        #: units whose summary (or a callee's) was budget-degraded;
+        #: their results are conservative and must never be cached
+        self.tainted_units: Set[str] = set()
         self._stats = {"feasibility_calls": 0}
 
     # ------------------------------------------------------------------
@@ -129,8 +159,90 @@ class ArrayDataflow:
     # ------------------------------------------------------------------
     def run(self) -> "ArrayDataflow":
         for name in self.callgraph.bottom_up_order():
-            self.units[name] = self._analyze_unit(self.program.units[name])
+            self.units[name] = self._run_unit(name)
         return self
+
+    def _run_unit(self, name: str) -> UnitSummary:
+        """Analyze one unit via the cache/budget wrapper.
+
+        Summaries are keyed by canonical unit source + callee keys +
+        options; a hit is *rebound* to the current parse (AST node ids
+        are program-wide, so cached loop values are matched back to the
+        current loops by their per-unit deterministic labels).  A
+        :class:`BudgetExceeded` raised anywhere under the walk demotes
+        the unit to the conservative whole-array summary — sound, and
+        marked tainted so neither it nor its callers reach the cache.
+        """
+        unit = self.program.units[name]
+        tainted = any(
+            c in self.tainted_units for c in self.callgraph.callees(name)
+        )
+        key = None
+        if self.cache is not None:
+            from repro.lang.prettyprint import unit_str
+
+            callee_keys = [
+                (c, self.unit_keys.get(c, f"missing:{c}"))
+                for c in sorted(self.callgraph.callees(name))
+            ]
+            key = unit_key(unit_str(unit), callee_keys, self.opts)
+            self.unit_keys[name] = key
+            if not tainted:
+                payload = self.cache.load(key, "summary")
+                if payload is not None:
+                    rebound = self._rebind_summary(payload, unit)
+                    if rebound is not None:
+                        return rebound
+        # fresh names are per-unit so a summary is a pure function of
+        # (unit source, callee summaries, options) — a cache requirement
+        self.fresh = FreshNameSource()
+        try:
+            checkpoint()
+            with perf.analysis_context(name):
+                summary = self._analyze_unit(unit)
+        except BudgetExceeded:
+            from repro.service.degrade import conservative_unit_summary
+
+            perf.bump("budget.degraded_unit")
+            self.tainted_units.add(name)
+            return conservative_unit_summary(
+                unit, self.symtabs[name], self.opts
+            )
+        if tainted:
+            self.tainted_units.add(name)
+        elif self.cache is not None and key is not None:
+            self.cache.store(key, "summary", _summary_payload(summary))
+        return summary
+
+    def _rebind_summary(self, payload, unit) -> Optional[UnitSummary]:
+        """Reattach a cached summary payload to the current parse.
+
+        The payload carries only interned symbolic values keyed by loop
+        label; the syntactic parts (region tree, loop info) are cheap
+        and recomputed so every AST reference points into *this* parse.
+        Returns ``None`` (treated as a miss) on any shape mismatch.
+        """
+        try:
+            proc_value, loop_rows = payload
+        except (TypeError, ValueError):
+            return None
+        proc = build_region_tree(unit)
+        info = collect_loop_info(proc)
+        by_label = {loop.label: loop for loop in info}
+        summary = UnitSummary(unit.name, proc_value, {}, info)
+        for label, body_value, loop_value, path_pred in loop_rows:
+            loop = by_label.get(label)
+            if loop is None:
+                return None
+            summary.loops[loop] = LoopSummary(
+                loop=loop,
+                info=info[loop],
+                body_value=body_value,
+                loop_value=loop_value,
+                unit_name=unit.name,
+                path_pred=path_pred,
+            )
+        return summary
 
     def all_loop_summaries(self) -> List[LoopSummary]:
         out: List[LoopSummary] = []
@@ -531,6 +643,21 @@ class ArrayDataflow:
                 GuardedSummary(TRUE, body.r.project_may(index, space))
             )
         return out
+
+
+def _summary_payload(summary: UnitSummary):
+    """The cacheable projection of a :class:`UnitSummary`.
+
+    Only interned symbolic values go to disk — AST and region objects
+    stay out (their node ids are program-wide, so they could not be
+    reused by another parse anyway).  Loop rows keep the walker's
+    post-order so a rebound summary reports loops in the same order.
+    """
+    loop_rows = [
+        (ls.label, ls.body_value, ls.loop_value, ls.path_pred)
+        for ls in summary.loops.values()
+    ]
+    return (summary.proc_value, loop_rows)
 
 
 def _drop_arrays_from_value(value: AccessValue, arrays: List[str]) -> AccessValue:

@@ -16,7 +16,14 @@ WIN_STATUSES = ("parallel", "parallel_private", "runtime")
 
 @lru_cache(maxsize=None)
 def analyzed(name: str, config: str) -> ProgramResult:
-    """Memoized driver run for one (program, configuration)."""
+    """Memoized driver run for one (program, configuration).
+
+    When a default summary cache is configured (``--cache DIR`` or the
+    ``REPRO_CACHE_DIR`` environment variable, which worker processes
+    inherit) the driver reuses on-disk procedure summaries; the tables
+    built from the results are byte-identical either way.
+    """
+    from repro.service import default_cache
     from repro.suites import get_program
 
     options = {
@@ -29,7 +36,9 @@ def analyzed(name: str, config: str) -> ProgramResult:
             interprocedural=False
         ),
     }[config]
-    return analyze_program(get_program(name).fresh_program(), options)
+    return analyze_program(
+        get_program(name).fresh_program(), options, cache=default_cache()
+    )
 
 
 def format_table(

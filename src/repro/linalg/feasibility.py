@@ -16,10 +16,12 @@ from functools import lru_cache
 from repro import perf
 from repro.linalg.fourier_motzkin import eliminate_all
 from repro.linalg.system import LinearSystem
+from repro.service.budgets import checkpoint
 
 
 @lru_cache(maxsize=16384)
 def _feasible_cached(system: LinearSystem) -> bool:
+    checkpoint()
     perf.bump("feasibility.ground")
     if system.is_universe():
         return True

@@ -29,6 +29,7 @@ from typing import Iterable, List, Tuple
 from repro import perf
 from repro.linalg.constraint import Constraint, Rel
 from repro.linalg.system import LinearSystem
+from repro.service.budgets import charge_fm
 
 # Pair-combination blowup guard: systems beyond this many constraints fall
 # back to dropping the variable's constraints entirely (a coarser but still
@@ -45,29 +46,37 @@ _ELIM_ALL = perf.memo_table("fm.eliminate_all")
 
 perf.declare("fm.fallback_drop")
 
-_warned_fallback = False
+#: analysis-context labels (procedure / loop) already warned about; the
+#: warning fires once per context, further drops there only count
+_warned_contexts: set = set()
 
 
 def _reset_warned() -> None:
-    global _warned_fallback
-    _warned_fallback = False
+    _warned_contexts.clear()
 
 
 perf.on_reset(_reset_warned)
 
 
 def _note_fallback(var: str, n_pairs: int) -> None:
-    """Record (and warn once about) a precision-losing fallback drop."""
-    global _warned_fallback
+    """Record a precision-losing fallback drop.
+
+    Drops are attributed to the procedure/loop being analyzed via the
+    perf analysis-context stack: one warning per context (not one per FM
+    call), with per-context totals in the ``fm.fallback_drop[<ctx>]``
+    counters that ``--profile`` reports.
+    """
+    ctx = perf.current_context()
     perf.bump("fm.fallback_drop")
-    if not _warned_fallback:
-        _warned_fallback = True
+    perf.bump(f"fm.fallback_drop[{ctx}]")
+    if ctx not in _warned_contexts:
+        _warned_contexts.add(ctx)
         warnings.warn(
-            "Fourier-Motzkin elimination of %r would combine %d bound pairs "
-            "(> %d); dropping the variable's constraints instead. The result "
-            "is a sound superset but loses precision. Further occurrences "
-            "are counted in perf counter 'fm.fallback_drop' without warning."
-            % (var, n_pairs, MAX_CONSTRAINTS * 4),
+            "Fourier-Motzkin elimination of %r in %s would combine %d bound "
+            "pairs (> %d); dropping the variable's constraints instead. The "
+            "result is a sound superset but loses precision. Further drops "
+            "here are counted in perf counter 'fm.fallback_drop[%s]' "
+            "without warning." % (var, ctx, n_pairs, MAX_CONSTRAINTS * 4, ctx),
             RuntimeWarning,
             stacklevel=3,
         )
@@ -158,6 +167,7 @@ def _eliminate_uncached(system: LinearSystem, var: str) -> LinearSystem:
         _note_fallback(var, n_pairs)
         return LinearSystem(others)
 
+    charge_fm(n_pairs)
     combined: List[Constraint] = list(others)
     for lo in lowers:
         a_lo = lo.expr.coeff(var)  # negative

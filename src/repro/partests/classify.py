@@ -59,9 +59,12 @@ def classify_wins(
     *program_factory* must return a fresh AST per call (analyses do not
     mutate, but fresh parses keep the runs independent).
     """
+    from repro.service.cache import default_cache
+
+    cache = default_cache()
     opts = opts or AnalysisOptions.predicated()
-    base = analyze_program(program_factory(), AnalysisOptions.base())
-    pred = analyze_program(program_factory(), opts)
+    base = analyze_program(program_factory(), AnalysisOptions.base(), cache=cache)
+    pred = analyze_program(program_factory(), opts, cache=cache)
     base_status = {l.label: l.status for l in base.loops}
     wins = [
         l
@@ -75,7 +78,7 @@ def classify_wins(
 
     ablated_status: Dict[str, Dict[str, str]] = {}
     for feature, strip in ABLATIONS.items():
-        res = analyze_program(program_factory(), strip(opts))
+        res = analyze_program(program_factory(), strip(opts), cache=cache)
         ablated_status[feature] = {l.label: l.status for l in res.loops}
 
     out: List[LoopClassification] = []

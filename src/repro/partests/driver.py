@@ -18,6 +18,16 @@ summarize.  For every loop it reports one of:
 
 Loops nested inside a loop already parallelized at an outer level are
 flagged ``enclosed`` (SUIF exploits a single level of parallelism).
+
+The driver carries the serving-substrate hooks through the pipeline:
+
+* a :class:`~repro.service.cache.SummaryCache` is handed to the
+  data-flow walker and additionally caches per-unit *decisions* (the
+  dependence/privatization outcomes) under the same content keys;
+* a tripped :class:`~repro.service.budgets.Budget` demotes the loop
+  being decided to ``serial`` ("not proven parallel") instead of
+  aborting the request — sound, counted in ``budget.degraded_loop``,
+  and never written back to the cache.
 """
 
 from __future__ import annotations
@@ -37,6 +47,8 @@ from repro.partests.runtime_tests import (
     test_cost,
 )
 from repro.predicates.formula import Predicate, TRUE
+from repro.service.budgets import BudgetExceeded
+from repro.service.cache import SummaryCache, program_key
 
 
 @dataclass
@@ -111,28 +123,136 @@ class ParallelizationDriver:
     """Runs the full pipeline for one program."""
 
     def __init__(
-        self, program: Program, opts: Optional[AnalysisOptions] = None
+        self,
+        program: Program,
+        opts: Optional[AnalysisOptions] = None,
+        cache: Optional[SummaryCache] = None,
     ) -> None:
         self.program = program
         self.opts = opts or AnalysisOptions.predicated()
+        self.cache = cache
+        self._degraded = False
 
     def run(self) -> ProgramResult:
         start = time.perf_counter()
+        # program-level fast path: when nothing changed, one load covers
+        # the whole pipeline (no scalar propagation, no data-flow walk);
+        # an edit anywhere falls through to the per-unit incremental path
+        pkey = None
+        if self.cache is not None:
+            pkey = program_key(self.program, self.opts)
+            payload = self.cache.load(pkey, "program")
+            if payload is not None:
+                with perf.phase("driver.rebind"):
+                    result = self._rebind_program(payload)
+                if result is not None:
+                    result.analysis_seconds = time.perf_counter() - start
+                    return result
+
         with perf.phase("driver.arraydf"):
-            dataflow = ArrayDataflow(self.program, self.opts).run()
+            dataflow = ArrayDataflow(
+                self.program, self.opts, cache=self.cache
+            ).run()
         result = ProgramResult(self.program, self.opts)
 
+        unit_rows: List = []
         with perf.phase("driver.decide"):
             for unit_name, unit in self.program.units.items():
                 summary = dataflow.units[unit_name]
                 symtab = dataflow.symtabs[unit_name]
-                for loop, loop_summary in summary.loops.items():
-                    result.loops.append(
-                        self._decide(loop_summary, symtab)
-                    )
+                decided = self._decide_unit(
+                    dataflow, unit_name, summary, symtab
+                )
+                unit_rows.append((unit_name, decided))
+                result.loops.extend(decided)
             self._mark_enclosed(result)
+        if (
+            self.cache is not None
+            and not self._degraded
+            and not dataflow.tainted_units
+        ):
+            self.cache.store(
+                pkey,
+                "program",
+                [(name, _decision_rows(rows)) for name, rows in unit_rows],
+            )
         result.analysis_seconds = time.perf_counter() - start
         return result
+
+    def _rebind_program(self, payload) -> Optional[ProgramResult]:
+        """Reattach a cached whole-program payload to the current parse.
+
+        Loop decisions are matched by label against the *unpropagated*
+        program (labels are stable across scalar propagation); the
+        ``enclosed`` flags are derived state and recomputed.  Returns
+        ``None`` — a miss — on any shape mismatch.
+        """
+        result = ProgramResult(self.program, self.opts)
+        try:
+            if len(payload) != len(self.program.units):
+                return None
+            for unit_name, rows in payload:
+                unit = self.program.units.get(unit_name)
+                if unit is None:
+                    return None
+                loops_by_label = {
+                    s.label: s
+                    for s in walk_stmts(unit.body)
+                    if isinstance(s, DoLoop)
+                }
+                rebound = _rebind_rows(rows, loops_by_label, {}, unit_name)
+                if rebound is None:
+                    return None
+                result.loops.extend(rebound)
+        except (TypeError, ValueError):
+            return None
+        self._mark_enclosed(result)
+        return result
+
+    def _decide_unit(
+        self, dataflow: ArrayDataflow, unit_name: str, summary, symtab
+    ) -> List[LoopResult]:
+        """Decide every loop of one unit, via the decisions cache.
+
+        Decisions are a pure function of the unit's summary key (they
+        read only the loop summaries, the symbol table and the options),
+        so they share it.  Budget-degraded loops — and every loop of a
+        unit whose summary was degraded — stay out of the cache.
+        """
+        key = dataflow.unit_keys.get(unit_name)
+        cacheable = (
+            self.cache is not None
+            and key is not None
+            and unit_name not in dataflow.tainted_units
+        )
+        if cacheable:
+            rows = self.cache.load(key, "decisions")
+            if rows is not None:
+                rebound = _rebind_decisions(rows, summary, unit_name)
+                if rebound is not None:
+                    return rebound
+        out: List[LoopResult] = []
+        degraded = False
+        for loop, loop_summary in summary.loops.items():
+            try:
+                with perf.analysis_context(loop_summary.label):
+                    out.append(self._decide(loop_summary, symtab))
+            except BudgetExceeded:
+                perf.bump("budget.degraded_loop")
+                degraded = self._degraded = True
+                out.append(
+                    LoopResult(
+                        label=loop.label,
+                        unit=unit_name,
+                        loop=loop,
+                        status="serial",
+                        reason="budget exhausted: not proven parallel",
+                        depth=loop_summary.info.region.loop_depth(),
+                    )
+                )
+        if cacheable and not degraded:
+            self.cache.store(key, "decisions", _decision_rows(out))
+        return out
 
     # ------------------------------------------------------------------
     def _decide(self, summary: LoopSummary, symtab) -> LoopResult:
@@ -226,8 +346,104 @@ class ParallelizationDriver:
                 l.enclosed = True
 
 
+def _decision_rows(results: List[LoopResult]) -> list:
+    """The cacheable projection of one unit's loop decisions.
+
+    AST references (``loop``) and the verdict's loop summary stay out;
+    everything else is either plain data or interned symbolic values.
+    """
+    rows = []
+    for r in results:
+        verdict_data = None
+        if r.verdict is not None:
+            v = r.verdict
+            verdict_data = (
+                v.array_verdicts,
+                v.scalar_obstacles,
+                v.reduction_scalars,
+                v.private_scalars,
+            )
+        rows.append(
+            {
+                "label": r.label,
+                "status": r.status,
+                "condition": r.condition,
+                "runtime_test": r.runtime_test,
+                "runtime_cost": r.runtime_cost,
+                "private_arrays": r.private_arrays,
+                "private_scalars": r.private_scalars,
+                "reduction_scalars": r.reduction_scalars,
+                "reason": r.reason,
+                "depth": r.depth,
+                "verdict": verdict_data,
+            }
+        )
+    return rows
+
+
+def _rebind_rows(
+    rows, loops_by_label: Dict[str, DoLoop], summaries_by_label, unit_name: str
+) -> Optional[List[LoopResult]]:
+    """Reattach cached decision rows to the current parse's loops.
+
+    ``summaries_by_label`` supplies the rebound :class:`LoopSummary` per
+    label where available (the per-unit path); the program-level path
+    passes ``{}`` and verdicts carry no summary.  Returns ``None`` —
+    treated as a cache miss — on any shape mismatch.
+    """
+    if not isinstance(rows, list) or len(rows) != len(loops_by_label):
+        return None
+    out: List[LoopResult] = []
+    try:
+        for row in rows:
+            loop = loops_by_label.get(row["label"])
+            if loop is None:
+                return None
+            verdict = None
+            if row["verdict"] is not None:
+                verdicts, obstacles, reductions, privates = row["verdict"]
+                verdict = LoopVerdict(
+                    summary=summaries_by_label.get(row["label"]),
+                    array_verdicts=verdicts,
+                    scalar_obstacles=obstacles,
+                    reduction_scalars=reductions,
+                    private_scalars=privates,
+                )
+            out.append(
+                LoopResult(
+                    label=row["label"],
+                    unit=unit_name,
+                    loop=loop,
+                    status=row["status"],
+                    condition=row["condition"],
+                    runtime_test=row["runtime_test"],
+                    runtime_cost=row["runtime_cost"],
+                    private_arrays=list(row["private_arrays"]),
+                    private_scalars=list(row["private_scalars"]),
+                    reduction_scalars=list(row["reduction_scalars"]),
+                    reason=row["reason"],
+                    depth=row["depth"],
+                    verdict=verdict,
+                )
+            )
+    except (KeyError, TypeError, ValueError):
+        return None
+    return out
+
+
+def _rebind_decisions(
+    rows, summary, unit_name: str
+) -> Optional[List[LoopResult]]:
+    """Per-unit rebind: match against the unit's (rebound) summaries."""
+    summaries_by_label = {ls.label: ls for ls in summary.loops.values()}
+    loops_by_label = {l: ls.loop for l, ls in summaries_by_label.items()}
+    return _rebind_rows(rows, loops_by_label, summaries_by_label, unit_name)
+
+
 def analyze_program(
-    program: Program, opts: Optional[AnalysisOptions] = None
+    program: Program,
+    opts: Optional[AnalysisOptions] = None,
+    cache: Optional[SummaryCache] = None,
 ) -> ProgramResult:
     """One-call convenience wrapper."""
-    return ParallelizationDriver(program, opts).run()
+    return ParallelizationDriver(program, opts, cache=cache).run()

@@ -15,8 +15,10 @@ from repro.perf.counters import (
     MISS,
     Memo,
     absorb_snapshot,
+    analysis_context,
     bump,
     counter,
+    current_context,
     declare,
     memo_table,
     on_reset,
@@ -34,8 +36,10 @@ __all__ = [
     "MISS",
     "Memo",
     "absorb_snapshot",
+    "analysis_context",
     "bump",
     "counter",
+    "current_context",
     "declare",
     "memo_table",
     "on_reset",

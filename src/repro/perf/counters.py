@@ -72,6 +72,10 @@ _counters: Dict[str, int] = {}
 _phases: Dict[str, float] = {}
 #: cache statistics absorbed from worker processes (name -> hits/misses/size)
 _foreign: Dict[str, Dict[str, float]] = {}
+#: stack of analysis-context labels ("unit:Ln" / "unit:<proc>"); the top
+#: entry attributes substrate events (FM fallback drops, budget trips) to
+#: the procedure/loop being analyzed
+_context: List[str] = []
 
 
 def memo_table(name: str) -> Memo:
@@ -201,6 +205,28 @@ def absorb_snapshot(snap: Dict) -> None:
         agg = _foreign.setdefault(name, {"hits": 0, "misses": 0, "size": 0})
         for k in ("hits", "misses", "size"):
             agg[k] += stats.get(k, 0)
+
+
+@contextmanager
+def analysis_context(label: str) -> Iterator[None]:
+    """Attribute substrate events to *label* while the block runs.
+
+    The analysis walker pushes ``unit:<proc>`` around each procedure and
+    the driver pushes the loop label around each loop decision, so
+    low-level kernels (Fourier–Motzkin) can report *where* a
+    precision-losing event happened without depending on the layers
+    above them.
+    """
+    _context.append(label)
+    try:
+        yield
+    finally:
+        _context.pop()
+
+
+def current_context() -> str:
+    """The innermost analysis-context label, or ``"<toplevel>"``."""
+    return _context[-1] if _context else "<toplevel>"
 
 
 @contextmanager

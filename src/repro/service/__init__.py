@@ -1,0 +1,53 @@
+"""The serving substrate: budgets, the summary cache, and the server.
+
+This package turns the one-shot analysis pipeline into something a
+long-lived service can run safely:
+
+:mod:`repro.service.budgets`
+    Per-request resource budgets (wall clock, substrate operations,
+    Fourier–Motzkin work) and the :class:`BudgetExceeded` signal the
+    analysis layers translate into *graceful degradation* — a
+    conservative, still-sound answer instead of a crash.
+
+:mod:`repro.service.cache`
+    A content-addressed, on-disk procedure-summary cache.  Keys hash the
+    canonical source text of a procedure, the keys of its callees and the
+    analysis options, so re-analyzing a suite (or a program with one
+    edited procedure) recomputes only the dirty subtree of the call
+    graph, byte-identical to a cold run.
+
+:mod:`repro.service.degrade`
+    The conservative fallbacks budgets demote to: whole-array
+    read/write procedure summaries and "not proven parallel" loops.
+
+:mod:`repro.service.server`
+    A JSON-lines batch/server front end (``python -m repro serve``) that
+    fans requests over the experiment worker pool and streams results.
+
+Only the light, dependency-free modules are imported eagerly so the
+substrate layers (``repro.linalg``) can use the budget hooks without an
+import cycle; import :mod:`repro.service.server` explicitly where
+needed.
+"""
+
+from repro.service.budgets import (
+    Budget,
+    BudgetExceeded,
+    active_budget,
+    budget_scope,
+    charge_fm,
+    checkpoint,
+)
+from repro.service.cache import SummaryCache, default_cache, set_default_cache_dir
+
+__all__ = [
+    "Budget",
+    "BudgetExceeded",
+    "SummaryCache",
+    "active_budget",
+    "budget_scope",
+    "charge_fm",
+    "checkpoint",
+    "default_cache",
+    "set_default_cache_dir",
+]

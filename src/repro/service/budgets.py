@@ -1,0 +1,203 @@
+"""Per-request resource budgets and the degradation signal.
+
+A :class:`Budget` bounds how much work one analysis request may spend:
+
+``max_wall_s``
+    wall-clock seconds for the whole request;
+``max_ops``
+    deterministic substrate operations (:func:`repro.perf.total_ops`
+    delta) — the machine-independent cost measure FIGO uses;
+``max_fm_constraints``
+    cumulative Fourier–Motzkin work (bound-pair combinations charged by
+    :func:`charge_fm` in :mod:`repro.linalg.fourier_motzkin`).
+
+The substrate layers call :func:`checkpoint` / :func:`charge_fm` at
+their entry points; when the active budget is exhausted they raise
+:class:`BudgetExceeded`.  The analysis layers catch it at two
+granularities and *degrade instead of failing*:
+
+* :class:`~repro.arraydf.analysis.ArrayDataflow` demotes the procedure
+  being analyzed to a conservative whole-array summary
+  (:mod:`repro.service.degrade`);
+* the parallelization driver demotes the loop being decided to
+  ``serial`` ("not proven parallel").
+
+Both demotions are sound — they only ever move answers toward "not
+parallel" — and both bump a ``budget.*`` counter surfaced by
+``--profile``.  A budget keeps raising while exhausted (checks are
+cheap), so after the first trip every remaining unit/loop degrades
+quickly rather than continuing to burn the request's time.
+
+The module is intentionally light (stdlib + :mod:`repro.perf` only) so
+the linear-algebra substrate can import it without cycles.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro import perf
+
+perf.declare("budget.trip.wall")
+perf.declare("budget.trip.ops")
+perf.declare("budget.trip.fm")
+perf.declare("budget.degraded_unit")
+perf.declare("budget.degraded_loop")
+
+
+class BudgetExceeded(RuntimeError):
+    """A resource budget ran out; carriers catch this and degrade."""
+
+    def __init__(self, kind: str, detail: str = "") -> None:
+        self.kind = kind
+        self.detail = detail
+        message = f"{kind} budget exhausted"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(message)
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Resource limits for one analysis request (``None`` = unlimited)."""
+
+    max_wall_s: Optional[float] = None
+    max_ops: Optional[int] = None
+    max_fm_constraints: Optional[int] = None
+
+    @staticmethod
+    def unlimited() -> "Budget":
+        return Budget()
+
+    @staticmethod
+    def from_dict(data: Optional[Dict]) -> "Budget":
+        """Build from a request payload; unknown keys are ignored."""
+        if not data:
+            return Budget()
+        return Budget(
+            max_wall_s=data.get("max_wall_s"),
+            max_ops=data.get("max_ops"),
+            max_fm_constraints=data.get("max_fm_constraints"),
+        )
+
+    @property
+    def is_unlimited(self) -> bool:
+        return (
+            self.max_wall_s is None
+            and self.max_ops is None
+            and self.max_fm_constraints is None
+        )
+
+
+class _ActiveBudget:
+    """Book-keeping for the budget currently in scope."""
+
+    __slots__ = ("budget", "started", "ops_base", "fm_spent", "trips")
+
+    def __init__(self, budget: Budget) -> None:
+        self.budget = budget
+        self.started = time.perf_counter()
+        self.ops_base = perf.total_ops()
+        self.fm_spent = 0
+        self.trips: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def _trip(self, kind: str, detail: str) -> None:
+        first = kind not in self.trips
+        self.trips[kind] = self.trips.get(kind, 0) + 1
+        if first:
+            perf.bump(f"budget.trip.{kind}")
+        raise BudgetExceeded(kind, detail)
+
+    def checkpoint(self) -> None:
+        b = self.budget
+        if b.max_wall_s is not None:
+            used = time.perf_counter() - self.started
+            if used > b.max_wall_s:
+                self._trip("wall", f"{used:.3f}s > {b.max_wall_s}s")
+        if b.max_ops is not None:
+            used_ops = perf.total_ops() - self.ops_base
+            if used_ops > b.max_ops:
+                self._trip("ops", f"{used_ops} > {b.max_ops}")
+
+    def charge_fm(self, amount: int) -> None:
+        b = self.budget
+        if b.max_fm_constraints is None:
+            self.checkpoint()
+            return
+        self.fm_spent += amount
+        if self.fm_spent > b.max_fm_constraints:
+            self._trip(
+                "fm", f"{self.fm_spent} > {b.max_fm_constraints} constraints"
+            )
+        self.checkpoint()
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.trips)
+
+
+#: the budget in scope for the current request (process-local; worker
+#: processes activate their own scope from the request payload)
+_active: Optional[_ActiveBudget] = None
+
+
+def active_budget() -> Optional[_ActiveBudget]:
+    """The active budget book-keeping, or ``None``."""
+    return _active
+
+
+@contextmanager
+def budget_scope(budget: Optional[Budget]) -> Iterator[Optional[_ActiveBudget]]:
+    """Activate *budget* for the dynamic extent of the block.
+
+    ``None`` or an unlimited budget leaves enforcement off (zero
+    overhead in the substrate hot paths).  Scopes nest; the inner scope
+    wins while active.
+    """
+    global _active
+    if budget is None or budget.is_unlimited:
+        yield None
+        return
+    previous = _active
+    _active = _ActiveBudget(budget)
+    try:
+        yield _active
+    finally:
+        _active = previous
+
+
+@contextmanager
+def suspended() -> Iterator[None]:
+    """Disable budget enforcement for the block.
+
+    The degradation paths run under an *exhausted* budget by definition;
+    the (cheap, bounded) work of building a conservative fallback must
+    not re-trip it.
+    """
+    global _active
+    previous = _active
+    _active = None
+    try:
+        yield
+    finally:
+        _active = previous
+
+
+def checkpoint() -> None:
+    """Raise :class:`BudgetExceeded` if the active budget ran out.
+
+    Cheap no-op without an active budget; hot substrate entry points
+    (feasibility tests, FM elimination) call this.
+    """
+    if _active is not None:
+        _active.checkpoint()
+
+
+def charge_fm(amount: int) -> None:
+    """Charge *amount* units of Fourier–Motzkin work to the budget."""
+    if _active is not None:
+        _active.charge_fm(amount)

@@ -1,0 +1,186 @@
+"""JSON-lines batch/server front end.
+
+``python -m repro serve`` reads one analysis request per line from
+stdin and writes one JSON result per line to stdout, in request order.
+With ``--jobs N`` requests fan out over the experiment worker pool (the
+same fork-preferred, order-preserving machinery as ``experiments
+--jobs``) through a sliding window, so results stream while later
+requests are still being read.
+
+Request object::
+
+    {"id": 7,                      # echoed back verbatim (optional)
+     "source": "program p\\n...",   # inline source text, or:
+     "file": "path/to/prog.f",     # read from disk (worker-side)
+     "options": "predicated",      # or "base" (default "predicated")
+     "budget": {"max_wall_s": 1.0, # optional per-request budget
+                "max_ops": 100000,
+                "max_fm_constraints": 20000},
+     "report": false}              # include the formatted text report
+
+Response object::
+
+    {"id": 7, "ok": true, "program": "p",
+     "degraded": false,            # any budget demotion happened
+     "loops": [{"label": "p:L1", "unit": "p", "status": "parallel",
+                "condition": null, "runtime_test": null, "reason": "",
+                "enclosed": false}, ...]}
+
+A failed request answers ``{"id": ..., "ok": false, "error": "..."}``
+on its own line — one bad request never takes down the server or the
+batch.  Budget exhaustion is *not* a failure: it degrades the answer
+(sound, ``"degraded": true``) and the server keeps going.
+
+The cache directory configured via ``--cache`` (or the
+``REPRO_CACHE_DIR`` environment variable) is shared by every worker, so
+a long-lived server warms it monotonically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional, TextIO
+
+from repro import perf
+from repro.service.budgets import Budget, budget_scope
+from repro.service.cache import default_cache
+
+#: degradation counters summed to decide a request's ``degraded`` flag
+_DEGRADE_COUNTERS = ("budget.degraded_unit", "budget.degraded_loop")
+
+
+def _options_named(name: str):
+    from repro.arraydf.options import AnalysisOptions
+
+    if name == "base":
+        return AnalysisOptions.base()
+    if name == "predicated":
+        return AnalysisOptions.predicated()
+    raise ValueError(f"unknown options {name!r} (use 'predicated' or 'base')")
+
+
+def handle_request(req: Dict) -> Dict:
+    """Analyze one request dict into one response dict (never raises)."""
+    rid = req.get("id")
+    try:
+        source = req.get("source")
+        if source is None:
+            path = req.get("file")
+            if path is None:
+                raise ValueError("request needs 'source' or 'file'")
+            with open(path) as f:
+                source = f.read()
+        opts = _options_named(req.get("options", "predicated"))
+        budget = Budget.from_dict(req.get("budget"))
+
+        from repro.lang.parser import parse_program
+        from repro.partests.driver import analyze_program
+
+        program = parse_program(source)
+        before = sum(perf.counter(c) for c in _DEGRADE_COUNTERS)
+        with budget_scope(budget):
+            result = analyze_program(program, opts, cache=default_cache())
+        degraded = sum(perf.counter(c) for c in _DEGRADE_COUNTERS) > before
+
+        loops = [
+            {
+                "label": l.label,
+                "unit": l.unit,
+                "status": l.status,
+                "condition": (
+                    None
+                    if l.condition is None or l.condition.is_true()
+                    else str(l.condition)
+                ),
+                "runtime_test": l.runtime_test,
+                "reason": l.reason,
+                "enclosed": l.enclosed,
+            }
+            for l in result.loops
+        ]
+        resp: Dict = {
+            "id": rid,
+            "ok": True,
+            "program": program.main,
+            "degraded": degraded,
+            "loops": loops,
+        }
+        if req.get("report"):
+            from repro.codegen.report import format_report
+
+            resp["report"] = format_report(result)
+        return resp
+    except Exception as exc:  # one bad request must not kill the batch
+        return {"id": rid, "ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+
+def _handle_line(line: str) -> Dict:
+    try:
+        req = json.loads(line)
+    except ValueError as exc:
+        return {"id": None, "ok": False, "error": f"bad JSON: {exc}"}
+    if not isinstance(req, dict):
+        return {"id": None, "ok": False, "error": "request must be an object"}
+    return handle_request(req)
+
+
+def _instrumented_line(line: str):
+    """Worker-side wrapper: response plus this process's perf state."""
+    return os.getpid(), _handle_line(line), perf.snapshot()
+
+
+def _emit(out: TextIO, resp: Dict) -> None:
+    out.write(json.dumps(resp, sort_keys=True) + "\n")
+    out.flush()
+
+
+def serve(
+    in_stream: TextIO,
+    out_stream: TextIO,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+) -> int:
+    """Run the JSON-lines loop until EOF; returns the request count."""
+    if cache_dir is not None:
+        from repro.service.cache import set_default_cache_dir
+
+        set_default_cache_dir(cache_dir)
+
+    lines = (l for l in in_stream if l.strip())
+    count = 0
+    if jobs <= 1:
+        for line in lines:
+            _emit(out_stream, _handle_line(line))
+            count += 1
+        return count
+
+    from collections import deque
+    from concurrent.futures import ProcessPoolExecutor
+    import multiprocessing as mp
+
+    methods = mp.get_all_start_methods()
+    ctx = mp.get_context("fork" if "fork" in methods else None)
+    base = perf.snapshot()
+    per_worker: Dict[int, Dict] = {}
+
+    def absorb(future) -> Dict:
+        pid, resp, snap = future.result()
+        seen = per_worker.get(pid)
+        per_worker[pid] = snap if seen is None else perf.snapshot_max(seen, snap)
+        return resp
+
+    with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
+        window: deque = deque()
+        for line in lines:
+            window.append(pool.submit(_instrumented_line, line))
+            # keep the pool busy but stream strictly in request order
+            while window and (window[0].done() or len(window) >= 2 * jobs):
+                _emit(out_stream, absorb(window.popleft()))
+                count += 1
+        while window:
+            _emit(out_stream, absorb(window.popleft()))
+            count += 1
+    for snap in per_worker.values():
+        perf.absorb_snapshot(perf.snapshot_delta(snap, base))
+    return count

@@ -1,0 +1,109 @@
+"""Unit tests for the per-request resource budgets."""
+
+import time
+
+import pytest
+
+from repro import perf
+from repro.service.budgets import (
+    Budget,
+    BudgetExceeded,
+    active_budget,
+    budget_scope,
+    charge_fm,
+    checkpoint,
+    suspended,
+)
+
+
+class TestBudget:
+    def test_unlimited_by_default(self):
+        assert Budget().is_unlimited
+        assert Budget.unlimited().is_unlimited
+
+    def test_from_dict(self):
+        b = Budget.from_dict(
+            {"max_wall_s": 1.5, "max_fm_constraints": 10, "junk": 3}
+        )
+        assert b.max_wall_s == 1.5
+        assert b.max_fm_constraints == 10
+        assert b.max_ops is None
+        assert not b.is_unlimited
+
+    def test_from_dict_empty(self):
+        assert Budget.from_dict(None).is_unlimited
+        assert Budget.from_dict({}).is_unlimited
+
+
+class TestScope:
+    def test_no_budget_is_noop(self):
+        assert active_budget() is None
+        checkpoint()  # must not raise
+        charge_fm(10**9)  # must not raise
+        with budget_scope(None):
+            assert active_budget() is None
+        with budget_scope(Budget.unlimited()):
+            assert active_budget() is None
+
+    def test_scope_restores_previous(self):
+        outer = Budget(max_fm_constraints=100)
+        inner = Budget(max_fm_constraints=5)
+        with budget_scope(outer) as a:
+            assert active_budget() is a
+            with budget_scope(inner) as b:
+                assert active_budget() is b
+            assert active_budget() is a
+        assert active_budget() is None
+
+    def test_scope_restored_after_trip(self):
+        with pytest.raises(BudgetExceeded):
+            with budget_scope(Budget(max_fm_constraints=1)):
+                charge_fm(2)
+        assert active_budget() is None
+
+    def test_suspended(self):
+        with budget_scope(Budget(max_fm_constraints=1)):
+            with suspended():
+                charge_fm(100)  # enforcement off
+            with pytest.raises(BudgetExceeded):
+                charge_fm(100)
+
+
+class TestTrips:
+    def test_fm_budget_trips(self):
+        with budget_scope(Budget(max_fm_constraints=10)) as active:
+            charge_fm(6)
+            charge_fm(4)  # exactly at the limit: fine
+            with pytest.raises(BudgetExceeded) as exc:
+                charge_fm(1)
+            assert exc.value.kind == "fm"
+            assert active.degraded
+
+    def test_wall_budget_trips(self):
+        with budget_scope(Budget(max_wall_s=0.005)):
+            time.sleep(0.02)
+            with pytest.raises(BudgetExceeded) as exc:
+                checkpoint()
+            assert exc.value.kind == "wall"
+
+    def test_ops_budget_trips(self):
+        with budget_scope(Budget(max_ops=0)):
+            perf.bump("fm.eliminate", 5)  # an op counter
+            with pytest.raises(BudgetExceeded) as exc:
+                checkpoint()
+            assert exc.value.kind == "ops"
+
+    def test_keeps_raising_while_exhausted(self):
+        with budget_scope(Budget(max_fm_constraints=1)):
+            with pytest.raises(BudgetExceeded):
+                charge_fm(5)
+            with pytest.raises(BudgetExceeded):
+                charge_fm(0)  # fm spend is cumulative; still over
+
+    def test_trip_counter_bumped_once(self):
+        base = perf.counter("budget.trip.fm")
+        with budget_scope(Budget(max_fm_constraints=1)):
+            for _ in range(3):
+                with pytest.raises(BudgetExceeded):
+                    charge_fm(5)
+        assert perf.counter("budget.trip.fm") == base + 1

@@ -1,0 +1,151 @@
+"""Tests for the JSON-lines batch/server front end."""
+
+import io
+import json
+
+from repro.service.cache import SummaryCache, set_default_cache_dir
+from repro.service.server import handle_request, serve
+
+SRC = (
+    "program cli\n"
+    "  integer n, k\n"
+    "  real a(100)\n"
+    "  read n, k\n"
+    "  do i = 1, n\n"
+    "    a(i + k) = a(i) + 1.0\n"
+    "  enddo\n"
+    "  print a(n)\n"
+    "end\n"
+)
+
+INDEPENDENT = (
+    "program ind\n"
+    "  integer n\n"
+    "  real a(100)\n"
+    "  read n\n"
+    "  do i = 1, n\n"
+    "    a(i) = 2.0\n"
+    "  enddo\n"
+    "end\n"
+)
+
+
+def _serve_lines(requests, **kwargs):
+    stdin = io.StringIO(
+        "".join(json.dumps(r) + "\n" for r in requests) + "\n"
+    )
+    stdout = io.StringIO()
+    count = serve(stdin, stdout, **kwargs)
+    lines = [json.loads(l) for l in stdout.getvalue().splitlines()]
+    assert count == len(lines)
+    return lines
+
+
+class TestHandleRequest:
+    def test_analysis(self):
+        resp = handle_request({"id": 42, "source": SRC})
+        assert resp["ok"] and resp["id"] == 42
+        assert resp["program"] == "cli"
+        assert not resp["degraded"]
+        (loop,) = resp["loops"]
+        assert loop["label"] == "cli:L1"
+        assert loop["status"] == "runtime"
+        assert loop["runtime_test"]
+
+    def test_base_options(self):
+        resp = handle_request({"source": SRC, "options": "base"})
+        assert resp["ok"]
+        assert resp["loops"][0]["status"] == "serial"
+
+    def test_report_text(self):
+        resp = handle_request({"source": SRC, "report": True})
+        assert "cli:L1" in resp["report"]
+
+    def test_file_request(self, tmp_path):
+        f = tmp_path / "p.f"
+        f.write_text(INDEPENDENT)
+        resp = handle_request({"file": str(f)})
+        assert resp["ok"]
+        assert resp["loops"][0]["status"] == "parallel"
+
+    def test_parse_error_is_reported_not_raised(self):
+        resp = handle_request({"id": 7, "source": "not fortran"})
+        assert resp == {
+            "id": 7,
+            "ok": False,
+            "error": resp["error"],
+        }
+        assert "ParseError" in resp["error"]
+
+    def test_missing_source(self):
+        resp = handle_request({"id": 1})
+        assert not resp["ok"]
+
+    def test_bad_options_name(self):
+        resp = handle_request({"source": SRC, "options": "bogus"})
+        assert not resp["ok"] and "bogus" in resp["error"]
+
+
+class TestServeLoop:
+    def test_order_and_ids(self):
+        reqs = [
+            {"id": i, "source": SRC if i % 2 else INDEPENDENT}
+            for i in range(6)
+        ]
+        lines = _serve_lines(reqs)
+        assert [l["id"] for l in lines] == list(range(6))
+        assert all(l["ok"] for l in lines)
+
+    def test_bad_json_line(self):
+        stdin = io.StringIO('{"id": 1, "source": %s}\nnot json\n' % json.dumps(SRC))
+        stdout = io.StringIO()
+        assert serve(stdin, stdout) == 2
+        ok, bad = [json.loads(l) for l in stdout.getvalue().splitlines()]
+        assert ok["ok"]
+        assert not bad["ok"] and "bad JSON" in bad["error"]
+
+    def test_pooled_results_identical_and_ordered(self):
+        reqs = [
+            {"id": i, "source": SRC if i % 2 else INDEPENDENT}
+            for i in range(8)
+        ]
+        serial = _serve_lines(reqs, jobs=1)
+        pooled = _serve_lines(reqs, jobs=3)
+        assert pooled == serial
+
+    def test_cache_warms_across_calls(self, tmp_path):
+        from repro import perf
+
+        try:
+            cache_dir = str(tmp_path / "c")
+            _serve_lines([{"id": 0, "source": SRC}], cache_dir=cache_dir)
+            assert SummaryCache(cache_dir).entry_count() > 0
+            base = perf.counter("cache.program_hit")
+            _serve_lines([{"id": 1, "source": SRC}], cache_dir=cache_dir)
+            assert perf.counter("cache.program_hit") == base + 1
+        finally:
+            set_default_cache_dir(None)
+
+    def test_budget_degrades_in_request_scope(self):
+        from repro import perf
+
+        perf.reset_all_caches()  # make the FM budget bite
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            lines = _serve_lines(
+                [
+                    {
+                        "id": 0,
+                        "source": SRC,
+                        "budget": {"max_fm_constraints": 1},
+                    },
+                    {"id": 1, "source": INDEPENDENT},
+                ]
+            )
+        assert lines[0]["ok"] and lines[0]["degraded"]
+        assert lines[0]["loops"][0]["status"] == "serial"
+        # the budget was per-request: the next request is unaffected
+        assert lines[1]["ok"] and not lines[1]["degraded"]
+        assert lines[1]["loops"][0]["status"] == "parallel"

@@ -26,7 +26,10 @@ test:
 
 perfgate:
 	$(PYTHON) benchmarks/check_regression.py
+	$(PYTHON) benchmarks/check_regression.py \
+		--baseline BENCH_pr1.json --current BENCH_pr3.json \
+		--threshold 2.0 --require-faster test_whole_program_analysis
 
 # re-record the micro-benchmark timings (compare with perfgate)
 bench:
-	$(PYTHON) -m pytest benchmarks/test_core_micro.py --benchmark-json BENCH_current.json
+	$(PYTHON) -m pytest benchmarks/test_core_micro.py benchmarks/test_predicates_micro.py --benchmark-json BENCH_current.json

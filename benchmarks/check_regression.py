@@ -32,7 +32,12 @@ import tempfile
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_baseline.json")
-MICRO_BENCH = os.path.join(REPO_ROOT, "benchmarks", "test_core_micro.py")
+#: the timed micro-benchmark files the gate runs (wall-clock + the
+#: deterministic op counters some of them record in extra_info)
+MICRO_BENCH = [
+    os.path.join(REPO_ROOT, "benchmarks", "test_core_micro.py"),
+    os.path.join(REPO_ROOT, "benchmarks", "test_predicates_micro.py"),
+]
 
 
 def _load_means(path: str) -> dict:
@@ -41,6 +46,22 @@ def _load_means(path: str) -> dict:
     return {
         b["name"]: b["stats"]["mean"] for b in data.get("benchmarks", [])
     }
+
+
+def _load_extra_info(path: str) -> dict:
+    """name -> {key: numeric value} for benchmarks with extra_info."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        info = {
+            k: v
+            for k, v in (b.get("extra_info") or {}).items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        }
+        if info:
+            out[b["name"]] = info
+    return out
 
 
 def _run_benchmarks(json_out: str) -> None:
@@ -52,7 +73,7 @@ def _run_benchmarks(json_out: str) -> None:
         sys.executable,
         "-m",
         "pytest",
-        MICRO_BENCH,
+        *MICRO_BENCH,
         "-q",
         "--benchmark-json",
         json_out,
@@ -74,6 +95,46 @@ def compare(baseline: dict, current: dict, threshold: float):
     return regressions, rows, skipped
 
 
+def compare_extra_info(baseline: dict, current: dict):
+    """Gate the deterministic op counters recorded in ``extra_info``.
+
+    For every (benchmark, numeric key) pair present in both files the
+    current count must not exceed the baseline's — these counters are
+    deterministic given cold caches, so any increase is a real cost
+    regression, not timing noise.
+    """
+    regressions = []
+    rows = []
+    for name in sorted(set(baseline) & set(current)):
+        for key in sorted(set(baseline[name]) & set(current[name])):
+            old, new = baseline[name][key], current[name][key]
+            rows.append((name, key, old, new))
+            if new > old:
+                regressions.append((name, key, old, new))
+    return regressions, rows
+
+
+def check_oracle_pairs(info: dict):
+    """Enforce paired ``<key>[oracle=on]`` < ``<key>[oracle=off]`` counters.
+
+    The predicate micro-benchmarks record deterministic op counts for
+    both oracle modes; the enabled mode must do strictly less work or
+    the oracle is not earning its keep.
+    """
+    failures = []
+    for name in sorted(info):
+        for key in sorted(info[name]):
+            if not key.endswith("[oracle=on]"):
+                continue
+            off_key = key[: -len("[oracle=on]")] + "[oracle=off]"
+            if off_key not in info[name]:
+                continue
+            on, off = info[name][key], info[name][off_key]
+            if on >= off:
+                failures.append((name, key, on, off))
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -93,11 +154,22 @@ def main(argv=None) -> int:
         default=0.25,
         help="allowed fractional slowdown before failing (default 0.25)",
     )
+    parser.add_argument(
+        "--require-faster",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="fail unless this benchmark's current mean is strictly "
+        "below the baseline's (repeatable); used to enforce that a PR "
+        "actually improves its headline benchmark",
+    )
     args = parser.parse_args(argv)
 
     baseline = _load_means(args.baseline)
+    baseline_info = _load_extra_info(args.baseline)
     if args.current is not None:
         current = _load_means(args.current)
+        current_info = _load_extra_info(args.current)
     else:
         with tempfile.NamedTemporaryFile(
             suffix=".json", delete=False
@@ -106,8 +178,11 @@ def main(argv=None) -> int:
         try:
             _run_benchmarks(json_out)
             current = _load_means(json_out)
+            current_info = _load_extra_info(json_out)
         finally:
             os.unlink(json_out)
+
+    failures = 0
 
     regressions, rows, skipped = compare(
         baseline, current, args.threshold
@@ -126,6 +201,52 @@ def main(argv=None) -> int:
             f"\nFAIL: {len(regressions)} benchmark(s) slower than "
             f"{args.threshold:.0%} over baseline"
         )
+        failures += 1
+
+    info_regressions, info_rows = compare_extra_info(
+        baseline_info, current_info
+    )
+    if info_rows:
+        print(f"\n{'op counter':<58} {'baseline':>10} {'current':>10}")
+        for name, key, old, new in info_rows:
+            flag = (
+                "  << REGRESSION"
+                if (name, key, old, new) in info_regressions
+                else ""
+            )
+            print(f"{name + ': ' + key:<58} {old:>10} {new:>10}{flag}")
+    if info_regressions:
+        print(
+            f"\nFAIL: {len(info_regressions)} op counter(s) above baseline"
+        )
+        failures += 1
+
+    for name, key, on, off in check_oracle_pairs(current_info):
+        print(
+            f"\nFAIL: {name}: {key} = {on} must be strictly below "
+            f"its [oracle=off] pair = {off}"
+        )
+        failures += 1
+
+    for name in args.require_faster:
+        if name not in baseline or name not in current:
+            print(f"\nFAIL: --require-faster {name}: not in both files")
+            failures += 1
+        elif current[name] >= baseline[name]:
+            print(
+                f"\nFAIL: --require-faster {name}: "
+                f"{current[name] * 1e3:.3f}ms !< "
+                f"{baseline[name] * 1e3:.3f}ms baseline"
+            )
+            failures += 1
+        else:
+            print(
+                f"\nrequired-faster {name}: "
+                f"{current[name] * 1e3:.3f}ms < "
+                f"{baseline[name] * 1e3:.3f}ms baseline"
+            )
+
+    if failures:
         return 1
     print(f"\nOK: no benchmark regressed more than {args.threshold:.0%}")
     return 0

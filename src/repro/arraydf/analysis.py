@@ -89,6 +89,7 @@ from repro.lang.astnodes import (
 from repro.linalg.constraint import Constraint
 from repro.linalg.system import LinearSystem
 from repro.predicates.formula import Predicate, TRUE, p_and
+from repro.predicates.simplify import is_unsat
 from repro.regions.region import ArrayRegion
 from repro.regions.reshape import CallContext, translate_summary_set
 from repro.regions.summary import SummarySet
@@ -588,8 +589,10 @@ class ArrayDataflow:
                     m_pred, m_sum = embed_into_summary(m_pred, m_sum)
                 if m_pred.variables() & volatile:
                     continue
-                if p_and(e_pred, m_pred).is_false():
+                combined = p_and(e_pred, m_pred)
+                if combined.is_false() or is_unsat(combined):
                     continue  # prune before the expensive subtraction
+                    # (an unsat guard would be dedup-dropped afterwards)
                 m_before = m_sum.rename_vars({index: prior}).project_must(
                     prior, prior_space
                 )

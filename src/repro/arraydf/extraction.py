@@ -30,6 +30,7 @@ from repro.predicates.formula import (
     p_atom,
     p_not,
 )
+from repro.predicates.simplify import is_unsat
 from repro.regions.region import ArrayRegion
 from repro.regions.summary import SummarySet
 from repro.symbolic.terms import is_dim_var
@@ -77,7 +78,15 @@ def pred_subtract(
     if opts.predicates and opts.extraction:
         all_pieces: List[ArrayRegion] = list(difference.all_regions())
         cond = breaking_condition(all_pieces)
-        if cond is not None and not cond.is_false() and not cond.is_true():
+        if (
+            cond is not None
+            and not cond.is_false()
+            and not cond.is_true()
+            # an unsat breaking condition can never fire at run time and
+            # its ⟨cond, ∅⟩ pair would be dedup-dropped downstream;
+            # refuting it here (memoized) skips that plumbing entirely
+            and not is_unsat(cond)
+        ):
             out.append((cond, SummarySet.empty()))
     out.append((TRUE, difference))
     return out

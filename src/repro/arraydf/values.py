@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Iterable, List, Optional, Tuple
 
+from repro import perf
 from repro.arraydf.options import AnalysisOptions
 from repro.predicates.formula import (
     Predicate,
@@ -39,7 +40,7 @@ from repro.predicates.formula import (
     p_and,
     p_not,
 )
-from repro.predicates.simplify import is_unsat
+from repro.predicates.simplify import equivalent, implies, is_unsat
 from repro.regions.summary import SummarySet
 
 
@@ -60,19 +61,123 @@ def _guard_ok(pred: Predicate, clobbered: FrozenSet[str]) -> bool:
     return not (pred.variables() & clobbered)
 
 
+#: memoized SummarySet.covers — containment tests repeat heavily across
+#: dedup calls (cleared by perf.reset_all_caches like every oracle table)
+_COVERS = perf.memo_table("pred.oracle.covers")
+
+
+def _covers(a: SummarySet, b: SummarySet) -> bool:
+    """``b ⊆ a``, memoized while the predicate oracle is enabled."""
+    if a is b:
+        return True
+    if not perf.pred_oracle_enabled():
+        return a.covers(b)
+    key = (a, b)
+    hit = _COVERS.data.get(key, perf.MISS)
+    if hit is not perf.MISS:
+        _COVERS.hits += 1
+        return hit
+    _COVERS.misses += 1
+    result = a.covers(b)
+    _COVERS.data[key] = result
+    return result
+
+
+def _summary_strength(s: SummarySet) -> Tuple[int, int]:
+    """Deterministic size proxy: (region count, -total constraint count).
+
+    Fewer regions and, among equal counts, more constraints ≈ a tighter
+    (stronger) over-approximation.
+    """
+    nconstraints = 0
+    for r in s.all_regions():
+        nconstraints += len(r.system.constraints)
+    return (s.region_count(), -nconstraints)
+
+
+def _rank_key(g: GuardedSummary, keep: str):
+    """Canonical strength ordering for the capped kept set.
+
+    Strongest first: for over-approximating lists (``min``) smaller
+    summaries rank earlier, for must-write lists (``max``) larger ones.
+    The textual tail makes the order total, so the kept set depends only
+    on the *set* of entries, never on input order.
+    """
+    size = _summary_strength(g.summary)
+    if keep == "max":
+        size = (-size[0], -size[1])
+    return (size, str(g.pred), str(g.summary))
+
+
+def _equiv_guards(p: Predicate, q: Predicate) -> bool:
+    if p is q or p == q:
+        return True
+    # equivalent satisfiable, non-trivial guards share their variable
+    # set in all but degenerate cases; the cheap prefilter bounds the
+    # oracle work (missing a merge is only a lost optimization)
+    if p.variables() != q.variables():
+        return False
+    return equivalent(p, q)
+
+
+def _merge_summaries(a: SummarySet, b: SummarySet, keep: str) -> SummarySet:
+    """Combine the summaries of two provably-equivalent guards."""
+    if keep == "min":  # both are upper bounds: keep the tighter
+        if _covers(a, b):
+            return b
+        if _covers(b, a):
+            return a
+        return a.intersect_pairwise(b)
+    # both are must-write lower bounds: keep the larger
+    if _covers(a, b):
+        return a
+    if _covers(b, a):
+        return b
+    return a.union(b)
+
+
+def _dominated(g: GuardedSummary, k: GuardedSummary, keep: str) -> bool:
+    """Is *g* redundant given the kept entry *k*?
+
+    Yes when *k*'s guard is weaker-or-equal (``g.pred → k.pred``) and
+    *k*'s summary already carries at least as much information: for
+    over-approximating lists (``min``) ``k.summary ⊆ g.summary``, for
+    must-writes (``max``) ``k.summary ⊇ g.summary``.
+    """
+    if not (k.pred.variables() <= g.pred.variables()):
+        return False  # implication cannot be proven structurally relevant
+    if keep == "min":
+        if not _covers(g.summary, k.summary):
+            return False
+    else:
+        if not _covers(k.summary, g.summary):
+            return False
+    return implies(g.pred, k.pred)
+
+
 def _dedup_guarded(
     items: Iterable[GuardedSummary], cap: int, keep: str = "first"
 ) -> Tuple[GuardedSummary, ...]:
-    """Drop unsatisfiable guards and syntactic duplicates; cap the list.
+    """Semantic compaction of a guarded list; cap the result.
+
+    Drops unsatisfiable guards and syntactic duplicates, then — for the
+    directed modes — merges entries whose guards are provably equivalent
+    (intersecting summaries for ``min`` lists, unioning for ``max``) and
+    drops entries dominated by an already-kept one (weaker-or-equal
+    guard *and* covered summary).  The cap keeps the strongest entries
+    under a canonical ranking (:func:`_rank_key`), so the kept set is
+    independent of input order.
 
     The TRUE default is always kept and placed last.  When several TRUE
     entries compete, *keep* selects the winner: ``"min"`` prefers the
     summary covered by the incumbent (tightest over-approximation, for
     exposed/write bounds), ``"max"`` the covering one (largest must-
-    write), ``"first"`` keeps the first seen.
+    write), ``"first"`` keeps the first seen (legacy mode: default
+    selection is order-dependent and no semantic merging is applied,
+    since the list's approximation direction is unknown).
     """
     default: Optional[GuardedSummary] = None
-    out: List[GuardedSummary] = []
+    entries: List[GuardedSummary] = []
     seen = set()
     for g in items:
         if g.pred.is_false() or is_unsat(g.pred):
@@ -80,20 +185,40 @@ def _dedup_guarded(
         if g.pred.is_true():
             if default is None:
                 default = g
-            elif keep == "min" and default.summary.covers(g.summary):
+            elif keep == "min" and _covers(default.summary, g.summary):
                 default = g
-            elif keep == "max" and g.summary.covers(default.summary):
+            elif keep == "max" and _covers(g.summary, default.summary):
                 default = g
             continue
         key = (g.pred, g.summary)
         if key in seen:
             continue
         seen.add(key)
-        out.append(g)
-    out = out[: cap - (1 if default is not None else 0)]
+        entries.append(g)
+    entries.sort(key=lambda g: _rank_key(g, keep))
+    limit = max(0, cap - (1 if default is not None else 0))
+    kept: List[GuardedSummary] = []
+    semantic = keep in ("min", "max")
+    for g in entries:
+        if len(kept) >= limit:
+            break
+        placed = False
+        if semantic:
+            for j, k in enumerate(kept):
+                if _equiv_guards(k.pred, g.pred):
+                    kept[j] = GuardedSummary(
+                        k.pred, _merge_summaries(k.summary, g.summary, keep)
+                    )
+                    placed = True
+                    break
+                if _dominated(g, k, keep):
+                    placed = True
+                    break
+        if not placed:
+            kept.append(g)
     if default is not None:
-        out.append(default)
-    return tuple(out)
+        kept.append(default)
+    return tuple(kept)
 
 
 @dataclass(frozen=True)
@@ -238,7 +363,10 @@ def seq_compose(
                 if not _guard_ok(g2e.pred, clobbered):
                     continue
                 base_pred = p_and(g1e.pred, g1m.pred, g2e.pred)
-                if base_pred.is_false():
+                # an unsat base guard would be dropped by the dedup pass
+                # anyway; refuting it now (memoized) skips the expensive
+                # predicated subtraction
+                if base_pred.is_false() or is_unsat(base_pred):
                     continue
                 for sub_pred, subtracted in pred_subtract(
                     g2e.summary, g1m.summary, opts

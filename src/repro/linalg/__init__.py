@@ -18,6 +18,7 @@ from repro.linalg.system import LinearSystem
 from repro.linalg.fourier_motzkin import eliminate, eliminate_all
 from repro.linalg.feasibility import is_feasible, is_rationally_feasible
 from repro.linalg.implication import entails, system_implies
+from repro.linalg.intervals import classify_constraints
 
 __all__ = [
     "Constraint",
@@ -29,4 +30,5 @@ __all__ = [
     "is_rationally_feasible",
     "entails",
     "system_implies",
+    "classify_constraints",
 ]

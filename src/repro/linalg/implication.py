@@ -10,21 +10,44 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro import perf
 from repro.linalg.constraint import Constraint, Rel
 from repro.linalg.feasibility import is_feasible
 from repro.linalg.system import LinearSystem
+
+#: the predicate oracle's entailment cache — it lives down here (the
+#: switch is in dependency-free `repro.perf`) because `linalg` must not
+#: import the predicates layer; `_drop_entailed_linear` and
+#: `remove_redundant` both route through it
+_ENTAILS = perf.memo_table("pred.oracle.entails")
 
 
 def entails(system: LinearSystem, constraint: Constraint) -> bool:
     """Does every integer point of *system* satisfy *constraint*?
 
     Proven by showing ``system ∧ ¬constraint`` infeasible.  Equalities
-    split into the two strict sides.
+    split into the two strict sides.  Memoized while the predicate
+    oracle is enabled (a pure cost optimization — the booleans are
+    identical either way).
     """
     if constraint.is_tautology():
         return True
     if system.is_trivially_empty():
         return True
+    if not perf.pred_oracle_enabled():
+        return _entails_uncached(system, constraint)
+    key = (system, constraint)
+    hit = _ENTAILS.data.get(key, perf.MISS)
+    if hit is not perf.MISS:
+        _ENTAILS.hits += 1
+        return hit
+    _ENTAILS.misses += 1
+    result = _entails_uncached(system, constraint)
+    _ENTAILS.data[key] = result
+    return result
+
+
+def _entails_uncached(system: LinearSystem, constraint: Constraint) -> bool:
     if constraint.rel is Rel.EQ:
         lt = Constraint(constraint.expr + 1, Rel.LE)  # expr <= -1
         gt = Constraint(-constraint.expr + 1, Rel.LE)  # expr >= 1
@@ -47,21 +70,22 @@ def systems_equivalent(a: LinearSystem, b: LinearSystem) -> bool:
 def remove_redundant(system: LinearSystem) -> LinearSystem:
     """Drop constraints entailed by the remaining ones.
 
-    Quadratic in the number of constraints with a feasibility call per
-    candidate; used when canonicalizing summaries for display and for
-    structural comparisons, not on the analysis hot path.
+    One pass: each constraint is tested against the conjunction of the
+    already-kept prefix and the not-yet-visited suffix.  This computes
+    the same fixpoint as the classic remove-one-and-restart loop —
+    entailment is monotone in the constraint set, so a constraint kept
+    against the full set stays non-entailed after later removals — but
+    with one entailment test per constraint instead of O(n²) restarts
+    (each a feasibility call), and every test lands in the oracle's
+    entailment cache.
     """
     kept = list(system.constraints)
-    changed = True
-    while changed:
-        changed = False
-        for i, c in enumerate(kept):
-            rest = LinearSystem(kept[:i] + kept[i + 1 :])
-            if entails(rest, c):
-                kept.pop(i)
-                changed = True
-                break
-    return LinearSystem(kept)
+    out: list = []
+    for i, c in enumerate(kept):
+        rest = LinearSystem(out + kept[i + 1 :])
+        if not entails(rest, c):
+            out.append(c)
+    return LinearSystem(out)
 
 
 def any_entailed(system: LinearSystem, candidates: Iterable[Constraint]) -> bool:

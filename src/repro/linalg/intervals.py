@@ -1,0 +1,120 @@
+"""Single-variable interval (box) reasoning over linear constraints.
+
+This is tier 1 of the predicate oracle (`repro.predicates.oracle`): a
+cheap bounds abstraction that can *refute* or *prove* rational
+feasibility of a conjunction without eliminating any variables.  The
+contract that makes it usable as a fast path in front of the exact
+Fourier–Motzkin test:
+
+* every definitive answer agrees with ``is_feasible`` on the same
+  (already normalized) constraints — ``INFEASIBLE`` is returned only
+  when the box derived from the single-variable constraints is
+  rationally empty or excludes some constraint entirely (both of which
+  FM also detects), and ``FEASIBLE`` only when *every* constraint holds
+  at *every* point of a nonempty box (so a rational witness exists);
+* everything else is ``UNKNOWN`` and falls through to the exact path.
+
+All arithmetic is exact (``int``/``Fraction``), mirroring the substrate.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.linalg.constraint import Constraint, Rel
+
+#: classification results
+INFEASIBLE = "infeasible"
+FEASIBLE = "feasible"
+UNKNOWN = "unknown"
+
+_Bound = Optional[Fraction]
+
+
+def _box_of(
+    constraints: Iterable[Constraint],
+) -> Optional[Tuple[Dict[str, Fraction], Dict[str, Fraction]]]:
+    """Lower/upper bounds per variable from the single-variable rows.
+
+    Returns ``None`` when the box is already rationally empty.
+    """
+    lo: Dict[str, Fraction] = {}
+    hi: Dict[str, Fraction] = {}
+    for c in constraints:
+        terms = c.expr.terms()
+        if len(terms) != 1:
+            continue
+        (var, coeff) = terms[0]
+        # coeff·var + k  REL  0
+        bound = Fraction(-c.expr.constant, coeff)
+        if c.rel is Rel.EQ:
+            if var not in lo or bound > lo[var]:
+                lo[var] = bound
+            if var not in hi or bound < hi[var]:
+                hi[var] = bound
+        elif coeff > 0:  # var <= -k/coeff
+            if var not in hi or bound < hi[var]:
+                hi[var] = bound
+        else:  # var >= -k/coeff
+            if var not in lo or bound > lo[var]:
+                lo[var] = bound
+    for var, lower in lo.items():
+        upper = hi.get(var)
+        if upper is not None and lower > upper:
+            return None
+    return lo, hi
+
+
+def _expr_range(
+    expr, lo: Dict[str, Fraction], hi: Dict[str, Fraction]
+) -> Tuple[_Bound, _Bound]:
+    """Exact (min, max) of an affine expression over the box; ``None``
+    marks an unbounded side."""
+    mn: _Bound = Fraction(expr.constant)
+    mx: _Bound = Fraction(expr.constant)
+    for var, coeff in expr.terms():
+        if coeff > 0:
+            at_min, at_max = lo.get(var), hi.get(var)
+        else:
+            at_min, at_max = hi.get(var), lo.get(var)
+        mn = None if (mn is None or at_min is None) else mn + coeff * at_min
+        mx = None if (mx is None or at_max is None) else mx + coeff * at_max
+    return mn, mx
+
+
+def classify_constraints(constraints: Iterable[Constraint]) -> str:
+    """Classify a conjunction of normalized constraints by interval
+    reasoning alone: ``INFEASIBLE`` / ``FEASIBLE`` / ``UNKNOWN``.
+
+    Definitive answers agree with the exact rational feasibility test on
+    the same constraints (see the module docstring).
+    """
+    rows = []
+    for c in constraints:
+        # mirror LinearSystem construction exactly: trivially-true rows
+        # are dropped, trivially-false ones (including gcd-infeasible
+        # equalities) collapse the whole system
+        if c.is_tautology():
+            continue
+        if c.is_contradiction():
+            return INFEASIBLE
+        rows.append(c)
+    box = _box_of(rows)
+    if box is None:
+        return INFEASIBLE
+    lo, hi = box
+    definite = True
+    for c in rows:
+        mn, mx = _expr_range(c.expr, lo, hi)
+        if c.rel is Rel.LE:
+            if mn is not None and mn > 0:
+                return INFEASIBLE
+            if mx is None or mx > 0:
+                definite = False
+        else:  # EQ
+            if (mn is not None and mn > 0) or (mx is not None and mx < 0):
+                return INFEASIBLE
+            if not (mn == 0 and mx == 0):
+                definite = False
+    return FEASIBLE if definite else UNKNOWN

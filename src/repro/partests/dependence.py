@@ -42,7 +42,7 @@ from repro.predicates.formula import (
     p_and,
     p_or,
 )
-from repro.predicates.simplify import conjunct_infeasible, simplify
+from repro.predicates.simplify import simplify
 from repro.regions.summary import SummarySet
 from repro.symbolic.affine import AffineExpr
 
@@ -365,7 +365,8 @@ def test_loop(
     def trivial_filter(breaking: Predicate) -> bool:
         from repro.predicates.atoms import LinAtom
         from repro.predicates.formula import p_atom
-        from repro.predicates.simplify import is_unsat, linear_system_of, to_dnf
+        from repro.predicates.oracle import cached_dnf, conjunct_unsat
+        from repro.predicates.simplify import is_unsat, linear_system_of
 
         if info.lo_affine is not None and info.hi_affine is not None:
             # iteration-count span respects execution direction
@@ -378,11 +379,11 @@ def test_loop(
                 return True
         if not work_systems:
             return False
-        dnf = to_dnf(breaking)
+        dnf = cached_dnf(breaking)
         if dnf is None:
             return False
         for conj in dnf:
-            if conjunct_infeasible(conj):
+            if conjunct_unsat(conj):
                 continue
             cond_sys = linear_system_of(conj)
             for ws in work_systems:
@@ -399,11 +400,11 @@ def test_loop(
         array access (or that contain opaque atoms we cannot evaluate)
         are kept.
         """
-        from repro.predicates.simplify import (
-            conjunct_infeasible as _ci,
-            linear_system_of as _ls,
-            to_dnf as _dnf,
+        from repro.predicates.oracle import (
+            cached_dnf as _dnf,
+            conjunct_unsat as _ci,
         )
+        from repro.predicates.simplify import linear_system_of as _ls
         from repro.predicates.atoms import LinAtom
         from repro.predicates.formula import Atom
 

@@ -23,9 +23,11 @@ from repro.perf.counters import (
     memo_table,
     on_reset,
     phase,
+    pred_oracle_enabled,
     register_cache,
     reset_all_caches,
     reset_counters,
+    set_pred_oracle,
     snapshot,
     snapshot_delta,
     snapshot_max,
@@ -44,9 +46,11 @@ __all__ = [
     "memo_table",
     "on_reset",
     "phase",
+    "pred_oracle_enabled",
     "register_cache",
     "reset_all_caches",
     "reset_counters",
+    "set_pred_oracle",
     "snapshot",
     "snapshot_delta",
     "snapshot_max",

@@ -15,9 +15,10 @@ it, never the other way around.
 
 from __future__ import annotations
 
+import os
 import time
 from contextlib import contextmanager
-from typing import Callable, Dict, Iterator, List, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 #: sentinel for memo lookups (``None`` is a legitimate cached value)
 MISS = object()
@@ -115,6 +116,35 @@ def reset_all_caches() -> None:
     _foreign.clear()
     for callback in _reseeders:
         callback()
+
+
+# ----------------------------------------------------------------------
+# predicate-oracle switch
+# ----------------------------------------------------------------------
+# The tiered predicate oracle (repro.predicates.oracle) and its caches
+# are pure cost optimizations: enabled or disabled, every query returns
+# the same boolean.  The switch lives here — not in the predicates
+# package — so lower layers (linalg's entailment cache) can consult it
+# without importing upward.  Controlled by the REPRO_PRED_ORACLE
+# environment variable ("0"/"off"/"false"/"no" disable) or
+# programmatically via set_pred_oracle().
+
+_pred_oracle: Optional[bool] = None
+
+
+def pred_oracle_enabled() -> bool:
+    """Is the tiered predicate oracle (and its caches) enabled?"""
+    global _pred_oracle
+    if _pred_oracle is None:
+        raw = os.environ.get("REPRO_PRED_ORACLE", "1").strip().lower()
+        _pred_oracle = raw not in ("0", "off", "false", "no")
+    return _pred_oracle
+
+
+def set_pred_oracle(enabled: Optional[bool]) -> None:
+    """Force the oracle on/off; ``None`` re-reads the environment."""
+    global _pred_oracle
+    _pred_oracle = enabled
 
 
 def bump(name: str, n: int = 1) -> None:

@@ -31,6 +31,7 @@ from repro.predicates.formula import (
     p_not,
     p_or,
 )
+from repro.predicates import oracle
 from repro.predicates.simplify import implies, is_unsat, equivalent, simplify
 from repro.predicates.evaluate import evaluate
 
@@ -54,4 +55,5 @@ __all__ = [
     "equivalent",
     "simplify",
     "evaluate",
+    "oracle",
 ]

@@ -112,10 +112,13 @@ FALSE = _FalsePred()
 class Atom(Predicate):
     """A positive literal wrapping one atom."""
 
-    __slots__ = ("atom",)
+    __slots__ = ("atom", "_hash", "_vars", "_str")
 
     def __init__(self, atom: AtomKind) -> None:
         object.__setattr__(self, "atom", atom)
+        object.__setattr__(self, "_hash", hash(("Atom", atom)))
+        object.__setattr__(self, "_vars", None)
+        object.__setattr__(self, "_str", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("Atom is immutable")
@@ -124,7 +127,11 @@ class Atom(Predicate):
         return (Atom, (self.atom,))
 
     def variables(self):
-        return frozenset(self.atom.variables())
+        vs = self._vars
+        if vs is None:
+            vs = frozenset(self.atom.variables())
+            object.__setattr__(self, "_vars", vs)
+        return vs
 
     def substitute(self, bindings):
         new = self.atom.substitute(bindings)
@@ -142,22 +149,28 @@ class Atom(Predicate):
         return isinstance(other, Atom) and self.atom == other.atom
 
     def __hash__(self):
-        return hash(("Atom", self.atom))
+        return self._hash
 
     def __repr__(self):
         return f"Atom({self.atom!r})"
 
     def __str__(self):
-        return str(self.atom)
+        s = self._str
+        if s is None:
+            s = str(self.atom)
+            object.__setattr__(self, "_str", s)
+        return s
 
 
 class NotPred(Predicate):
     """A negative literal (only over DivAtom / OpaqueAtom)."""
 
-    __slots__ = ("operand",)
+    __slots__ = ("operand", "_hash", "_str")
 
     def __init__(self, operand: Atom) -> None:
         object.__setattr__(self, "operand", operand)
+        object.__setattr__(self, "_hash", hash(("NotPred", operand)))
+        object.__setattr__(self, "_str", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("NotPred is immutable")
@@ -179,20 +192,29 @@ class NotPred(Predicate):
         return isinstance(other, NotPred) and self.operand == other.operand
 
     def __hash__(self):
-        return hash(("NotPred", self.operand))
+        return self._hash
 
     def __repr__(self):
         return f"NotPred({self.operand!r})"
 
     def __str__(self):
-        return f"¬({self.operand})"
+        s = self._str
+        if s is None:
+            s = f"¬({self.operand})"
+            object.__setattr__(self, "_str", s)
+        return s
 
 
 class _NaryPred(Predicate):
-    __slots__ = ("operands",)
+    __slots__ = ("operands", "_hash", "_vars", "_str")
 
     def __init__(self, operands: Tuple[Predicate, ...]) -> None:
         object.__setattr__(self, "operands", operands)
+        object.__setattr__(
+            self, "_hash", hash((type(self).__name__, operands))
+        )
+        object.__setattr__(self, "_vars", None)
+        object.__setattr__(self, "_str", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("predicate nodes are immutable")
@@ -201,16 +223,27 @@ class _NaryPred(Predicate):
         return (type(self), (self.operands,))
 
     def variables(self):
-        vs: set = set()
-        for op in self.operands:
-            vs |= op.variables()
-        return frozenset(vs)
+        vs = self._vars
+        if vs is None:
+            acc: set = set()
+            for op in self.operands:
+                acc |= op.variables()
+            vs = frozenset(acc)
+            object.__setattr__(self, "_vars", vs)
+        return vs
 
     def __eq__(self, other):
         return type(self) is type(other) and self.operands == other.operands
 
     def __hash__(self):
-        return hash((type(self).__name__, self.operands))
+        return self._hash
+
+    def _render(self, sep: str) -> str:
+        s = self._str
+        if s is None:
+            s = "(" + sep.join(map(str, self.operands)) + ")"
+            object.__setattr__(self, "_str", s)
+        return s
 
 
 class AndPred(_NaryPred):
@@ -226,7 +259,7 @@ class AndPred(_NaryPred):
         return f"AndPred({', '.join(map(repr, self.operands))})"
 
     def __str__(self):
-        return "(" + " ∧ ".join(map(str, self.operands)) + ")"
+        return self._render(" ∧ ")
 
 
 class OrPred(_NaryPred):
@@ -242,7 +275,7 @@ class OrPred(_NaryPred):
         return f"OrPred({', '.join(map(repr, self.operands))})"
 
     def __str__(self):
-        return "(" + " ∨ ".join(map(str, self.operands)) + ")"
+        return self._render(" ∨ ")
 
 
 # ----------------------------------------------------------------------
@@ -285,11 +318,13 @@ def p_and(*preds: Predicate) -> Predicate:
         else:
             flat.append(p)
     unique = []
+    seen = set()
     for p in flat:
-        if p in unique:
+        if p in seen:
             continue
         if any(_complementary(p, q) for q in unique):
             return FALSE
+        seen.add(p)
         unique.append(p)
     if not unique:
         return TRUE
@@ -312,11 +347,13 @@ def p_or(*preds: Predicate) -> Predicate:
         else:
             flat.append(p)
     unique = []
+    seen = set()
     for p in flat:
-        if p in unique:
+        if p in seen:
             continue
         if any(_complementary(p, q) for q in unique):
             return TRUE
+        seen.add(p)
         unique.append(p)
     if not unique:
         return FALSE

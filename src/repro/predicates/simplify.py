@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterable, List, Optional, Tuple
 
+from repro import perf
 from repro.linalg.constraint import Constraint
 from repro.linalg.feasibility import is_feasible
 from repro.linalg.implication import entails
@@ -101,28 +102,38 @@ def conjunct_infeasible(conj: Conjunct) -> bool:
     return False
 
 
+# The semantic queries delegate to the tiered, memoized oracle
+# (repro.predicates.oracle); the oracle imports this module's ground
+# machinery (to_dnf / conjunct_infeasible), so the reference is resolved
+# lazily to break the cycle.  With the oracle disabled
+# (REPRO_PRED_ORACLE=0) the queries run the original uncached path —
+# either way the booleans are identical.
+
+_oracle = None
+
+
+def _get_oracle():
+    global _oracle
+    if _oracle is None:
+        from repro.predicates import oracle
+
+        _oracle = oracle
+    return _oracle
+
+
 def is_unsat(pred: Predicate) -> bool:
     """Sound unsatisfiability: ``True`` is a proof of unsatisfiability."""
-    if pred.is_false():
-        return True
-    if pred.is_true():
-        return False
-    dnf = to_dnf(pred)
-    if dnf is None:
-        return False
-    return all(conjunct_infeasible(c) for c in dnf)
+    return _get_oracle().is_unsat(pred)
 
 
 def implies(p: Predicate, q: Predicate) -> bool:
     """Sound implication test: ``p → q`` proven via unsat of ``p ∧ ¬q``."""
-    if p.is_false() or q.is_true():
-        return True
-    return is_unsat(p_and(p, p_not(q)))
+    return _get_oracle().implies(p, q)
 
 
 def equivalent(p: Predicate, q: Predicate) -> bool:
     """Sound (incomplete) logical equivalence."""
-    return implies(p, q) and implies(q, p)
+    return _get_oracle().equivalent(p, q)
 
 
 def linear_system_of(conj: Conjunct) -> LinearSystem:
@@ -136,6 +147,9 @@ def linear_system_of(conj: Conjunct) -> LinearSystem:
     return LinearSystem(constraints)
 
 
+_SIMPLIFY = perf.memo_table("pred.oracle.simplify")
+
+
 def simplify(pred: Predicate) -> Predicate:
     """Feasibility-backed cleanup.
 
@@ -145,7 +159,22 @@ def simplify(pred: Predicate) -> Predicate:
     * unsatisfiable formulas collapse to FALSE; valid ones to TRUE.
 
     Bounded: the global checks only run when the DNF stays small.
+    Memoized (whole-result) while the predicate oracle is enabled.
     """
+    use_memo = perf.pred_oracle_enabled()
+    if use_memo:
+        hit = _SIMPLIFY.data.get(pred, perf.MISS)
+        if hit is not perf.MISS:
+            _SIMPLIFY.hits += 1
+            return hit
+        _SIMPLIFY.misses += 1
+    result = _simplify_uncached(pred)
+    if use_memo:
+        _SIMPLIFY.data[pred] = result
+    return result
+
+
+def _simplify_uncached(pred: Predicate) -> Predicate:
     pred = _simplify_node(pred)
     if pred.is_true() or pred.is_false():
         return pred

@@ -1,0 +1,150 @@
+"""Determinism and semantics of guarded-list compaction.
+
+The semantic dedup modes (``keep="min"`` / ``keep="max"``) must produce
+the *same* kept list for every permutation of the input: equivalence
+merging, dominance dropping and the cap all work on a strength-ranked
+ordering, never on arrival order.  (``keep="first"`` is the legacy
+arrival-order mode and is exempt by design.)
+"""
+
+import itertools
+
+from repro.arraydf.values import GuardedSummary, _dedup_guarded
+from repro.linalg.constraint import Constraint
+from repro.linalg.system import LinearSystem
+from repro.predicates.atoms import LinAtom
+from repro.predicates.formula import TRUE, p_and, p_atom
+from repro.regions.region import ArrayRegion
+from repro.regions.summary import SummarySet
+from repro.symbolic.affine import AffineExpr
+
+D0 = AffineExpr.var("__d0")
+X = AffineExpr.var("x")
+C = AffineExpr.const
+
+
+def sset(lo, hi):
+    return SummarySet.of(
+        ArrayRegion(
+            "a",
+            1,
+            LinearSystem(
+                [Constraint.ge(D0, C(lo)), Constraint.le(D0, C(hi))]
+            ),
+        )
+    )
+
+
+def ge(k):
+    return p_atom(LinAtom.ge(X, C(k)))
+
+
+def shape(out):
+    """Order-insensitive but content-exact fingerprint of a kept list."""
+    return tuple((str(g.pred), str(g.summary)) for g in out)
+
+
+class TestPermutationIndependence:
+    def entries(self):
+        return [
+            GuardedSummary(ge(2), sset(0, 10)),
+            # equivalent to ge(2) (x>=2 subsumes x>=0), tighter summary
+            GuardedSummary(p_and(ge(2), ge(0)), sset(0, 8)),
+            # implies ge(2) with a looser summary: dominated under "min"
+            GuardedSummary(ge(5), sset(0, 10)),
+            GuardedSummary(ge(1), sset(0, 20)),
+            GuardedSummary(TRUE, sset(0, 30)),
+        ]
+
+    def test_min_mode_is_input_order_independent(self):
+        base = None
+        for perm in itertools.permutations(self.entries()):
+            out = shape(_dedup_guarded(list(perm), 6, keep="min"))
+            if base is None:
+                base = out
+            assert out == base, perm
+
+    def test_max_mode_is_input_order_independent(self):
+        base = None
+        for perm in itertools.permutations(self.entries()):
+            out = shape(_dedup_guarded(list(perm), 6, keep="max"))
+            if base is None:
+                base = out
+            assert out == base, perm
+
+    def test_cap_is_input_order_independent(self):
+        base = None
+        for perm in itertools.permutations(self.entries()):
+            out = shape(_dedup_guarded(list(perm), 3, keep="min"))
+            if base is None:
+                base = out
+            assert len(_dedup_guarded(list(perm), 3, keep="min")) <= 3
+            assert out == base, perm
+
+
+class TestSemanticCompaction:
+    def test_equivalent_guards_merge_min(self):
+        """Provably-equivalent guards collapse to one pair carrying the
+        tighter summary under ``min``."""
+        items = [
+            GuardedSummary(ge(2), sset(0, 10)),
+            GuardedSummary(p_and(ge(2), ge(0)), sset(0, 8)),
+        ]
+        out = _dedup_guarded(items, 6, keep="min")
+        assert len(out) == 1
+        assert str(out[0].summary) == str(sset(0, 8))
+
+    def test_equivalent_guards_merge_max(self):
+        """... and the larger summary under ``max``."""
+        items = [
+            GuardedSummary(ge(2), sset(0, 10)),
+            GuardedSummary(p_and(ge(2), ge(0)), sset(0, 8)),
+        ]
+        out = _dedup_guarded(items, 6, keep="max")
+        assert len(out) == 1
+        assert str(out[0].summary) == str(sset(0, 10))
+
+    def test_dominated_pair_dropped_min(self):
+        """A strictly stronger guard promising nothing tighter is noise
+        under ``min`` (its claim is already made on a weaker guard)."""
+        items = [
+            GuardedSummary(ge(2), sset(0, 8)),
+            GuardedSummary(ge(5), sset(0, 10)),
+        ]
+        out = _dedup_guarded(items, 6, keep="min")
+        assert shape(out) == ((str(ge(2)), str(sset(0, 8))),)
+
+    def test_incomparable_pairs_survive(self):
+        """Guards with genuinely different summaries both stay."""
+        items = [
+            GuardedSummary(ge(2), sset(0, 8)),
+            GuardedSummary(ge(5), sset(0, 4)),  # stronger guard, tighter
+        ]
+        out = _dedup_guarded(items, 6, keep="min")
+        assert len(out) == 2
+
+    def test_cap_keeps_strongest_and_default(self):
+        """Under a cap, the kept pairs are the strength-ranked prefix
+        and the default (TRUE-guard) pair always survives."""
+
+        def half_set(lo):  # half-open: one constraint, hence weaker rank
+            return SummarySet.of(
+                ArrayRegion(
+                    "a", 1, LinearSystem([Constraint.ge(D0, C(lo))])
+                )
+            )
+
+        items = [
+            GuardedSummary(ge(3), half_set(0)),
+            GuardedSummary(ge(5), sset(0, 4)),
+            GuardedSummary(ge(2), half_set(1)),
+            GuardedSummary(ge(4), sset(0, 5)),
+            GuardedSummary(TRUE, sset(0, 30)),
+        ]
+        out = _dedup_guarded(items, 3, keep="min")
+        assert len(out) == 3
+        assert out[-1].is_default()
+        kept = {str(g.summary) for g in out if not g.is_default()}
+        # the two fully-bounded (strongest-ranked) summaries win the
+        # two capped slots, regardless of arrival order
+        assert kept == {str(sset(0, 4)), str(sset(0, 5))}

@@ -29,7 +29,12 @@ perfgate:
 	$(PYTHON) benchmarks/check_regression.py \
 		--baseline BENCH_pr1.json --current BENCH_pr3.json \
 		--threshold 2.0 --require-faster test_whole_program_analysis
+	$(PYTHON) benchmarks/check_regression.py \
+		--baseline BENCH_pr4.json --current BENCH_pr4.json \
+		--threshold 2.0 \
+		--max-ratio test_pipeline_parallel:test_pipeline_serial:1.5 \
+		--max-ratio test_pipeline_serial:test_pipeline_legacy_driver:1.25
 
 # re-record the micro-benchmark timings (compare with perfgate)
 bench:
-	$(PYTHON) -m pytest benchmarks/test_core_micro.py benchmarks/test_predicates_micro.py --benchmark-json BENCH_current.json
+	$(PYTHON) -m pytest benchmarks/test_core_micro.py benchmarks/test_predicates_micro.py benchmarks/test_pipeline_micro.py --benchmark-json BENCH_current.json

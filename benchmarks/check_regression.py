@@ -37,6 +37,7 @@ DEFAULT_BASELINE = os.path.join(REPO_ROOT, "BENCH_baseline.json")
 MICRO_BENCH = [
     os.path.join(REPO_ROOT, "benchmarks", "test_core_micro.py"),
     os.path.join(REPO_ROOT, "benchmarks", "test_predicates_micro.py"),
+    os.path.join(REPO_ROOT, "benchmarks", "test_pipeline_micro.py"),
 ]
 
 
@@ -135,6 +136,36 @@ def check_oracle_pairs(info: dict):
     return failures
 
 
+def check_max_ratios(current: dict, specs):
+    """Enforce ``NUM:DEN:R`` pairs on the *current* means.
+
+    Fails when ``mean(NUM) > mean(DEN) * R``.  Used for benchmarks whose
+    relationship — not absolute time — is the invariant: e.g. the
+    parallel pipeline schedule may not cost more than a constant factor
+    over the serial one, even on a single-core runner where it cannot
+    be faster.
+    """
+    failures = []
+    rows = []
+    for spec in specs:
+        try:
+            num, den, ratio_s = spec.split(":")
+            limit = float(ratio_s)
+        except ValueError:
+            failures.append((spec, "malformed; expected NUM:DEN:RATIO"))
+            continue
+        if num not in current or den not in current:
+            failures.append((spec, "benchmark missing from current file"))
+            continue
+        ratio = current[num] / current[den] if current[den] else float("inf")
+        rows.append((num, den, ratio, limit))
+        if ratio > limit:
+            failures.append(
+                (spec, f"ratio {ratio:.2f}x exceeds limit {limit:.2f}x")
+            )
+    return failures, rows
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -162,6 +193,15 @@ def main(argv=None) -> int:
         help="fail unless this benchmark's current mean is strictly "
         "below the baseline's (repeatable); used to enforce that a PR "
         "actually improves its headline benchmark",
+    )
+    parser.add_argument(
+        "--max-ratio",
+        action="append",
+        default=[],
+        metavar="NUM:DEN:RATIO",
+        help="fail unless current mean(NUM) <= mean(DEN) * RATIO "
+        "(repeatable); gates relative cost between two benchmarks of "
+        "the same run",
     )
     args = parser.parse_args(argv)
 
@@ -245,6 +285,16 @@ def main(argv=None) -> int:
                 f"{current[name] * 1e3:.3f}ms < "
                 f"{baseline[name] * 1e3:.3f}ms baseline"
             )
+
+    ratio_failures, ratio_rows = check_max_ratios(current, args.max_ratio)
+    for num, den, ratio, limit in ratio_rows:
+        print(
+            f"\nmax-ratio {num} / {den}: {ratio:.2f}x "
+            f"(limit {limit:.2f}x)"
+        )
+    for spec, reason in ratio_failures:
+        print(f"\nFAIL: --max-ratio {spec}: {reason}")
+        failures += 1
 
     if failures:
         return 1

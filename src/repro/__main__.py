@@ -3,7 +3,8 @@
 Usage::
 
     python -m repro analyze FILE [--base] [--report] [--emit]
-                    [--cache DIR] [--profile]
+                    [--cache DIR] [--profile] [--jobs N]
+                    [--explain-pipeline]
                     [--max-wall S] [--max-ops N] [--max-fm N]
     python -m repro run FILE [inputs...]
     python -m repro elpd FILE [inputs...]
@@ -22,6 +23,11 @@ server (requests on stdin, one JSON result per line on stdout).
 ``--cache DIR`` attaches the content-addressed procedure-summary cache;
 ``--max-wall``/``--max-ops``/``--max-fm`` bound one request's resources
 (exhaustion degrades the answer soundly instead of failing).
+
+``analyze`` runs the pass pipeline (``REPRO_PIPELINE=0`` selects the
+legacy monolithic path): ``--jobs N`` schedules independent callgraph
+subtrees on worker threads, and ``--explain-pipeline`` dumps the pass
+graph, the per-unit schedule and per-pass timings as JSON.
 """
 
 from __future__ import annotations
@@ -39,13 +45,13 @@ def _print_profile() -> None:
 
 
 def _cmd_analyze(args) -> int:
+    import json
+
     from repro.arraydf.options import AnalysisOptions
-    from repro.codegen.plan import build_plan
     from repro.codegen.report import format_report
-    from repro.codegen.twoversion import transform_program
     from repro.lang.parser import parse_program
     from repro.lang.prettyprint import pretty
-    from repro.partests.driver import analyze_program
+    from repro.pipeline import pipeline_enabled, run_pipeline
     from repro.service import Budget, budget_scope, default_cache
     from repro.service import set_default_cache_dir
 
@@ -59,13 +65,43 @@ def _cmd_analyze(args) -> int:
         max_ops=args.max_ops,
         max_fm_constraints=args.max_fm,
     )
+    goals = ("result", "transformed") if args.emit else ("result",)
     with budget_scope(budget):
-        result = analyze_program(program, opts, cache=default_cache())
+        if pipeline_enabled():
+            ctx = run_pipeline(
+                program,
+                opts,
+                cache=default_cache(),
+                jobs=args.jobs,
+                goals=goals,
+                explain=args.explain_pipeline,
+            )
+            result = ctx.get("result")
+            transformed = ctx.get("transformed") if args.emit else None
+        else:
+            from repro.codegen.plan import build_plan
+            from repro.codegen.twoversion import transform_program
+            from repro.partests.driver import analyze_program
+
+            ctx = None
+            result = analyze_program(program, opts, cache=default_cache())
+            transformed = (
+                transform_program(program, build_plan(result))
+                if args.emit
+                else None
+            )
     print(format_report(result, title=args.file))
-    if args.emit:
-        plan = build_plan(result)
+    if transformed is not None:
         print()
-        print(pretty(transform_program(program, plan)))
+        print(pretty(transformed))
+    if args.explain_pipeline:
+        if ctx is not None and ctx.explain is not None:
+            print(json.dumps(ctx.explain, indent=2, sort_keys=True))
+        else:
+            print(
+                '{"error": "pipeline disabled (REPRO_PIPELINE=0): '
+                'nothing to explain"}'
+            )
     if args.profile:
         _print_profile()
     return 0
@@ -195,6 +231,20 @@ def main(argv=None) -> int:
         default=None,
         metavar="N",
         help="Fourier-Motzkin bound-pair budget",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analyze independent callgraph subtrees on N worker threads "
+        "(output is byte-identical for any N)",
+    )
+    p.add_argument(
+        "--explain-pipeline",
+        action="store_true",
+        help="append a JSON dump of the pass graph, the per-unit schedule "
+        "(waves, workers, parallel subtrees) and per-pass timings",
     )
     p.set_defaults(func=_cmd_analyze)
 

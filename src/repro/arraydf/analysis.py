@@ -133,9 +133,13 @@ class ArrayDataflow:
         program: Program,
         opts: Optional[AnalysisOptions] = None,
         cache: Optional[SummaryCache] = None,
+        propagated: bool = False,
     ):
+        """*propagated* marks *program* as already scalar-propagated (the
+        pipeline runs propagation as its own pass); without it the
+        walker propagates here, exactly as the legacy entry point did."""
         self.opts = opts or AnalysisOptions.predicated()
-        if self.opts.scalar_propagation:
+        if self.opts.scalar_propagation and not propagated:
             from repro.ir.scalarprop import propagate_scalars
 
             program = propagate_scalars(program)
@@ -144,7 +148,6 @@ class ArrayDataflow:
         self.symtabs: Dict[str, SymbolTable] = {
             name: SymbolTable(unit) for name, unit in program.units.items()
         }
-        self.fresh = FreshNameSource()
         self.units: Dict[str, UnitSummary] = {}
         self.cache = cache
         #: content key per analyzed unit (filled even without a cache
@@ -160,8 +163,21 @@ class ArrayDataflow:
     # ------------------------------------------------------------------
     def run(self) -> "ArrayDataflow":
         for name in self.callgraph.bottom_up_order():
-            self.units[name] = self._run_unit(name)
+            self.run_unit(name)
         return self
+
+    def run_unit(self, name: str) -> UnitSummary:
+        """Analyze one unit and record its summary.
+
+        Every callee of *name* must have been analyzed already (the
+        caller — :meth:`run` or the pipeline scheduler — is responsible
+        for the bottom-up order).  The walk itself keeps all mutable
+        state in a per-call :class:`_UnitWalker`, so distinct units may
+        be analyzed concurrently.
+        """
+        summary = self._run_unit(name)
+        self.units[name] = summary
+        return summary
 
     def _run_unit(self, name: str) -> UnitSummary:
         """Analyze one unit via the cache/budget wrapper.
@@ -194,13 +210,13 @@ class ArrayDataflow:
                     rebound = self._rebind_summary(payload, unit)
                     if rebound is not None:
                         return rebound
-        # fresh names are per-unit so a summary is a pure function of
-        # (unit source, callee summaries, options) — a cache requirement
-        self.fresh = FreshNameSource()
         try:
             checkpoint()
             with perf.analysis_context(name):
-                summary = self._analyze_unit(unit)
+                # fresh names are per-walk so a summary is a pure function
+                # of (unit source, callee summaries, options) — a cache
+                # requirement, and what makes concurrent walks safe
+                summary = _UnitWalker(self).analyze(unit)
         except BudgetExceeded:
             from repro.service.degrade import conservative_unit_summary
 
@@ -252,10 +268,30 @@ class ArrayDataflow:
                 out.extend(self.units[name].loops.values())
         return out
 
+
+class _UnitWalker:
+    """One unit's bottom-up region walk.
+
+    A walker is created per :meth:`ArrayDataflow.run_unit` call and owns
+    the only mutable walk state (the fresh-name source), so concurrent
+    walks of *different* units — the pipeline's intra-program scheduler —
+    share nothing writable.  Callee summaries are read from the parent
+    dataflow's ``units`` table, which the scheduler guarantees is
+    populated bottom-up.
+    """
+
+    __slots__ = ("opts", "symtabs", "units", "fresh")
+
+    def __init__(self, dataflow: "ArrayDataflow") -> None:
+        self.opts = dataflow.opts
+        self.symtabs = dataflow.symtabs
+        self.units = dataflow.units
+        self.fresh = FreshNameSource()
+
     # ------------------------------------------------------------------
     # per-unit walk
     # ------------------------------------------------------------------
-    def _analyze_unit(self, unit) -> UnitSummary:
+    def analyze(self, unit) -> UnitSummary:
         proc = build_region_tree(unit)
         info = collect_loop_info(proc)
         summary = UnitSummary(unit.name, AccessValue.empty(), {}, info)

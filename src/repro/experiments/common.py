@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 from functools import lru_cache
 from typing import Callable, Dict, Iterable, List, Sequence, Tuple, TypeVar
 
+from repro import perf
 from repro.arraydf.options import AnalysisOptions
 from repro.partests.driver import ProgramResult, analyze_program
 from repro.suites import all_programs
@@ -39,6 +40,22 @@ def analyzed(name: str, config: str) -> ProgramResult:
     return analyze_program(
         get_program(name).fresh_program(), options, cache=default_cache()
     )
+
+
+def _analyzed_stats():
+    info = analyzed.cache_info()
+    total = info.hits + info.misses
+    return {
+        "hits": info.hits,
+        "misses": info.misses,
+        "size": info.currsize,
+        "hit_rate": (info.hits / total) if total else 0.0,
+    }
+
+
+perf.register_cache(
+    "experiments.analyzed", _analyzed_stats, analyzed.cache_clear, obj=analyzed
+)
 
 
 def format_table(

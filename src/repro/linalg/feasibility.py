@@ -69,4 +69,6 @@ def _registry_stats():
     }
 
 
-perf.register_cache("feasibility.is_feasible", _registry_stats, clear_cache)
+perf.register_cache(
+    "feasibility.is_feasible", _registry_stats, clear_cache, obj=_feasible_cached
+)

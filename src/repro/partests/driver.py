@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro import perf
 from repro.arraydf.analysis import ArrayDataflow, LoopSummary
@@ -120,20 +120,44 @@ class ProgramResult:
 
 
 class ParallelizationDriver:
-    """Runs the full pipeline for one program."""
+    """Runs the full compile flow for one program.
+
+    :meth:`run` is a thin shim over the pass pipeline
+    (:func:`repro.pipeline.run_pipeline`): scalar propagation, the
+    array data-flow walk, per-loop decisions and the enclosed marking
+    all execute as scheduled passes, with *jobs* worker threads running
+    independent callgraph subtrees concurrently (results are
+    byte-identical for any job count).  :meth:`run_legacy` keeps the
+    original monolithic path — the pinned reference the integration
+    tests compare the pipeline against, also selectable process-wide
+    via ``REPRO_PIPELINE=0``.
+    """
 
     def __init__(
         self,
         program: Program,
         opts: Optional[AnalysisOptions] = None,
         cache: Optional[SummaryCache] = None,
+        jobs: int = 1,
     ) -> None:
         self.program = program
         self.opts = opts or AnalysisOptions.predicated()
         self.cache = cache
+        self.jobs = jobs
         self._degraded = False
 
     def run(self) -> ProgramResult:
+        from repro.pipeline import pipeline_enabled, run_pipeline
+
+        if not pipeline_enabled():
+            return self.run_legacy()
+        ctx = run_pipeline(
+            self.program, self.opts, cache=self.cache, jobs=self.jobs
+        )
+        self._degraded = ctx.degraded
+        return ctx.get("result")
+
+    def run_legacy(self) -> ProgramResult:
         start = time.perf_counter()
         # program-level fast path: when nothing changed, one load covers
         # the whole pipeline (no scalar propagation, no data-flow walk);
@@ -212,138 +236,164 @@ class ParallelizationDriver:
     def _decide_unit(
         self, dataflow: ArrayDataflow, unit_name: str, summary, symtab
     ) -> List[LoopResult]:
-        """Decide every loop of one unit, via the decisions cache.
-
-        Decisions are a pure function of the unit's summary key (they
-        read only the loop summaries, the symbol table and the options),
-        so they share it.  Budget-degraded loops — and every loop of a
-        unit whose summary was degraded — stay out of the cache.
-        """
-        key = dataflow.unit_keys.get(unit_name)
-        cacheable = (
-            self.cache is not None
-            and key is not None
-            and unit_name not in dataflow.tainted_units
+        out, degraded = decide_unit(
+            dataflow, unit_name, summary, symtab, self.opts, self.cache
         )
-        if cacheable:
-            rows = self.cache.load(key, "decisions")
-            if rows is not None:
-                rebound = _rebind_decisions(rows, summary, unit_name)
-                if rebound is not None:
-                    return rebound
-        out: List[LoopResult] = []
-        degraded = False
-        for loop, loop_summary in summary.loops.items():
-            try:
-                with perf.analysis_context(loop_summary.label):
-                    out.append(self._decide(loop_summary, symtab))
-            except BudgetExceeded:
-                perf.bump("budget.degraded_loop")
-                degraded = self._degraded = True
-                out.append(
-                    LoopResult(
-                        label=loop.label,
-                        unit=unit_name,
-                        loop=loop,
-                        status="serial",
-                        reason="budget exhausted: not proven parallel",
-                        depth=loop_summary.info.region.loop_depth(),
-                    )
-                )
-        if cacheable and not degraded:
-            self.cache.store(key, "decisions", _decision_rows(out))
+        if degraded:
+            self._degraded = True
         return out
 
     # ------------------------------------------------------------------
     def _decide(self, summary: LoopSummary, symtab) -> LoopResult:
-        loop = summary.loop
-        info = summary.info
-        base = LoopResult(
-            label=loop.label,
-            unit=summary.unit_name,
-            loop=loop,
-            status="serial",
-            depth=summary.info.region.loop_depth(),
-        )
-        if not info.is_candidate:
-            base.status = "not_candidate"
-            base.reason = (
-                "io" if info.has_io
-                else "return" if info.has_return
-                else "bounds" if not info.bounds_invariant
-                else "step"
-            )
-            return base
-
-        verdict = test_loop(summary, symtab, self.opts)
-        base.verdict = verdict
-        base.private_scalars = sorted(verdict.private_scalars)
-        base.reduction_scalars = sorted(verdict.reduction_scalars)
-
-        if verdict.scalar_obstacles:
-            base.status = "serial"
-            base.reason = "scalar dependence: " + ", ".join(
-                sorted(verdict.scalar_obstacles)
-            )
-            return base
-
-        cond = verdict.parallel_condition
-        # the loop runs only where its path predicate holds: a residual
-        # condition implied by the path needs no run-time test
-        if (
-            self.opts.predicates
-            and not cond.is_true()
-            and not cond.is_false()
-            and not summary.path_pred.is_true()
-        ):
-            from repro.predicates.simplify import implies
-
-            if implies(summary.path_pred, cond):
-                cond = TRUE
-        base.condition = cond
-        base.private_arrays = verdict.private_arrays
-
-        if cond.is_true():
-            base.status = (
-                "parallel_private"
-                if base.private_arrays or base.reduction_scalars
-                else "parallel"
-            )
-            return base
-        if cond.is_false():
-            base.status = "serial"
-            base.reason = "array dependence"
-            return base
-
-        # residual predicate: candidate run-time test
-        clobbered = (
-            frozenset([loop.var])
-            | summary.body_value.scalar_writes
-            | frozenset(summary.body_value.w.arrays())
-        )
-        if self.opts.runtime_tests and is_runtime_evaluable(cond, clobbered):
-            base.status = "runtime"
-            base.runtime_test = render_predicate(cond)
-            base.runtime_cost = test_cost(cond)
-            if base.private_arrays or base.reduction_scalars:
-                # the guarded parallel version also privatizes
-                pass
-            return base
-        base.status = "serial"
-        base.reason = "unprovable predicate: " + str(cond)
-        return base
+        return decide_loop(summary, symtab, self.opts)
 
     def _mark_enclosed(self, result: ProgramResult) -> None:
-        """Flag every loop nested inside a parallelized loop."""
-        enclosed_ids = set()
-        for l in result.loops:
-            if l.is_parallelized:
-                for s in walk_stmts(l.loop.body):
-                    if isinstance(s, DoLoop):
-                        enclosed_ids.add(id(s))
-        for l in result.loops:
-            if id(l.loop) in enclosed_ids:
-                l.enclosed = True
+        mark_enclosed(result)
+
+
+def decide_unit(
+    dataflow: ArrayDataflow,
+    unit_name: str,
+    summary,
+    symtab,
+    opts: AnalysisOptions,
+    cache: Optional[SummaryCache] = None,
+) -> Tuple[List[LoopResult], bool]:
+    """Decide every loop of one unit, via the decisions cache.
+
+    Decisions are a pure function of the unit's summary key (they read
+    only the loop summaries, the symbol table and the options), so they
+    share it.  Budget-degraded loops — and every loop of a unit whose
+    summary was degraded — stay out of the cache.  Returns the loop
+    results plus whether any loop was budget-degraded.
+    """
+    key = dataflow.unit_keys.get(unit_name)
+    cacheable = (
+        cache is not None
+        and key is not None
+        and unit_name not in dataflow.tainted_units
+    )
+    if cacheable:
+        rows = cache.load(key, "decisions")
+        if rows is not None:
+            rebound = _rebind_decisions(rows, summary, unit_name)
+            if rebound is not None:
+                return rebound, False
+    out: List[LoopResult] = []
+    degraded = False
+    for loop, loop_summary in summary.loops.items():
+        try:
+            with perf.analysis_context(loop_summary.label):
+                out.append(decide_loop(loop_summary, symtab, opts))
+        except BudgetExceeded:
+            perf.bump("budget.degraded_loop")
+            degraded = True
+            out.append(
+                LoopResult(
+                    label=loop.label,
+                    unit=unit_name,
+                    loop=loop,
+                    status="serial",
+                    reason="budget exhausted: not proven parallel",
+                    depth=loop_summary.info.region.loop_depth(),
+                )
+            )
+    if cacheable and not degraded:
+        cache.store(key, "decisions", _decision_rows(out))
+    return out, degraded
+
+
+def decide_loop(summary: LoopSummary, symtab, opts: AnalysisOptions) -> LoopResult:
+    """The parallelization decision for one loop (pure)."""
+    loop = summary.loop
+    info = summary.info
+    base = LoopResult(
+        label=loop.label,
+        unit=summary.unit_name,
+        loop=loop,
+        status="serial",
+        depth=summary.info.region.loop_depth(),
+    )
+    if not info.is_candidate:
+        base.status = "not_candidate"
+        base.reason = (
+            "io" if info.has_io
+            else "return" if info.has_return
+            else "bounds" if not info.bounds_invariant
+            else "step"
+        )
+        return base
+
+    verdict = test_loop(summary, symtab, opts)
+    base.verdict = verdict
+    base.private_scalars = sorted(verdict.private_scalars)
+    base.reduction_scalars = sorted(verdict.reduction_scalars)
+
+    if verdict.scalar_obstacles:
+        base.status = "serial"
+        base.reason = "scalar dependence: " + ", ".join(
+            sorted(verdict.scalar_obstacles)
+        )
+        return base
+
+    cond = verdict.parallel_condition
+    # the loop runs only where its path predicate holds: a residual
+    # condition implied by the path needs no run-time test
+    if (
+        opts.predicates
+        and not cond.is_true()
+        and not cond.is_false()
+        and not summary.path_pred.is_true()
+    ):
+        from repro.predicates.simplify import implies
+
+        if implies(summary.path_pred, cond):
+            cond = TRUE
+    base.condition = cond
+    base.private_arrays = verdict.private_arrays
+
+    if cond.is_true():
+        base.status = (
+            "parallel_private"
+            if base.private_arrays or base.reduction_scalars
+            else "parallel"
+        )
+        return base
+    if cond.is_false():
+        base.status = "serial"
+        base.reason = "array dependence"
+        return base
+
+    # residual predicate: candidate run-time test
+    clobbered = (
+        frozenset([loop.var])
+        | summary.body_value.scalar_writes
+        | frozenset(summary.body_value.w.arrays())
+    )
+    if opts.runtime_tests and is_runtime_evaluable(cond, clobbered):
+        base.status = "runtime"
+        base.runtime_test = render_predicate(cond)
+        base.runtime_cost = test_cost(cond)
+        if base.private_arrays or base.reduction_scalars:
+            # the guarded parallel version also privatizes
+            pass
+        return base
+    base.status = "serial"
+    base.reason = "unprovable predicate: " + str(cond)
+    return base
+
+
+def mark_enclosed(result: ProgramResult) -> None:
+    """Flag every loop nested inside a parallelized loop."""
+    enclosed_ids = set()
+    for l in result.loops:
+        if l.is_parallelized:
+            for s in walk_stmts(l.loop.body):
+                if isinstance(s, DoLoop):
+                    enclosed_ids.add(id(s))
+    for l in result.loops:
+        if id(l.loop) in enclosed_ids:
+            l.enclosed = True
 
 
 def _decision_rows(results: List[LoopResult]) -> list:
@@ -444,6 +494,7 @@ def analyze_program(
     program: Program,
     opts: Optional[AnalysisOptions] = None,
     cache: Optional[SummaryCache] = None,
+    jobs: int = 1,
 ) -> ProgramResult:
     """One-call convenience wrapper."""
-    return ParallelizationDriver(program, opts, cache=cache).run()
+    return ParallelizationDriver(program, opts, cache=cache, jobs=jobs).run()

@@ -20,6 +20,7 @@ from repro.perf.counters import (
     counter,
     current_context,
     declare,
+    exempt_cache,
     memo_table,
     on_reset,
     phase,
@@ -32,6 +33,8 @@ from repro.perf.counters import (
     snapshot_delta,
     snapshot_max,
     total_ops,
+    track_cache_object,
+    tracked_cache,
 )
 
 __all__ = [
@@ -43,6 +46,7 @@ __all__ = [
     "counter",
     "current_context",
     "declare",
+    "exempt_cache",
     "memo_table",
     "on_reset",
     "phase",
@@ -55,4 +59,6 @@ __all__ = [
     "snapshot_delta",
     "snapshot_max",
     "total_ops",
+    "track_cache_object",
+    "tracked_cache",
 ]

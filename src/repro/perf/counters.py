@@ -16,6 +16,7 @@ it, never the other way around.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from contextlib import contextmanager
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
@@ -68,15 +69,52 @@ _memos: Dict[str, Memo] = {}
 _external: Dict[str, Tuple[Callable[[], Dict], Callable[[], None]]] = {}
 #: callbacks run after a reset (re-seed interned module singletons)
 _reseeders: List[Callable[[], None]] = []
+#: identity map of every cache-like *object* known to the registry
+#: (``id(obj) -> (name, kind)`` with kind "memo" | "external" |
+#: "exempt").  The registry-completeness test scans the package for
+#: cache-like objects and fails when one was created without passing
+#: through :func:`memo_table`, :func:`register_cache` or
+#: :func:`exempt_cache`, so a new memo table cannot silently escape
+#: :func:`reset_all_caches`.
+_tracked_objects: Dict[int, Tuple[str, str]] = {}
+
+
+def track_cache_object(obj: object, name: str, kind: str) -> None:
+    """Record *obj* as a registry-known cache (identity-keyed)."""
+    _tracked_objects[id(obj)] = (name, kind)
+
+
+def tracked_cache(obj: object) -> Optional[Tuple[str, str]]:
+    """The (name, kind) registration of *obj*, or ``None``."""
+    return _tracked_objects.get(id(obj))
+
+
+def exempt_cache(obj: object, name: str, reason: str) -> None:
+    """Declare *obj* deliberately outside :func:`reset_all_caches`.
+
+    Use for tables whose content is immutable program text or pure
+    configuration (clearing them would only force identical
+    recomputation); *reason* documents why at the declaration site.
+    """
+    track_cache_object(obj, f"{name} (exempt: {reason})", "exempt")
 
 _counters: Dict[str, int] = {}
 _phases: Dict[str, float] = {}
 #: cache statistics absorbed from worker processes (name -> hits/misses/size)
 _foreign: Dict[str, Dict[str, float]] = {}
-#: stack of analysis-context labels ("unit:Ln" / "unit:<proc>"); the top
-#: entry attributes substrate events (FM fallback drops, budget trips) to
-#: the procedure/loop being analyzed
-_context: List[str] = []
+#: per-thread stack of analysis-context labels ("unit:Ln" /
+#: "unit:<proc>"); the top entry attributes substrate events (FM
+#: fallback drops, budget trips) to the procedure/loop being analyzed.
+#: Thread-local so the pipeline's intra-program worker threads cannot
+#: pop each other's labels.
+_context_local = threading.local()
+
+
+def _context_stack() -> List[str]:
+    stack = getattr(_context_local, "stack", None)
+    if stack is None:
+        stack = _context_local.stack = []
+    return stack
 
 
 def memo_table(name: str) -> Memo:
@@ -84,6 +122,7 @@ def memo_table(name: str) -> Memo:
     table = _memos.get(name)
     if table is None:
         table = _memos[name] = Memo(name)
+        track_cache_object(table, name, "memo")
     return table
 
 
@@ -91,9 +130,16 @@ def register_cache(
     name: str,
     stats: Callable[[], Dict],
     clear: Callable[[], None],
+    obj: Optional[object] = None,
 ) -> None:
-    """Register an externally managed cache (stats dict + clear fn)."""
+    """Register an externally managed cache (stats dict + clear fn).
+
+    Pass the cache object itself as *obj* (e.g. the ``lru_cache``
+    wrapper) so the registry-completeness test can prove it is covered.
+    """
     _external[name] = (stats, clear)
+    if obj is not None:
+        track_cache_object(obj, name, "external")
 
 
 def on_reset(callback: Callable[[], None]) -> None:
@@ -247,16 +293,18 @@ def analysis_context(label: str) -> Iterator[None]:
     precision-losing event happened without depending on the layers
     above them.
     """
-    _context.append(label)
+    stack = _context_stack()
+    stack.append(label)
     try:
         yield
     finally:
-        _context.pop()
+        stack.pop()
 
 
 def current_context() -> str:
     """The innermost analysis-context label, or ``"<toplevel>"``."""
-    return _context[-1] if _context else "<toplevel>"
+    stack = _context_stack()
+    return stack[-1] if stack else "<toplevel>"
 
 
 @contextmanager

@@ -1,0 +1,158 @@
+"""The unified pass pipeline.
+
+One explicit compile flow replaces the legacy monolithic driver:
+:func:`run_pipeline` builds a
+:class:`~repro.pipeline.context.ProgramContext`, schedules the passes of
+:func:`~repro.pipeline.passes.analysis_passes` under a
+:class:`~repro.pipeline.manager.PassManager`, and returns the context —
+with ``jobs > 1`` running independent callgraph subtrees concurrently,
+byte-identical to the serial (and legacy) results.
+
+The pipeline is the default.  ``REPRO_PIPELINE=0`` (or
+:func:`set_pipeline`) routes the public entry points back through the
+legacy monolithic path, which is kept verbatim as the pinned reference
+the integration tests compare against.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional, Sequence, Tuple
+
+from repro import perf
+from repro.arraydf.options import AnalysisOptions
+from repro.pipeline.base import (
+    CALLEES_SUFFIX,
+    PROGRAM_SCOPE,
+    ROOT_ARTIFACT,
+    UNIT_SCOPE,
+    Pass,
+)
+from repro.pipeline.context import MissingArtifact, ProgramContext
+from repro.pipeline.manager import PassManager, PipelineWiringError
+from repro.pipeline.passes import (
+    DecidePass,
+    EnclosePass,
+    FrontendPass,
+    PlanPass,
+    ScalarPropPass,
+    SummarizePass,
+    TwoVersionPass,
+    analysis_passes,
+)
+
+__all__ = [
+    "CALLEES_SUFFIX",
+    "PROGRAM_SCOPE",
+    "ROOT_ARTIFACT",
+    "UNIT_SCOPE",
+    "DecidePass",
+    "EnclosePass",
+    "FrontendPass",
+    "MissingArtifact",
+    "Pass",
+    "PassManager",
+    "PipelineWiringError",
+    "PlanPass",
+    "ProgramContext",
+    "ScalarPropPass",
+    "SummarizePass",
+    "TwoVersionPass",
+    "analysis_passes",
+    "pipeline_enabled",
+    "run_pipeline",
+    "set_pipeline",
+]
+
+# ----------------------------------------------------------------------
+# pipeline switch
+# ----------------------------------------------------------------------
+# Like the predicate-oracle switch: environment-controlled with a
+# programmatic override, so the integration tests can pin the pipeline
+# and legacy paths against each other in one process.
+
+_pipeline: Optional[bool] = None
+
+
+def pipeline_enabled() -> bool:
+    """Is the pass pipeline (vs the legacy monolithic path) enabled?"""
+    global _pipeline
+    if _pipeline is None:
+        raw = os.environ.get("REPRO_PIPELINE", "1").strip().lower()
+        _pipeline = raw not in ("0", "off", "false", "no")
+    return _pipeline
+
+
+def set_pipeline(enabled: Optional[bool]) -> None:
+    """Force the pipeline on/off; ``None`` re-reads the environment."""
+    global _pipeline
+    _pipeline = enabled
+
+
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
+def run_pipeline(
+    program,
+    opts: Optional[AnalysisOptions] = None,
+    cache=None,
+    jobs: int = 1,
+    goals: Sequence[str] = ("result",),
+    explain: bool = False,
+) -> ProgramContext:
+    """Run the compile flow for *program* up to *goals*.
+
+    Returns the :class:`ProgramContext`; read artifacts off it
+    (``ctx.get("result")``, ``ctx.get("transformed")``, …).  With a
+    cache attached the program-level fast path is honored first: an
+    unchanged program loads its whole result in one rebind, scheduling
+    nothing upstream; a fresh, undegraded run stores the program payload
+    back, exactly as the legacy driver did.
+    """
+    from repro.partests.driver import ParallelizationDriver, _decision_rows
+    from repro.service.cache import program_key
+
+    start = time.perf_counter()
+    opts = opts or AnalysisOptions.predicated()
+    ctx = ProgramContext(program, opts, cache=cache)
+    goals = tuple(goals)
+
+    pkey = None
+    fresh_result = False
+    if cache is not None and "result" in goals:
+        pkey = program_key(program, opts)
+        payload = cache.load(pkey, "program")
+        if payload is not None:
+            with perf.phase("driver.rebind"):
+                rebound = ParallelizationDriver(
+                    program, opts, cache=cache
+                )._rebind_program(payload)
+            if rebound is not None:
+                ctx.put("result", rebound)
+                ctx.put("degraded", False)
+
+    manager = PassManager(analysis_passes())
+    fresh_result = not ctx.has("result")
+    manager.run(ctx, jobs=jobs, goals=goals, explain=explain)
+
+    if ctx.has("result"):
+        result = ctx.get("result")
+        result.analysis_seconds = time.perf_counter() - start
+        if (
+            fresh_result
+            and cache is not None
+            and pkey is not None
+            and ctx.has("engine")
+            and not ctx.degraded
+            and not ctx.engine.tainted_units
+        ):
+            cache.store(
+                pkey,
+                "program",
+                [
+                    (name, _decision_rows(ctx.get("decisions", name)))
+                    for name in ctx.unit_names()
+                ],
+            )
+    return ctx

@@ -1,0 +1,199 @@
+"""The concrete passes of the parallelization compile flow.
+
+The passes reproduce the legacy monolithic driver exactly — each stage
+is the same code the legacy path runs, lifted behind the declared-I/O
+:class:`~repro.pipeline.base.Pass` contract so the
+:class:`~repro.pipeline.manager.PassManager` can schedule it.  The flow:
+
+.. code-block:: text
+
+    source_program
+        │ scalarprop            (program)
+        ▼
+    program ──── frontend       (program: parse-side tables)
+        ▼
+    engine ───── summarize      (unit, bottom-up over callees, cacheable)
+        ▼
+    summary ──── decide         (unit, cacheable)
+        ▼
+    decisions ── enclose        (program: deterministic merge)
+        ▼
+    result ───── plan           (program)
+        ▼
+    plan ─────── twoversion     (program)
+        ▼
+    transformed
+
+Budget boundaries: ``summarize`` checkpoints on entry and degrades a
+tripped unit to the conservative whole-array summary (tainting it out of
+the cache); ``decide`` demotes each tripped loop to ``serial``.  Both
+are the exact legacy semantics — the manager never checkpoints itself,
+so a budget trip can only ever *weaken* answers, never abort a run.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.arraydf.analysis import ArrayDataflow
+from repro.pipeline.base import PROGRAM_SCOPE, UNIT_SCOPE, Pass
+from repro.pipeline.context import ProgramContext
+
+
+class ScalarPropPass(Pass):
+    """Interprocedural scalar propagation (identity when disabled)."""
+
+    name = "scalarprop"
+    scope = PROGRAM_SCOPE
+    inputs = ("source_program",)
+    outputs = ("program",)
+
+    def run(self, ctx: ProgramContext, unit: Optional[str] = None) -> None:
+        program = ctx.source_program
+        if ctx.opts.scalar_propagation:
+            from repro.ir.scalarprop import propagate_scalars
+
+            program = propagate_scalars(program)
+        ctx.put("program", program)
+
+
+class FrontendPass(Pass):
+    """Build the analysis engine: callgraph, symbol tables, caches."""
+
+    name = "frontend"
+    scope = PROGRAM_SCOPE
+    inputs = ("program",)
+    outputs = ("engine",)
+
+    def run(self, ctx: ProgramContext, unit: Optional[str] = None) -> None:
+        engine = ArrayDataflow(
+            ctx.get("program"),
+            ctx.opts,
+            cache=ctx.cache,
+            propagated=True,
+        )
+        ctx.put("engine", engine)
+
+
+class SummarizePass(Pass):
+    """The array data-flow walk of one unit.
+
+    Bottom-up: a unit's walk splices in its callees' summaries, declared
+    by the ``summary@callees`` input — the edge the scheduler turns into
+    the callgraph dependence structure.  With a cache attached the
+    engine loads/stores the summary under its content key; a budget trip
+    degrades the unit soundly (and taints it out of the cache).
+    """
+
+    name = "summarize"
+    scope = UNIT_SCOPE
+    inputs = ("engine", "summary@callees")
+    outputs = ("summary",)
+    cacheable = True
+
+    def run(self, ctx: ProgramContext, unit: Optional[str] = None) -> None:
+        assert unit is not None
+        ctx.put("summary", ctx.engine.run_unit(unit), unit)
+
+
+class DecidePass(Pass):
+    """Per-loop parallelization decisions for one unit.
+
+    Pure in the unit's summary key, so decisions share it in the cache.
+    Budget-tripped loops demote to ``serial`` and mark the unit
+    degraded; degraded decisions are never stored.
+    """
+
+    name = "decide"
+    scope = UNIT_SCOPE
+    inputs = ("engine", "summary")
+    outputs = ("decisions", "decisions_degraded")
+    cacheable = True
+
+    def run(self, ctx: ProgramContext, unit: Optional[str] = None) -> None:
+        assert unit is not None
+        from repro.partests.driver import decide_unit
+
+        engine = ctx.engine
+        rows, degraded = decide_unit(
+            engine,
+            unit,
+            ctx.get("summary", unit),
+            engine.symtabs[unit],
+            ctx.opts,
+            ctx.cache,
+        )
+        ctx.put("decisions", rows, unit)
+        ctx.put("decisions_degraded", degraded, unit)
+
+
+class EnclosePass(Pass):
+    """Assemble the :class:`~repro.partests.driver.ProgramResult`.
+
+    The deterministic merge point: per-unit decisions are concatenated
+    in program (parse) order — never in completion order — so the
+    result is byte-identical for any worker count.  Loops nested inside
+    a parallelized loop are flagged ``enclosed`` here because the
+    marking needs every unit's decisions at once.
+    """
+
+    name = "enclose"
+    scope = PROGRAM_SCOPE
+    inputs = ("source_program", "decisions", "decisions_degraded")
+    outputs = ("result", "degraded")
+
+    def run(self, ctx: ProgramContext, unit: Optional[str] = None) -> None:
+        from repro.partests.driver import ProgramResult, mark_enclosed
+
+        result = ProgramResult(ctx.source_program, ctx.opts)
+        degraded = False
+        for name in ctx.unit_names():
+            result.loops.extend(ctx.get("decisions", name))
+            degraded = degraded or ctx.get("decisions_degraded", name)
+        mark_enclosed(result)
+        ctx.put("result", result)
+        ctx.put("degraded", degraded)
+
+
+class PlanPass(Pass):
+    """Lower loop decisions into a :class:`ParallelPlan`."""
+
+    name = "plan"
+    scope = PROGRAM_SCOPE
+    inputs = ("result",)
+    outputs = ("plan",)
+
+    def run(self, ctx: ProgramContext, unit: Optional[str] = None) -> None:
+        from repro.codegen.plan import build_plan
+
+        ctx.put("plan", build_plan(ctx.get("result")))
+
+
+class TwoVersionPass(Pass):
+    """Source-to-source two-version transformation of the program."""
+
+    name = "twoversion"
+    scope = PROGRAM_SCOPE
+    inputs = ("plan", "source_program")
+    outputs = ("transformed",)
+
+    def run(self, ctx: ProgramContext, unit: Optional[str] = None) -> None:
+        from repro.codegen.twoversion import transform_program
+
+        ctx.put(
+            "transformed",
+            transform_program(ctx.source_program, ctx.get("plan")),
+        )
+
+
+def analysis_passes() -> Tuple[Pass, ...]:
+    """The full compile flow, in pipeline order."""
+    return (
+        ScalarPropPass(),
+        FrontendPass(),
+        SummarizePass(),
+        DecidePass(),
+        EnclosePass(),
+        PlanPass(),
+        TwoVersionPass(),
+    )

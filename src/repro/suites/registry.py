@@ -5,6 +5,7 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import Dict, List
 
+from repro import perf
 from repro.suites.compose import BenchmarkProgram
 
 SUITE_NAMES = ("specfp95", "nas", "perfect", "extra")
@@ -23,6 +24,14 @@ def all_programs() -> List[BenchmarkProgram]:
     names = [p.name for p in out]
     assert len(names) == len(set(names)), "duplicate program names"
     return out
+
+
+perf.exempt_cache(
+    all_programs,
+    "suites.all_programs",
+    "static benchmark-program definitions; clearing only re-parses "
+    "identical source text",
+)
 
 
 def by_suite(suite: str) -> List[BenchmarkProgram]:

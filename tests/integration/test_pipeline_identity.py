@@ -1,0 +1,154 @@
+"""Byte-identity of the pass pipeline against the legacy path.
+
+The pipeline refactor is a pure restructuring: the same code runs in
+the same data-dependence order, so
+
+* the formatted experiment outputs (the paper's tables) must match the
+  legacy monolithic driver byte for byte, and
+* a parallel schedule (``jobs > 1``) must match the serial one byte for
+  byte — wall-clock timing lines excluded, everything else pinned.
+
+Budget exhaustion inside any pass must keep the legacy sound-degradation
+semantics: decisions only ever demote to serial and nothing degraded is
+cached.
+"""
+
+import re
+import warnings
+
+from repro import perf
+from repro.arraydf.options import AnalysisOptions
+from repro.codegen.report import format_report
+from repro.experiments import fig1_examples, table2_programs
+from repro.lang.prettyprint import pretty
+from repro.pipeline import run_pipeline, set_pipeline
+from repro.service import Budget, budget_scope
+from repro.service.cache import SummaryCache
+from repro.suites import all_programs, get_program
+
+_TIMING = re.compile(r"analysis: [0-9.]+ ms")
+
+
+def _formatted(pipeline_on):
+    set_pipeline(pipeline_on)
+    perf.reset_all_caches()
+    perf.reset_counters()
+    return (
+        table2_programs.run().format(),
+        fig1_examples.run().format(),
+    )
+
+
+class TestPipelineVsLegacy:
+    def test_experiment_outputs_byte_identical(self):
+        try:
+            with_pipeline = _formatted(True)
+            legacy = _formatted(False)
+        finally:
+            set_pipeline(None)
+            perf.reset_all_caches()
+        assert with_pipeline[0] == legacy[0]  # Table 2 (predicated)
+        assert with_pipeline[1] == legacy[1]  # Figure 1 examples
+
+
+class TestParallelVsSerial:
+    def _outputs(self, program, jobs):
+        ctx = run_pipeline(
+            program,
+            AnalysisOptions.predicated(),
+            jobs=jobs,
+            goals=("result", "transformed"),
+        )
+        report = _TIMING.sub(
+            "analysis: - ms", format_report(ctx.get("result"), title="t")
+        )
+        return report, pretty(ctx.get("transformed"))
+
+    def test_every_suite_program_identical_any_job_count(self):
+        for bench in all_programs():
+            serial = self._outputs(bench.fresh_program(), jobs=1)
+            parallel = self._outputs(bench.fresh_program(), jobs=4)
+            assert serial == parallel, bench.name
+
+
+class TestBudgetDegradationThroughPipeline:
+    def _statuses(self, result):
+        return {l.label: l.status for l in result.loops}
+
+    def _run(self, program, budget=None, cache=None, jobs=1):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            with budget_scope(budget):
+                ctx = run_pipeline(
+                    program,
+                    AnalysisOptions.predicated(),
+                    cache=cache,
+                    jobs=jobs,
+                )
+        return ctx
+
+    def test_exhaustion_demotes_soundly_and_marks_context(self):
+        perf.reset_all_caches()
+        bench = all_programs()[0]
+        before = perf.counter("budget.degraded_unit") + perf.counter(
+            "budget.degraded_loop"
+        )
+        ctx = self._run(
+            bench.fresh_program(), Budget(max_fm_constraints=1), jobs=2
+        )
+        tripped = (
+            perf.counter("budget.degraded_unit")
+            + perf.counter("budget.degraded_loop")
+        ) - before
+        assert tripped > 0, "budget never tripped — test is vacuous"
+        assert ctx.degraded or ctx.engine.tainted_units
+        degraded = self._statuses(ctx.get("result"))
+        precise = self._statuses(
+            self._run(bench.fresh_program()).get("result")
+        )
+        assert degraded.keys() == precise.keys()
+        for label, status in precise.items():
+            if degraded[label] != status:
+                assert degraded[label] == "serial"
+                assert status != "not_candidate"
+
+    def test_degraded_pass_results_never_cached(self, tmp_path):
+        perf.reset_all_caches()
+        cache = SummaryCache(tmp_path / "c")
+        bench = all_programs()[0]
+        self._run(
+            bench.fresh_program(),
+            Budget(max_fm_constraints=1),
+            cache=cache,
+            jobs=2,
+        )
+        assert cache.entry_count() == 0
+        # an unbudgeted run then stores the precise artifacts
+        ctx = self._run(bench.fresh_program(), cache=cache)
+        assert cache.entry_count() > 0
+        assert not ctx.degraded
+
+
+class TestProgramCacheFastPath:
+    def test_warm_pipeline_run_rebinds_whole_program(self, tmp_path):
+        perf.reset_all_caches()
+        cache = SummaryCache(tmp_path / "c")
+        bench = get_program("turb3d")
+        cold = run_pipeline(
+            bench.fresh_program(), AnalysisOptions.predicated(), cache=cache
+        )
+        hits = perf.counter("cache.program_hit")
+        warm = run_pipeline(
+            bench.fresh_program(), AnalysisOptions.predicated(), cache=cache
+        )
+        assert perf.counter("cache.program_hit") > hits
+        assert not warm.has("engine")  # nothing upstream was scheduled
+        cold_rows = [
+            (l.label, l.status, str(l.condition), l.enclosed)
+            for l in cold.get("result").loops
+        ]
+        warm_rows = [
+            (l.label, l.status, str(l.condition), l.enclosed)
+            for l in warm.get("result").loops
+        ]
+        assert cold_rows == warm_rows

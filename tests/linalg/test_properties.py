@@ -101,10 +101,20 @@ class TestFourierMotzkinProperties:
             assert proj.evaluate(env)
 
     @settings(max_examples=60)
-    @given(systems(), st.sampled_from(VARS))
-    def test_feasibility_monotone_under_projection(self, s, var):
-        """Projection never turns a feasible system infeasible."""
-        if is_feasible(s):
+    @given(systems(), st.sampled_from(VARS), points)
+    def test_feasibility_monotone_under_projection(self, s, var, env):
+        """Projection never turns an integer-feasible system infeasible.
+
+        ``eliminate`` applies gcd-based integer tightening while
+        ``is_feasible`` answers over the rationals, so a rationally
+        feasible but integer-empty system (e.g. one forcing
+        ``i - k == 1/2``) may legitimately project to an infeasible
+        system.  The sound property is therefore stated for integer
+        witnesses: any system with an integer point stays feasible
+        under projection.
+        """
+        if s.evaluate(env):
+            assert is_feasible(s)
             assert is_feasible(eliminate(s, var))
 
 

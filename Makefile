@@ -34,7 +34,12 @@ perfgate:
 		--threshold 2.0 \
 		--max-ratio test_pipeline_parallel:test_pipeline_serial:1.5 \
 		--max-ratio test_pipeline_serial:test_pipeline_legacy_driver:1.25
+	$(PYTHON) benchmarks/check_regression.py \
+		--baseline BENCH_pr4.json --current BENCH_pr5.json \
+		--threshold 2.0 --require-faster test_whole_program_analysis \
+		--max-ratio test_linalg_eliminate_packed:test_linalg_eliminate_legacy:0.9 \
+		--max-ratio test_linalg_feasibility_packed:test_linalg_feasibility_legacy:0.9
 
 # re-record the micro-benchmark timings (compare with perfgate)
 bench:
-	$(PYTHON) -m pytest benchmarks/test_core_micro.py benchmarks/test_predicates_micro.py benchmarks/test_pipeline_micro.py --benchmark-json BENCH_current.json
+	$(PYTHON) -m pytest benchmarks/test_core_micro.py benchmarks/test_predicates_micro.py benchmarks/test_pipeline_micro.py benchmarks/test_linalg_micro.py --benchmark-json BENCH_current.json

@@ -38,6 +38,7 @@ MICRO_BENCH = [
     os.path.join(REPO_ROOT, "benchmarks", "test_core_micro.py"),
     os.path.join(REPO_ROOT, "benchmarks", "test_predicates_micro.py"),
     os.path.join(REPO_ROOT, "benchmarks", "test_pipeline_micro.py"),
+    os.path.join(REPO_ROOT, "benchmarks", "test_linalg_micro.py"),
 ]
 
 
@@ -132,6 +133,29 @@ def check_oracle_pairs(info: dict):
                 continue
             on, off = info[name][key], info[name][off_key]
             if on >= off:
+                failures.append((name, key, on, off))
+    return failures
+
+
+def check_parity_pairs(info: dict):
+    """Enforce paired ``<key>[packed=on]`` == ``<key>[packed=off]`` counters.
+
+    The linalg micro-benchmarks record the deterministic ``fm.*``
+    counters for both kernel modes; the packed kernel must do *exactly*
+    the same eliminations and pair combinations as the legacy one — any
+    difference means the identical-results contract is broken, not that
+    one mode is cheaper.
+    """
+    failures = []
+    for name in sorted(info):
+        for key in sorted(info[name]):
+            if not key.endswith("[packed=on]"):
+                continue
+            off_key = key[: -len("[packed=on]")] + "[packed=off]"
+            if off_key not in info[name]:
+                continue
+            on, off = info[name][key], info[name][off_key]
+            if on != off:
                 failures.append((name, key, on, off))
     return failures
 
@@ -265,6 +289,13 @@ def main(argv=None) -> int:
         print(
             f"\nFAIL: {name}: {key} = {on} must be strictly below "
             f"its [oracle=off] pair = {off}"
+        )
+        failures += 1
+
+    for name, key, on, off in check_parity_pairs(current_info):
+        print(
+            f"\nFAIL: {name}: {key} = {on} must equal its "
+            f"[packed=off] pair = {off} (kernel parity broken)"
         )
         failures += 1
 

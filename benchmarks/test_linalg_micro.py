@@ -1,0 +1,126 @@
+"""Micro-benchmarks of the linalg elimination kernels, packed vs legacy.
+
+Each workload is timed twice — once with the packed integer-matrix
+kernel (``REPRO_PACKED_KERNEL``, the default) and once on the legacy
+symbolic path — from cold caches on the *same* deterministic constraint
+corpus, so the pair of benchmarks isolates exactly the kernel cost.  The
+packed variant of each pair must be strictly faster (gated by
+``--max-ratio`` in ``make perfgate``), and the deterministic ``fm.*``
+counters recorded in ``extra_info`` must be *equal* across modes — the
+packed kernel does the same eliminations and pair combinations, it just
+runs them on plain integer tuples (``check_parity_pairs`` in
+``benchmarks/check_regression.py`` gates that equality).
+
+Compare runs against the committed recordings with
+``benchmarks/check_regression.py`` (which runs this file alongside the
+other micro files).
+"""
+
+import random
+import warnings
+
+from repro import perf
+from repro.linalg.constraint import Constraint, Rel
+from repro.linalg.feasibility import is_feasible
+from repro.linalg.fourier_motzkin import eliminate_all
+from repro.linalg.system import LinearSystem
+from repro.symbolic.affine import AffineExpr
+
+PARITY_COUNTERS = ("fm.eliminate", "fm.pair_combine", "fm.fallback_drop")
+
+
+def _corpus(seed=7, count=120):
+    """Deterministic mixed corpus: the shapes FM sees from region algebra
+    (mostly small inequality systems, some equalities, occasional
+    contradictions)."""
+    rng = random.Random(seed)
+    systems = []
+    for _ in range(count):
+        nv = rng.randint(3, 6)
+        vars_ = [f"v{i}" for i in range(nv)]
+        cons = []
+        for _ in range(rng.randint(4, 10)):
+            coeffs = {
+                v: rng.randint(-5, 5) for v in vars_ if rng.random() < 0.7
+            }
+            coeffs = {v: c for v, c in coeffs.items() if c}
+            rel = Rel.EQ if rng.random() < 0.25 else Rel.LE
+            cons.append(
+                Constraint(AffineExpr(coeffs, rng.randint(-10, 10)), rel)
+            )
+        systems.append(LinearSystem(tuple(cons)))
+    return systems
+
+
+def _measure(enabled, workload):
+    """Cold-cache deterministic counter deltas for one kernel mode."""
+    perf.set_packed_kernel(enabled)
+    perf.reset_all_caches()
+    perf.reset_counters()
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            workload()
+        return {c: perf.counter(c) for c in PARITY_COUNTERS}
+    finally:
+        perf.set_packed_kernel(None)
+
+
+def _bench_pair(benchmark, enabled, workload):
+    """Record parity counters for both modes, then time one of them."""
+    counts_on = _measure(True, workload)
+    counts_off = _measure(False, workload)
+    for key in PARITY_COUNTERS:
+        benchmark.extra_info[f"{key}[packed=on]"] = counts_on[key]
+        benchmark.extra_info[f"{key}[packed=off]"] = counts_off[key]
+
+    def probe():
+        perf.set_packed_kernel(enabled)
+        perf.reset_all_caches()
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                return workload()
+        finally:
+            perf.set_packed_kernel(None)
+
+    return benchmark(probe)
+
+
+def _eliminate_workload():
+    systems = _corpus(seed=7)
+
+    def run():
+        acc = 0
+        for s in systems:
+            acc += len(eliminate_all(s, s.variables()))
+        return acc
+
+    return run
+
+
+def _feasibility_workload():
+    systems = _corpus(seed=11)
+
+    def run():
+        return sum(1 for s in systems if is_feasible(s))
+
+    return run
+
+
+def test_linalg_eliminate_packed(benchmark):
+    _bench_pair(benchmark, True, _eliminate_workload())
+
+
+def test_linalg_eliminate_legacy(benchmark):
+    _bench_pair(benchmark, False, _eliminate_workload())
+
+
+def test_linalg_feasibility_packed(benchmark):
+    feasible = _bench_pair(benchmark, True, _feasibility_workload())
+    assert 0 < feasible <= 120
+
+
+def test_linalg_feasibility_legacy(benchmark):
+    feasible = _bench_pair(benchmark, False, _feasibility_workload())
+    assert 0 < feasible <= 120

@@ -19,6 +19,14 @@ Both :func:`eliminate` and :func:`eliminate_all` are memoized on the
 interned identity of their arguments; region projection repeatedly
 eliminates the same loop indices from the same systems, and the memo
 turns those repeats into dictionary lookups.
+
+Two kernels implement the projection itself.  The **packed** kernel
+(:mod:`repro.linalg.packed`, the default) lowers the system once into a
+dense integer-matrix form and runs the whole pipeline there, re-interning
+only final results; the **legacy** kernel below materializes interned
+symbolic objects for every intermediate bound pair.  Both produce
+pointer-identical results and identical ``fm.*`` counter deltas; the
+switch is ``REPRO_PACKED_KERNEL`` / :func:`repro.perf.set_packed_kernel`.
 """
 
 from __future__ import annotations
@@ -46,9 +54,15 @@ _ELIM_ALL = perf.memo_table("fm.eliminate_all")
 
 perf.declare("fm.fallback_drop")
 
+#: cap on remembered analysis contexts: a long-lived ``repro serve``
+#: process sees an unbounded stream of context labels, so the warned set
+#: evicts oldest-first instead of growing forever
+_WARNED_CONTEXTS_MAX = 512
+
 #: analysis-context labels (procedure / loop) already warned about; the
-#: warning fires once per context, further drops there only count
-_warned_contexts: set = set()
+#: warning fires once per context, further drops there only count.  A
+#: dict (insertion-ordered) used as a bounded FIFO set.
+_warned_contexts: dict = {}
 
 
 def _reset_warned() -> None:
@@ -56,6 +70,19 @@ def _reset_warned() -> None:
 
 
 perf.on_reset(_reset_warned)
+
+
+_packed_mod = None
+
+
+def _packed():
+    """Lazy import of the packed kernel (it imports our constants)."""
+    global _packed_mod
+    if _packed_mod is None:
+        from repro.linalg import packed
+
+        _packed_mod = packed
+    return _packed_mod
 
 
 def _note_fallback(var: str, n_pairs: int) -> None:
@@ -70,7 +97,9 @@ def _note_fallback(var: str, n_pairs: int) -> None:
     perf.bump("fm.fallback_drop")
     perf.bump(f"fm.fallback_drop[{ctx}]")
     if ctx not in _warned_contexts:
-        _warned_contexts.add(ctx)
+        if len(_warned_contexts) >= _WARNED_CONTEXTS_MAX:
+            _warned_contexts.pop(next(iter(_warned_contexts)))
+        _warned_contexts[ctx] = True
         warnings.warn(
             "Fourier-Motzkin elimination of %r in %s would combine %d bound "
             "pairs (> %d); dropping the variable's constraints instead. The "
@@ -119,6 +148,10 @@ def eliminate(system: LinearSystem, var: str) -> LinearSystem:
     """
     if var not in system.variables():
         return system
+    if perf.packed_kernel_enabled():
+        # the packed kernel keeps its own per-step memo (fm.packed.reuse)
+        # keyed on the canonical packed form, bijective with (system, var)
+        return _packed().eliminate_packed(system, var)
     key = (system, var)
     cached = _ELIM.data.get(key)
     if cached is not None:
@@ -203,7 +236,17 @@ def eliminate_all(system: LinearSystem, variables: Iterable[str]) -> LinearSyste
         _ELIM_ALL.hits += 1
         return cached
     _ELIM_ALL.misses += 1
+    if perf.packed_kernel_enabled():
+        current = _packed().eliminate_all_packed(system, todo0)
+    else:
+        current = _eliminate_all_legacy(system, todo0)
+    _ELIM_ALL.data[key] = current
+    return current
 
+
+def _eliminate_all_legacy(
+    system: LinearSystem, todo0: Tuple[str, ...]
+) -> LinearSystem:
     todo = list(todo0)
     current = system
     while todo:
@@ -235,5 +278,4 @@ def eliminate_all(system: LinearSystem, variables: Iterable[str]) -> LinearSyste
         current = eliminate(current, var)
         if len(current) > SIMPLIFY_THRESHOLD:
             current = current.simplified()
-    _ELIM_ALL.data[key] = current
     return current

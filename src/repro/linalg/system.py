@@ -25,6 +25,7 @@ Number = Union[int, Fraction]
 
 _RAW = perf.memo_table("system.raw")
 _INTERN = perf.memo_table("system.intern")
+_RENAME = perf.memo_table("system.rename")
 
 
 class LinearSystem:
@@ -156,9 +157,25 @@ class LinearSystem:
         )
 
     def rename(self, mapping: Mapping[str, str]) -> "LinearSystem":
-        return LinearSystem(
+        """Rename variables (memoized on the interned system + mapping).
+
+        Region summaries are re-instantiated with the same index
+        renamings at every call site, so warm analyses replay identical
+        rename chains; the memo turns those into dictionary lookups.
+        """
+        if not self._constraints:
+            return self
+        key = (self, tuple(sorted(mapping.items())))
+        cached = _RENAME.data.get(key)
+        if cached is not None:
+            _RENAME.hits += 1
+            return cached
+        _RENAME.misses += 1
+        result = LinearSystem(
             tuple(c.rename(mapping) for c in self._constraints)
         )
+        _RENAME.data[key] = result
+        return result
 
     def evaluate(self, env: Mapping[str, Number]) -> bool:
         return all(c.evaluate(env) for c in self._constraints)

@@ -23,11 +23,13 @@ from repro.perf.counters import (
     exempt_cache,
     memo_table,
     on_reset,
+    packed_kernel_enabled,
     phase,
     pred_oracle_enabled,
     register_cache,
     reset_all_caches,
     reset_counters,
+    set_packed_kernel,
     set_pred_oracle,
     snapshot,
     snapshot_delta,
@@ -49,11 +51,13 @@ __all__ = [
     "exempt_cache",
     "memo_table",
     "on_reset",
+    "packed_kernel_enabled",
     "phase",
     "pred_oracle_enabled",
     "register_cache",
     "reset_all_caches",
     "reset_counters",
+    "set_packed_kernel",
     "set_pred_oracle",
     "snapshot",
     "snapshot_delta",

@@ -193,6 +193,37 @@ def set_pred_oracle(enabled: Optional[bool]) -> None:
     _pred_oracle = enabled
 
 
+# ----------------------------------------------------------------------
+# packed-kernel switch
+# ----------------------------------------------------------------------
+# The packed Fourier–Motzkin kernel (repro.linalg.packed) runs variable
+# elimination on flat integer coefficient rows instead of interned
+# AffineExpr/Constraint/LinearSystem objects.  It is a pure cost
+# optimization: on or off, every projected system, feasibility answer
+# and fm.* counter is identical.  The switch lives here — not in the
+# linalg package — for the same reason as the oracle switch: the
+# dependency-free perf layer is importable from anywhere.  Controlled by
+# the REPRO_PACKED_KERNEL environment variable ("0"/"off"/"false"/"no"
+# disable) or programmatically via set_packed_kernel().
+
+_packed_kernel: Optional[bool] = None
+
+
+def packed_kernel_enabled() -> bool:
+    """Is the packed Fourier–Motzkin kernel enabled?"""
+    global _packed_kernel
+    if _packed_kernel is None:
+        raw = os.environ.get("REPRO_PACKED_KERNEL", "1").strip().lower()
+        _packed_kernel = raw not in ("0", "off", "false", "no")
+    return _packed_kernel
+
+
+def set_packed_kernel(enabled: Optional[bool]) -> None:
+    """Force the packed kernel on/off; ``None`` re-reads the environment."""
+    global _packed_kernel
+    _packed_kernel = enabled
+
+
 def bump(name: str, n: int = 1) -> None:
     """Increment event counter *name* by *n*."""
     _counters[name] = _counters.get(name, 0) + n

@@ -22,16 +22,22 @@ from repro.regions.project import (
     must_project_over_loop,
     project_over_loop,
 )
+from repro import perf
 from repro.regions.region import ArrayRegion
 from repro.regions.subtract import subtract_summary
 
 REGION_BUDGET = 12
 
+#: may-union results keyed by the (value-hashable) operand pair and
+#: budget; warm re-analyses replay identical union chains, and the
+#: regions inside are interned so re-returning a cached set is safe
+_UNION = perf.memo_table("summary.union")
+
 
 class SummarySet:
     """An immutable map ``array name → tuple of convex regions``."""
 
-    __slots__ = ("_data",)
+    __slots__ = ("_data", "_hash")
 
     def __init__(
         self, data: Optional[Mapping[str, Iterable[ArrayRegion]]] = None
@@ -43,6 +49,7 @@ class SummarySet:
                 if kept:
                     clean[name] = kept
         object.__setattr__(self, "_data", clean)
+        object.__setattr__(self, "_hash", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("SummarySet is immutable")
@@ -106,7 +113,22 @@ class SummarySet:
     # lattice operations
     # ------------------------------------------------------------------
     def union(self, other: "SummarySet", budget: int = REGION_BUDGET) -> "SummarySet":
-        """May-union with exact coalescing and hull widening at budget."""
+        """May-union with exact coalescing and hull widening at budget
+        (memoized; the operation is pure over interned regions)."""
+        if not other._data and all(
+            len(v) <= budget for v in self._data.values()
+        ):
+            return self
+        if not self._data and all(
+            len(v) <= budget for v in other._data.values()
+        ):
+            return other
+        key = (self, other, budget)
+        cached = _UNION.data.get(key)
+        if cached is not None:
+            _UNION.hits += 1
+            return cached
+        _UNION.misses += 1
         data: Dict[str, List[ArrayRegion]] = {
             k: list(v) for k, v in self._data.items()
         }
@@ -117,7 +139,9 @@ class SummarySet:
         for name in list(data):
             if len(data[name]) > budget:
                 data[name] = _widen(data[name], budget)
-        return SummarySet(data)
+        result = SummarySet(data)
+        _UNION.data[key] = result
+        return result
 
     def intersect_pairwise(self, other: "SummarySet") -> "SummarySet":
         """Exact intersection of two unions (pairwise distribution).
@@ -230,8 +254,12 @@ class SummarySet:
     # plumbing
     # ------------------------------------------------------------------
     def __eq__(self, other):
+        if self is other:
+            return True
         if not isinstance(other, SummarySet):
             return NotImplemented
+        if hash(self) != hash(other):
+            return False
         if set(self._data) != set(other._data):
             return False
         return all(
@@ -239,11 +267,16 @@ class SummarySet:
         )
 
     def __hash__(self):
-        return hash(
-            tuple(
-                (k, frozenset(v)) for k, v in sorted(self._data.items())
+        cached = self._hash
+        if cached is None:
+            cached = hash(
+                tuple(
+                    (k, frozenset(v))
+                    for k, v in sorted(self._data.items())
+                )
             )
-        )
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     def __repr__(self):
         if not self._data:

@@ -1,0 +1,42 @@
+"""Byte-identity of experiment outputs with the packed kernel on vs. off.
+
+The packed integer-matrix FM kernel is a pure cost optimization: every
+projection, feasibility verdict and entailment must be unchanged, so the
+formatted experiment outputs — the paper's tables — must match byte for
+byte between the two kernels, from cold caches *and* on a warm re-run
+(the memo layers differ between modes: ``fm.eliminate`` vs
+``fm.packed.reuse``).  (Cost figures like the fig_overhead op counts
+legitimately differ; identity is asserted on the result tables.)
+"""
+
+from repro import perf
+from repro.experiments import fig1_examples, table1_loops, table2_programs
+
+
+def _formatted(enabled):
+    perf.set_packed_kernel(enabled)
+    perf.reset_all_caches()
+    perf.reset_counters()
+    cold = (
+        table1_loops.run().format(),
+        table2_programs.run().format(),
+        fig1_examples.run().format(),
+    )
+    warm = (
+        table1_loops.run().format(),
+        table2_programs.run().format(),
+        fig1_examples.run().format(),
+    )
+    return cold, warm
+
+
+def test_experiment_outputs_identical_both_kernels():
+    try:
+        packed_cold, packed_warm = _formatted(True)
+        legacy_cold, legacy_warm = _formatted(False)
+    finally:
+        perf.set_packed_kernel(None)
+        perf.reset_all_caches()
+    assert packed_cold == legacy_cold  # Table 1 / Table 2 / Figure 1
+    assert packed_warm == legacy_warm
+    assert packed_cold == packed_warm  # warm replay is stable per mode

@@ -172,3 +172,145 @@ class TestFallback:
         point = {v: 60 for v in s.variables()}
         assert s.evaluate(point)
         assert proj.evaluate(point)
+
+
+class TestEliminationOrderIndependence:
+    """Projection commutes: the cheapest-first heuristic order used by
+    ``eliminate_all`` must give the same polyhedron as any other
+    elimination order (it is a pure cost choice)."""
+
+    def _corpus(self):
+        import random
+
+        from repro.linalg.constraint import Rel
+
+        rng = random.Random(31337)
+        systems = []
+        for _ in range(25):
+            nv = rng.randint(2, 5)
+            vars_ = [f"v{i}" for i in range(nv)]
+            cons = []
+            for _ in range(rng.randint(3, 8)):
+                coeffs = {
+                    v: rng.randint(-4, 4)
+                    for v in vars_
+                    if rng.random() < 0.7
+                }
+                coeffs = {v: c for v, c in coeffs.items() if c}
+                rel = Rel.EQ if rng.random() < 0.25 else Rel.LE
+                cons.append(
+                    Constraint(
+                        AffineExpr(coeffs, rng.randint(-8, 8)), rel
+                    )
+                )
+            systems.append(LinearSystem(tuple(cons)))
+        return systems
+
+    def _eliminate_in_order(self, system, order):
+        current = system
+        for v in order:
+            current = eliminate(current, v)
+        return current
+
+    def test_ground_projection_order_independent(self):
+        """Eliminating *all* variables must reach the identical ground
+        verdict (universe / false) in every order."""
+        for s in self._corpus():
+            vs = sorted(s.variables())
+            heuristic = eliminate_all(s, vs)
+            forward = self._eliminate_in_order(s, vs)
+            backward = self._eliminate_in_order(s, list(reversed(vs)))
+            assert heuristic is forward
+            assert heuristic is backward
+
+    def test_partial_projection_sound_in_any_order(self):
+        """Every elimination order yields a sound projection: any integer
+        point of the original system satisfies each projected system.
+
+        (Canonical forms of *partial* projections may differ between
+        orders — gcd integer tightening applied along different
+        combination paths produces different, individually sound,
+        supersets of the integer projection.  What the analysis consumes
+        — ground feasibility/entailment verdicts — is order-independent,
+        pinned by ``test_ground_projection_order_independent``.)"""
+        import random
+
+        rng = random.Random(5)
+        for s in self._corpus():
+            vs = sorted(s.variables())
+            if len(vs) < 3:
+                continue
+            subset = vs[:2]
+            projections = [
+                eliminate_all(s, subset),
+                self._eliminate_in_order(s, subset),
+                self._eliminate_in_order(s, list(reversed(subset))),
+            ]
+            kept = [v for v in vs if v not in subset]
+            # sample integer points of the original; each projection
+            # must contain their shadows
+            hits = 0
+            for _ in range(200):
+                point = {v: rng.randint(-6, 6) for v in vs}
+                if not s.evaluate(point):
+                    continue
+                hits += 1
+                shadow = {v: point[v] for v in kept}
+                for proj in projections:
+                    assert proj.evaluate(shadow)
+
+    def test_heuristic_prefers_unit_equality(self):
+        """A variable pinned by a unit equality is eliminated first even
+        when it sorts last alphabetically."""
+        from repro import perf
+        from repro.linalg import fourier_motzkin as fm
+
+        perf.reset_all_caches()
+        z = AffineExpr.var("z")
+        s = LinearSystem(
+            [
+                Constraint.eq(z, I + C(1)),  # unit eq pins z
+                Constraint.ge(I, C(0)),
+                Constraint.le(I, J),
+                Constraint.le(J, C(9)),
+            ]
+        )
+        result = eliminate_all(s, ["i", "j", "z"])
+        assert result.is_universe()
+
+
+class TestWarnedContextsBound:
+    """The warned-context set is a bounded FIFO: a long-lived server
+    process must not leak one entry per analysis context forever."""
+
+    def test_eviction_keeps_size_bounded(self):
+        from repro import perf
+        from repro.linalg import fourier_motzkin as fm
+
+        perf.reset_all_caches()
+        n = fm._WARNED_CONTEXTS_MAX + 40
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            for k in range(n):
+                with perf.analysis_context(f"ctx{k}"):
+                    fm._note_fallback("x", 99999)
+        assert len(fm._warned_contexts) == fm._WARNED_CONTEXTS_MAX
+        # oldest entries were evicted, newest retained
+        assert "ctx0" not in fm._warned_contexts
+        assert f"ctx{n - 1}" in fm._warned_contexts
+
+    def test_reset_clears(self):
+        from repro import perf
+        from repro.linalg import fourier_motzkin as fm
+
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with perf.analysis_context("ctx-reset"):
+                fm._note_fallback("x", 99999)
+        assert fm._warned_contexts
+        perf.reset_all_caches()
+        assert not fm._warned_contexts

@@ -1,0 +1,188 @@
+"""Differential fuzzing: packed kernel vs. legacy kernel.
+
+Seeded random systems — mixed ``<=``/``==`` rows, rational coefficients
+(scaled integral by constraint normalization), degenerate and
+contradictory rows — are pushed through ``eliminate`` / ``eliminate_all``
+/ ``is_feasible`` / ``entails`` in both kernel modes.  The contract under
+test:
+
+* **identical results** — pointer-equal interned systems when the intern
+  tables are shared between the two runs, equal canonical forms always;
+* **identical counter deltas** — ``fm.eliminate`` / ``fm.pair_combine`` /
+  ``fm.fallback_drop`` advance identically from cold caches, i.e. the
+  packed kernel performs exactly the legacy eliminations (including memo
+  hit/miss structure and the blowup fallback), just on packed rows.
+"""
+
+import random
+import warnings
+from fractions import Fraction
+
+import pytest
+
+from repro import perf
+from repro.linalg import feasibility
+from repro.linalg import fourier_motzkin as fm
+from repro.linalg import packed
+from repro.linalg.constraint import Constraint, Rel
+from repro.linalg.feasibility import is_feasible
+from repro.linalg.fourier_motzkin import eliminate, eliminate_all
+from repro.linalg.implication import system_implies
+from repro.linalg.system import LinearSystem
+from repro.symbolic.affine import AffineExpr
+
+PARITY_COUNTERS = ("fm.eliminate", "fm.pair_combine", "fm.fallback_drop")
+
+
+@pytest.fixture(autouse=True)
+def _restore_mode():
+    yield
+    perf.set_packed_kernel(None)
+    perf.reset_all_caches()
+    perf.reset_counters()
+
+
+def _random_system(rng, nvars, nrows):
+    vars_ = [f"v{i}" for i in range(nvars)]
+    cons = []
+    for _ in range(nrows):
+        coeffs = {}
+        for v in vars_:
+            if rng.random() < 0.6:
+                c = rng.randint(-6, 6)
+                if c and rng.random() < 0.2:
+                    c = Fraction(c, rng.randint(1, 4))
+                if c:
+                    coeffs[v] = c
+        const = rng.randint(-12, 12)
+        if rng.random() < 0.15:
+            const = Fraction(const, rng.randint(1, 3))
+        rel = Rel.EQ if rng.random() < 0.3 else Rel.LE
+        cons.append(Constraint(AffineExpr(coeffs, const), rel))
+    return LinearSystem(tuple(cons))
+
+
+def _corpus(seed, count=50):
+    rng = random.Random(seed)
+    out = []
+    for _ in range(count):
+        out.append(
+            _random_system(rng, rng.randint(1, 5), rng.randint(1, 9))
+        )
+    # degenerate shapes the generator rarely emits
+    out.append(LinearSystem())  # universe
+    out.append(LinearSystem.empty())  # canonical false
+    return out
+
+
+def _ops(systems):
+    """A deterministic op sequence with repeats (exercises the memos)."""
+    ops = []
+    for i, s in enumerate(systems):
+        vs = sorted(s.variables())
+        if vs:
+            ops.append(("eliminate", s, vs[0]))
+            ops.append(("eliminate_all", s, tuple(vs)))
+            ops.append(("eliminate", s, vs[0]))  # memo hit
+            ops.append(("eliminate_all", s, tuple(vs)))  # memo hit
+        ops.append(("feasible", s, None))
+        if i > 0:
+            ops.append(("implies", s, systems[i - 1]))
+    return ops
+
+
+def _run(op):
+    kind, a, b = op
+    if kind == "eliminate":
+        return eliminate(a, b)
+    if kind == "eliminate_all":
+        return eliminate_all(a, b)
+    if kind == "feasible":
+        return is_feasible(a)
+    return system_implies(a, b)
+
+
+def _run_mode(enabled, ops):
+    perf.set_packed_kernel(enabled)
+    perf.reset_all_caches()
+    perf.reset_counters()
+    results = []
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        for op in ops:
+            results.append(_run(op))
+    return results, {c: perf.counter(c) for c in PARITY_COUNTERS}
+
+
+@pytest.mark.parametrize("seed", [1234, 777, 20260806])
+def test_counter_parity_and_equal_results(seed):
+    """Cold-cache runs in each mode: equal counters, equal canonical
+    results.  (Pointer identity is checked separately — a full cache
+    reset between modes re-seeds the intern tables, so `is` across the
+    reset is not meaningful here.)"""
+    ops = _ops(_corpus(seed))
+    legacy_results, legacy_counters = _run_mode(False, ops)
+    packed_results, packed_counters = _run_mode(True, ops)
+
+    assert legacy_counters == packed_counters
+    assert legacy_counters["fm.eliminate"] > 0  # corpus exercised the kernel
+    for op, lr, pr in zip(ops, legacy_results, packed_results):
+        if isinstance(lr, bool):
+            assert lr == pr, op
+        else:
+            # across a cache reset, compare canonical renderings
+            assert str(lr) == str(pr), op
+
+
+@pytest.mark.parametrize("seed", [42, 9001])
+def test_pointer_equal_results_with_shared_interns(seed):
+    """With the intern tables left shared (only the FM-layer memos
+    cleared between runs), both kernels must return the *same interned
+    objects*."""
+    systems = [
+        s for s in _corpus(seed, count=30) if s.variables()
+    ]
+    perf.reset_all_caches()
+    perf.reset_counters()
+
+    def run_all():
+        out = []
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            for s in systems:
+                vs = sorted(s.variables())
+                out.append(eliminate(s, vs[0]))
+                out.append(eliminate_all(s, tuple(vs)))
+        return out
+
+    perf.set_packed_kernel(False)
+    legacy = run_all()
+    # clear only the FM-layer memos so interned values stay shared
+    fm._ELIM.data.clear()
+    fm._ELIM_ALL.data.clear()
+    packed._LOWER.data.clear()
+    packed._REUSE.data.clear()
+    feasibility.clear_cache()
+    perf.set_packed_kernel(True)
+    repacked = run_all()
+    for i, (lr, pr) in enumerate(zip(legacy, repacked)):
+        assert lr is pr, f"op {i}: results not pointer-equal"
+
+
+def test_blowup_fallback_parity():
+    """Systems past the pair-combination guard take the fallback drop in
+    both modes, with identical fm.fallback_drop deltas and results."""
+    n = 60  # 60 lowers x 60 uppers = 3600 pairs > MAX_CONSTRAINTS * 4
+    x = AffineExpr.var("x")
+    cons = []
+    for k in range(n):
+        y = AffineExpr.var(f"y{k}")
+        cons.append(Constraint.le(x, y * (k + 2)))  # upper bounds on x
+        cons.append(Constraint.ge(x, y * -(k + 2)))  # lower bounds on x
+    s = LinearSystem(tuple(cons))
+    ops = [("eliminate", s, "x")]
+    legacy_results, legacy_counters = _run_mode(False, ops)
+    packed_results, packed_counters = _run_mode(True, ops)
+    assert legacy_counters == packed_counters
+    assert legacy_counters["fm.fallback_drop"] == 1
+    assert str(legacy_results[0]) == str(packed_results[0])

@@ -39,6 +39,7 @@ MICRO_BENCH = [
     os.path.join(REPO_ROOT, "benchmarks", "test_predicates_micro.py"),
     os.path.join(REPO_ROOT, "benchmarks", "test_pipeline_micro.py"),
     os.path.join(REPO_ROOT, "benchmarks", "test_linalg_micro.py"),
+    os.path.join(REPO_ROOT, "benchmarks", "test_runtime_micro.py"),
 ]
 
 
@@ -152,6 +153,29 @@ def check_parity_pairs(info: dict):
             if not key.endswith("[packed=on]"):
                 continue
             off_key = key[: -len("[packed=on]")] + "[packed=off]"
+            if off_key not in info[name]:
+                continue
+            on, off = info[name][key], info[name][off_key]
+            if on != off:
+                failures.append((name, key, on, off))
+    return failures
+
+
+def check_bytecode_pairs(info: dict):
+    """Enforce paired ``<key>[bytecode=on]`` == ``<key>[bytecode=off]``.
+
+    The runtime micro-benchmarks record deterministic run facts (step
+    counts, loop-event counts, ELPD verdict tallies) for both
+    interpreter engines; the bytecode engine must produce *exactly* the
+    tree walker's results — any difference means the identical-execution
+    contract is broken, not that one engine is cheaper.
+    """
+    failures = []
+    for name in sorted(info):
+        for key in sorted(info[name]):
+            if not key.endswith("[bytecode=on]"):
+                continue
+            off_key = key[: -len("[bytecode=on]")] + "[bytecode=off]"
             if off_key not in info[name]:
                 continue
             on, off = info[name][key], info[name][off_key]
@@ -296,6 +320,13 @@ def main(argv=None) -> int:
         print(
             f"\nFAIL: {name}: {key} = {on} must equal its "
             f"[packed=off] pair = {off} (kernel parity broken)"
+        )
+        failures += 1
+
+    for name, key, on, off in check_bytecode_pairs(current_info):
+        print(
+            f"\nFAIL: {name}: {key} = {on} must equal its "
+            f"[bytecode=off] pair = {off} (runtime parity broken)"
         )
         failures += 1
 

@@ -1,0 +1,133 @@
+"""Micro-benchmarks of the runtime interpreter, bytecode vs tree.
+
+Each workload is timed twice — once on the compile-once bytecode engine
+(``REPRO_BYTECODE``, the default) and once on the legacy tree walker —
+on the *same* deterministic program and inputs, so each pair isolates
+exactly the execution-engine cost.  The bytecode variant of each pair
+must be faster by the ``--max-ratio`` margins in ``make perfgate``, and
+the deterministic run facts recorded in ``extra_info`` (step counts,
+loop-event counts, ELPD verdict tallies) must be *equal* across modes —
+the engines execute identical semantics, one just dispatches less
+(``check_bytecode_pairs`` in ``benchmarks/check_regression.py`` gates
+that equality).
+
+The exec workload mixes a vectorizable inner loop with a recurrence the
+vectorizer must reject (``b(i) = ... b(i-1)``), so both the NumPy fast
+path and the scalar instruction loop are on the clock.  The ELPD
+workload runs fully hooked — the packed shadow state and the
+compiled-in access hooks are what is being measured there.
+"""
+
+from repro import perf
+from repro.lang.parser import parse_program
+from repro.runtime.elpd import run_elpd
+from repro.runtime.interp import run_program
+
+EXEC_SRC = (
+    "program t\n"
+    "integer n\n"
+    "real a(2000)\n"
+    "real b(2000)\n"
+    "read n\n"
+    "do r = 1, 10\n"
+    " do i = 1, n\n"
+    "  a(i) = a(i) * 0.5 + b(i) + 1.0\n"
+    " enddo\n"
+    " do i = 2, n\n"
+    "  b(i) = a(i) - b(i - 1) * 0.25\n"
+    " enddo\n"
+    "enddo\n"
+    "end\n"
+)
+EXEC_INPUTS = [2000]
+
+ELPD_SRC = (
+    "program t\n"
+    "integer n\n"
+    "real a(600)\n"
+    "real w(600)\n"
+    "read n\n"
+    "do r = 1, 3\n"
+    " do i = 1, n\n"
+    "  w(i) = a(i) + 1.0\n"
+    "  a(i) = w(i) * 0.5\n"
+    " enddo\n"
+    " do i = 2, n\n"
+    "  a(i) = a(i - 1) + 1.0\n"
+    " enddo\n"
+    "enddo\n"
+    "end\n"
+)
+ELPD_INPUTS = [600]
+
+
+def _exec_facts():
+    """Deterministic facts of one exec run (must be mode-independent)."""
+    program = parse_program(EXEC_SRC)
+    result = run_program(program, EXEC_INPUTS)
+    return {
+        "steps": result.steps,
+        "loop_events": len(result.loop_events),
+        "outputs": len(result.outputs),
+    }
+
+
+def _elpd_facts():
+    """Deterministic facts of one ELPD run (must be mode-independent)."""
+    report = run_elpd(parse_program(ELPD_SRC), ELPD_INPUTS)
+    classes = [o.classification for o in report.observations.values()]
+    return {
+        "elpd.steps": report.steps,
+        "elpd.observed": len(report.observations),
+        "elpd.dependent": sum(1 for c in classes if c == "dependent"),
+        "elpd.parallel": len(report.parallelizable_labels()),
+    }
+
+
+def _measure(enabled, facts_fn):
+    """Cold-cache deterministic run facts for one engine mode."""
+    perf.set_bytecode(enabled)
+    perf.reset_all_caches()
+    try:
+        return facts_fn()
+    finally:
+        perf.set_bytecode(None)
+
+
+def _bench_pair(benchmark, enabled, facts_fn):
+    """Record run facts for both modes, then time one of them."""
+    facts_on = _measure(True, facts_fn)
+    facts_off = _measure(False, facts_fn)
+    for key in sorted(facts_on):
+        benchmark.extra_info[f"{key}[bytecode=on]"] = facts_on[key]
+        benchmark.extra_info[f"{key}[bytecode=off]"] = facts_off[key]
+
+    def probe():
+        perf.set_bytecode(enabled)
+        perf.reset_all_caches()
+        try:
+            return facts_fn()
+        finally:
+            perf.set_bytecode(None)
+
+    return benchmark(probe)
+
+
+def test_runtime_exec_bytecode(benchmark):
+    facts = _bench_pair(benchmark, True, _exec_facts)
+    assert facts["steps"] > 20000
+
+
+def test_runtime_exec_tree(benchmark):
+    facts = _bench_pair(benchmark, False, _exec_facts)
+    assert facts["steps"] > 20000
+
+
+def test_runtime_elpd_bytecode(benchmark):
+    facts = _bench_pair(benchmark, True, _elpd_facts)
+    assert facts["elpd.dependent"] >= 1
+
+
+def test_runtime_elpd_tree(benchmark):
+    facts = _bench_pair(benchmark, False, _elpd_facts)
+    assert facts["elpd.dependent"] >= 1

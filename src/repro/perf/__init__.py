@@ -17,6 +17,7 @@ from repro.perf.counters import (
     absorb_snapshot,
     analysis_context,
     bump,
+    bytecode_enabled,
     counter,
     current_context,
     declare,
@@ -29,6 +30,7 @@ from repro.perf.counters import (
     register_cache,
     reset_all_caches,
     reset_counters,
+    set_bytecode,
     set_packed_kernel,
     set_pred_oracle,
     snapshot,
@@ -45,6 +47,7 @@ __all__ = [
     "absorb_snapshot",
     "analysis_context",
     "bump",
+    "bytecode_enabled",
     "counter",
     "current_context",
     "declare",
@@ -57,6 +60,7 @@ __all__ = [
     "register_cache",
     "reset_all_caches",
     "reset_counters",
+    "set_bytecode",
     "set_packed_kernel",
     "set_pred_oracle",
     "snapshot",

@@ -224,6 +224,40 @@ def set_packed_kernel(enabled: Optional[bool]) -> None:
     _packed_kernel = enabled
 
 
+# ----------------------------------------------------------------------
+# bytecode-runtime switch
+# ----------------------------------------------------------------------
+# The bytecode runtime (repro.runtime.bytecode) compiles each program
+# unit once into pre-bound closures — with a NumPy-vectorized fast path
+# for eligible inner loops — and the ELPD oracle packs its shadow state
+# into parallel int columns with bulk conflict checks.  It is a pure
+# cost optimization: on or off, every ExecutionResult (outputs, steps,
+# scalars, arrays, loop events) and every ELPD verdict is identical.
+# The switch lives here for the same reason as the kernel switches: the
+# dependency-free perf layer is importable from anywhere (the runtime
+# *and* the ELPD layer gate on it without importing each other).
+# Controlled by the REPRO_BYTECODE environment variable
+# ("0"/"off"/"false"/"no" disable) or programmatically via
+# set_bytecode().
+
+_bytecode: Optional[bool] = None
+
+
+def bytecode_enabled() -> bool:
+    """Is the bytecode runtime (and the packed ELPD shadow) enabled?"""
+    global _bytecode
+    if _bytecode is None:
+        raw = os.environ.get("REPRO_BYTECODE", "1").strip().lower()
+        _bytecode = raw not in ("0", "off", "false", "no")
+    return _bytecode
+
+
+def set_bytecode(enabled: Optional[bool]) -> None:
+    """Force the bytecode runtime on/off; ``None`` re-reads the environment."""
+    global _bytecode
+    _bytecode = enabled
+
+
 def bump(name: str, n: int = 1) -> None:
     """Increment event counter *name* by *n*."""
     _counters[name] = _counters.get(name, 0) + n

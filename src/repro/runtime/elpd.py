@@ -25,9 +25,15 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro import perf
 from repro.lang.astnodes import Program
 from repro.runtime.interp import Interpreter
 from repro.runtime.values import ArrayStorage
+
+try:  # pragma: no cover - exercised implicitly everywhere
+    import numpy as _np
+except Exception:  # pragma: no cover - environment without numpy
+    _np = None
 
 Number = Union[int, float]
 
@@ -111,6 +117,165 @@ class _ActiveInstance:
         return "independent", conflict_arrays, flow_arrays
 
 
+# ----------------------------------------------------------------------
+# packed shadow state (REPRO_BYTECODE=1, the default)
+# ----------------------------------------------------------------------
+#: below this element count the scalar classify loop beats the NumPy
+#: bulk masks (fromiter setup cost)
+_BULK_MIN = 64
+
+#: reusable column sets — (first, last-access, last-write, flags, bufs)
+#: list tuples — so short-lived loop instances stop churning allocations
+_POOL_MAX = 32
+_pool: List[tuple] = []
+_pool_stats = {"hits": 0, "misses": 0}
+
+
+def _pool_acquire() -> tuple:
+    if _pool:
+        _pool_stats["hits"] += 1
+        return _pool.pop()
+    _pool_stats["misses"] += 1
+    return ([], [], [], [], [])
+
+
+def _pool_release(cols: tuple) -> None:
+    if len(_pool) < _POOL_MAX:
+        for c in cols:
+            c.clear()
+        _pool.append(cols)
+
+
+def _pool_stats_snapshot() -> Dict[str, int]:
+    return {
+        "hits": _pool_stats["hits"],
+        "misses": _pool_stats["misses"],
+        "size": len(_pool),
+    }
+
+
+def _pool_clear() -> None:
+    _pool.clear()
+    _pool_stats["hits"] = 0
+    _pool_stats["misses"] = 0
+
+
+perf.register_cache(
+    "elpd.shadow.pool", _pool_stats_snapshot, _pool_clear, obj=_pool
+)
+perf.declare("elpd.shadow.elements")
+
+
+class _PackedInstance:
+    """Packed shadow state for one dynamic loop instance.
+
+    Replaces one ``_ElementState`` object per touched element with
+    parallel integer columns indexed by a ``(buffer id, flat offset) ->
+    row`` dict: first-ordinal / last-access / last-write columns plus a
+    flags column (bit 1 = any_write, bit 2 = multi_ord, bit 4 = flow).
+    ``classify`` reduces the flags/bufs columns in bulk with NumPy masks
+    instead of walking per-element objects.  Behaviour is pinned
+    element-for-element against :class:`_ElementState.access` — the
+    differential suites assert identical verdicts with the switch off.
+    """
+
+    __slots__ = (
+        "label",
+        "ordinal",
+        "index",
+        "array_of",
+        "_cols",
+        "_first",
+        "_lastacc",
+        "_lastw",
+        "_flags",
+        "_bufs",
+    )
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.ordinal = -1
+        self.index: Dict[Tuple[int, int], int] = {}
+        self.array_of: Dict[int, str] = {}
+        cols = _pool_acquire()
+        self._cols = cols
+        self._first, self._lastacc, self._lastw, self._flags, self._bufs = cols
+
+    def record(self, kind: str, storage: ArrayStorage, offset: int) -> None:
+        ord_ = self.ordinal
+        if ord_ < 0:
+            return  # access outside any iteration (loop bounds eval)
+        buf = id(storage.data)
+        key = (buf, offset)
+        row = self.index.get(key)
+        if row is None:
+            # fresh element: inline _ElementState.access on zero state
+            self.index[key] = len(self._flags)
+            self.array_of[buf] = storage.name
+            self._first.append(ord_)
+            self._lastacc.append(ord_)
+            if kind == "w":
+                self._lastw.append(ord_)
+                self._flags.append(1)
+            else:
+                self._lastw.append(-1)
+                self._flags.append(0)
+            self._bufs.append(buf)
+            return
+        f = self._flags[row]
+        if ord_ != self._lastacc[row]:
+            if kind == "r" and 0 <= self._lastw[row] < ord_:
+                f |= 4  # first touch this iteration reads an earlier write
+        if ord_ != self._first[row]:
+            f |= 2  # touched by more than one iteration
+        self._lastacc[row] = ord_
+        if kind == "w":
+            f |= 1
+            self._lastw[row] = ord_
+        self._flags[row] = f
+
+    def classify(self) -> Tuple[str, Set[str], Set[str]]:
+        flags = self._flags
+        n = len(flags)
+        perf.bump("elpd.shadow.elements", n)
+        conflict_arrays: Set[str] = set()
+        flow_arrays: Set[str] = set()
+        if _np is not None and n >= _BULK_MIN:
+            fl = _np.fromiter(flags, _np.int64, count=n)
+            flow_mask = (fl & 4) != 0
+            conf_mask = ((fl & 3) == 3) & ~flow_mask
+            if flow_mask.any() or conf_mask.any():
+                bufs = _np.fromiter(self._bufs, _np.int64, count=n)
+                array_of = self.array_of
+                for b in _np.unique(bufs[flow_mask]).tolist():
+                    flow_arrays.add(array_of[b])
+                for b in _np.unique(bufs[conf_mask]).tolist():
+                    conflict_arrays.add(array_of[b])
+        else:
+            bufs = self._bufs
+            array_of = self.array_of
+            for row in range(n):
+                f = flags[row]
+                if f & 4:
+                    flow_arrays.add(array_of[bufs[row]])
+                elif (f & 3) == 3:
+                    conflict_arrays.add(array_of[bufs[row]])
+        if flow_arrays:
+            return "dependent", conflict_arrays, flow_arrays
+        if conflict_arrays:
+            return "privatizable", conflict_arrays, flow_arrays
+        return "independent", conflict_arrays, flow_arrays
+
+    def release(self) -> None:
+        """Return the columns to the pool (instance is done)."""
+        cols = self._cols
+        self._cols = None
+        self._first = self._lastacc = self._lastw = None
+        self._flags = self._bufs = None
+        if cols is not None:
+            _pool_release(cols)
+
+
 @dataclass
 class LoopObservation:
     """Aggregated dynamic verdict for one loop label."""
@@ -165,13 +330,19 @@ class _ElpdHook:
         self.active: List[_ActiveInstance] = []
         self.report = ElpdReport()
         self._iter_counts: List[int] = []
+        # the packed shadow rides the same switch as the bytecode
+        # engine; captured once so one run never mixes representations
+        self._packed = perf.bytecode_enabled()
 
     def enter_loop(self, stmt, frame, ran_parallel):
         if self.targets is not None and stmt.label not in self.targets:
             self.active.append(None)  # placeholder to keep stack aligned
             self._iter_counts.append(0)
             return len(self.active) - 1
-        inst = _ActiveInstance(stmt.label)
+        if self._packed:
+            inst = _PackedInstance(stmt.label)
+        else:
+            inst = _ActiveInstance(stmt.label)
         self.active.append(inst)
         self._iter_counts.append(0)
         return len(self.active) - 1
@@ -187,7 +358,12 @@ class _ElpdHook:
         iters = self._iter_counts.pop()
         if inst is None:
             return
-        cls, conflicts, flows = inst.classify()
+        if type(inst) is _PackedInstance:
+            with perf.phase("elpd.shadow"):
+                cls, conflicts, flows = inst.classify()
+            inst.release()
+        else:
+            cls, conflicts, flows = inst.classify()
         obs = self.report.observations.setdefault(
             inst.label, LoopObservation(inst.label)
         )

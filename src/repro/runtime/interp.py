@@ -24,6 +24,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro import perf
 from repro.lang.astnodes import (
     ASSUMED,
     ArrayRef,
@@ -105,6 +106,16 @@ class Interpreter:
 
     # ------------------------------------------------------------------
     def run(self) -> ExecutionResult:
+        if perf.bytecode_enabled():
+            from repro.runtime.bytecode import execute
+
+            return execute(self)
+        return self._run_tree()
+
+    def _run_tree(self) -> ExecutionResult:
+        """The original tree-walking path, kept verbatim — the reference
+        semantics the bytecode engine is differentially pinned against
+        (``REPRO_BYTECODE=0`` selects it)."""
         main = self.program.main_unit
         frame = self._new_frame(main, [], [])
         try:

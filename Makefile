@@ -44,7 +44,11 @@ perfgate:
 		--threshold 2.0 --require-faster test_interpreter_throughput \
 		--max-ratio test_runtime_exec_bytecode:test_runtime_exec_tree:0.5 \
 		--max-ratio test_runtime_elpd_bytecode:test_runtime_elpd_tree:0.85
+	$(PYTHON) benchmarks/check_regression.py \
+		--baseline BENCH_pr6.json --current BENCH_pr7.json \
+		--threshold 2.0
+	$(PYTHON) benchmarks/check_regression.py --multicore
 
 # re-record the micro-benchmark timings (compare with perfgate)
 bench:
-	$(PYTHON) -m pytest benchmarks/test_core_micro.py benchmarks/test_predicates_micro.py benchmarks/test_pipeline_micro.py benchmarks/test_linalg_micro.py benchmarks/test_runtime_micro.py --benchmark-json BENCH_current.json
+	$(PYTHON) -m pytest benchmarks/test_core_micro.py benchmarks/test_predicates_micro.py benchmarks/test_pipeline_micro.py benchmarks/test_linalg_micro.py benchmarks/test_runtime_micro.py benchmarks/test_pipeline_multicore.py --benchmark-json BENCH_current.json

@@ -214,6 +214,70 @@ def check_max_ratios(current: dict, specs):
     return failures, rows
 
 
+def check_multicore() -> int:
+    """Live multicore gate: the process pool must beat the serial loop.
+
+    Runs ``benchmarks/test_pipeline_multicore.py`` (whole suite, serial
+    vs ``run_pipeline_batch`` at 4 process workers) and enforces a
+    cpu-aware speedup floor: >= 2x with 4+ cores, >= 1.2x with 2-3.
+    On a single-core runner there is no true parallelism to measure —
+    the gate skips with an explicit notice and exit 0.
+    """
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        print(
+            f"multicore gate: SKIPPED — os.cpu_count() = {cpus}; a "
+            "process pool cannot beat the serial loop without a second "
+            "core, so there is nothing to gate on this runner"
+        )
+        return 0
+    floor = 2.0 if cpus >= 4 else 1.2
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        json_out = tmp.name
+    try:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                os.path.join(
+                    REPO_ROOT, "benchmarks", "test_pipeline_multicore.py"
+                ),
+                "-q",
+                "--benchmark-json",
+                json_out,
+            ],
+            check=True,
+            cwd=REPO_ROOT,
+            env=env,
+        )
+        means = _load_means(json_out)
+    finally:
+        os.unlink(json_out)
+    serial = means.get("test_suite_serial")
+    pooled = means.get("test_suite_process_pool")
+    if not serial or not pooled:
+        print("FAIL: multicore benchmarks missing from the recorded run")
+        return 1
+    speedup = serial / pooled
+    print(
+        f"multicore gate: serial {serial * 1e3:.1f}ms / "
+        f"process-pool {pooled * 1e3:.1f}ms = {speedup:.2f}x speedup "
+        f"({cpus} cpus; floor {floor:.1f}x)"
+    )
+    if speedup < floor:
+        print(
+            f"FAIL: whole-suite process-pool speedup {speedup:.2f}x "
+            f"below the {floor:.1f}x floor for {cpus} cpus"
+        )
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -251,7 +315,16 @@ def main(argv=None) -> int:
         "(repeatable); gates relative cost between two benchmarks of "
         "the same run",
     )
+    parser.add_argument(
+        "--multicore",
+        action="store_true",
+        help="run only the live multicore gate (whole suite serial vs "
+        "process pool); skips with a notice on single-core runners",
+    )
     args = parser.parse_args(argv)
+
+    if args.multicore:
+        return check_multicore()
 
     baseline = _load_means(args.baseline)
     baseline_info = _load_extra_info(args.baseline)

@@ -4,7 +4,7 @@ Usage::
 
     python -m repro analyze FILE [--base] [--report] [--emit]
                     [--cache DIR] [--profile] [--jobs N]
-                    [--explain-pipeline]
+                    [--executor {thread,process}] [--explain-pipeline]
                     [--max-wall S] [--max-ops N] [--max-fm N]
     python -m repro run FILE [inputs...]
     python -m repro elpd FILE [inputs...]
@@ -26,8 +26,12 @@ server (requests on stdin, one JSON result per line on stdout).
 
 ``analyze`` runs the pass pipeline (``REPRO_PIPELINE=0`` selects the
 legacy monolithic path): ``--jobs N`` schedules independent callgraph
-subtrees on worker threads, and ``--explain-pipeline`` dumps the pass
-graph, the per-unit schedule and per-pass timings as JSON.
+subtrees on N workers — threads by default (GIL-bound: little real
+overlap), or worker *processes* with ``--executor process`` /
+``REPRO_EXECUTOR=process`` — and ``--explain-pipeline`` dumps the pass
+graph, the per-unit schedule and per-pass timings as JSON.  Output is
+byte-identical for every executor and job count; the execution model is
+documented end-to-end in ``docs/EXECUTION.md``.
 """
 
 from __future__ import annotations
@@ -75,6 +79,7 @@ def _cmd_analyze(args) -> int:
                 jobs=args.jobs,
                 goals=goals,
                 explain=args.explain_pipeline,
+                executor=args.executor,
             )
             result = ctx.get("result")
             transformed = ctx.get("transformed") if args.emit else None
@@ -235,10 +240,19 @@ def main(argv=None) -> int:
     p.add_argument(
         "--jobs",
         type=int,
-        default=1,
+        default=None,
         metavar="N",
-        help="analyze independent callgraph subtrees on N worker threads "
-        "(output is byte-identical for any N)",
+        help="analyze independent callgraph subtrees on N workers "
+        "(default: REPRO_JOBS or 1; output is byte-identical for any N)",
+    )
+    p.add_argument(
+        "--executor",
+        choices=["thread", "process"],
+        default=None,
+        help="where --jobs workers run: 'thread' shares one interpreter "
+        "(GIL-bound), 'process' uses a pool of worker processes for real "
+        "multicore speedup (default: REPRO_EXECUTOR or 'thread'; output "
+        "is byte-identical either way)",
     )
     p.add_argument(
         "--explain-pipeline",

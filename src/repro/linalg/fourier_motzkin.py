@@ -32,6 +32,7 @@ switch is ``REPRO_PACKED_KERNEL`` / :func:`repro.perf.set_packed_kernel`.
 from __future__ import annotations
 
 import warnings
+from contextlib import contextmanager
 from typing import Iterable, List, Tuple
 
 from repro import perf
@@ -72,6 +73,50 @@ def _reset_warned() -> None:
 perf.on_reset(_reset_warned)
 
 
+def _mark_warned(ctx: str) -> bool:
+    """Record *ctx* as warned-about; True when it was new (warn now)."""
+    if ctx in _warned_contexts:
+        return False
+    if len(_warned_contexts) >= _WARNED_CONTEXTS_MAX:
+        _warned_contexts.pop(next(iter(_warned_contexts)))
+    _warned_contexts[ctx] = True
+    return True
+
+
+#: when set, fallback warnings are appended here instead of emitted
+#: (process-executor workers capture, the parent replays)
+_capture: list = None  # type: ignore[assignment]
+
+
+@contextmanager
+def capture_fallback_warnings():
+    """Collect fallback warnings as ``(context, message)`` records.
+
+    Pool workers run tasks under this context manager and ship the
+    records to the parent instead of warning on their own stderr; the
+    parent replays them through :func:`replay_fallback_warnings`, whose
+    dedup set spans *all* workers — so a context that trips in four
+    workers still warns exactly once, same as the serial path.  The
+    worker-local ``_warned_contexts`` set still dedups what gets
+    captured, keeping shipped records small.
+    """
+    global _capture
+    previous = _capture
+    records: list = []
+    _capture = records
+    try:
+        yield records
+    finally:
+        _capture = previous
+
+
+def replay_fallback_warnings(records) -> None:
+    """Re-emit captured worker warnings, once per analysis context."""
+    for ctx, message in records:
+        if _mark_warned(ctx):
+            warnings.warn(message, RuntimeWarning, stacklevel=2)
+
+
 _packed_mod = None
 
 
@@ -96,19 +141,18 @@ def _note_fallback(var: str, n_pairs: int) -> None:
     ctx = perf.current_context()
     perf.bump("fm.fallback_drop")
     perf.bump(f"fm.fallback_drop[{ctx}]")
-    if ctx not in _warned_contexts:
-        if len(_warned_contexts) >= _WARNED_CONTEXTS_MAX:
-            _warned_contexts.pop(next(iter(_warned_contexts)))
-        _warned_contexts[ctx] = True
-        warnings.warn(
+    if _mark_warned(ctx):
+        message = (
             "Fourier-Motzkin elimination of %r in %s would combine %d bound "
             "pairs (> %d); dropping the variable's constraints instead. The "
             "result is a sound superset but loses precision. Further drops "
             "here are counted in perf counter 'fm.fallback_drop[%s]' "
-            "without warning." % (var, ctx, n_pairs, MAX_CONSTRAINTS * 4, ctx),
-            RuntimeWarning,
-            stacklevel=3,
+            "without warning." % (var, ctx, n_pairs, MAX_CONSTRAINTS * 4, ctx)
         )
+        if _capture is not None:
+            _capture.append((ctx, message))
+        else:
+            warnings.warn(message, RuntimeWarning, stacklevel=3)
 
 
 def _split_bounds(

@@ -125,12 +125,14 @@ class ParallelizationDriver:
     :meth:`run` is a thin shim over the pass pipeline
     (:func:`repro.pipeline.run_pipeline`): scalar propagation, the
     array data-flow walk, per-loop decisions and the enclosed marking
-    all execute as scheduled passes, with *jobs* worker threads running
-    independent callgraph subtrees concurrently (results are
-    byte-identical for any job count).  :meth:`run_legacy` keeps the
-    original monolithic path — the pinned reference the integration
-    tests compare the pipeline against, also selectable process-wide
-    via ``REPRO_PIPELINE=0``.
+    all execute as scheduled passes, with *jobs* workers running
+    independent callgraph subtrees concurrently — on threads by
+    default, or on real cores under ``executor="process"`` /
+    ``REPRO_EXECUTOR=process`` (results are byte-identical for any job
+    count and either executor).  :meth:`run_legacy` keeps the original
+    monolithic path — the pinned reference the integration tests
+    compare the pipeline against, also selectable process-wide via
+    ``REPRO_PIPELINE=0``; it is always serial and ignores *executor*.
     """
 
     def __init__(
@@ -138,12 +140,14 @@ class ParallelizationDriver:
         program: Program,
         opts: Optional[AnalysisOptions] = None,
         cache: Optional[SummaryCache] = None,
-        jobs: int = 1,
+        jobs: Optional[int] = 1,
+        executor: Optional[str] = None,
     ) -> None:
         self.program = program
         self.opts = opts or AnalysisOptions.predicated()
         self.cache = cache
         self.jobs = jobs
+        self.executor = executor
         self._degraded = False
 
     def run(self) -> ProgramResult:
@@ -152,7 +156,11 @@ class ParallelizationDriver:
         if not pipeline_enabled():
             return self.run_legacy()
         ctx = run_pipeline(
-            self.program, self.opts, cache=self.cache, jobs=self.jobs
+            self.program,
+            self.opts,
+            cache=self.cache,
+            jobs=self.jobs,
+            executor=self.executor,
         )
         self._degraded = ctx.degraded
         return ctx.get("result")
@@ -494,7 +502,10 @@ def analyze_program(
     program: Program,
     opts: Optional[AnalysisOptions] = None,
     cache: Optional[SummaryCache] = None,
-    jobs: int = 1,
+    jobs: Optional[int] = 1,
+    executor: Optional[str] = None,
 ) -> ProgramResult:
     """One-call convenience wrapper."""
-    return ParallelizationDriver(program, opts, cache=cache, jobs=jobs).run()
+    return ParallelizationDriver(
+        program, opts, cache=cache, jobs=jobs, executor=executor
+    ).run()

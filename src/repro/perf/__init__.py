@@ -28,6 +28,7 @@ from repro.perf.counters import (
     phase,
     pred_oracle_enabled,
     register_cache,
+    registered_names,
     reset_all_caches,
     reset_counters,
     set_bytecode,
@@ -58,6 +59,7 @@ __all__ = [
     "phase",
     "pred_oracle_enabled",
     "register_cache",
+    "registered_names",
     "reset_all_caches",
     "reset_counters",
     "set_bytecode",

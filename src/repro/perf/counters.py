@@ -404,6 +404,27 @@ _OP_COUNTERS = frozenset(
 )
 
 
+def registered_names() -> Dict[str, str]:
+    """Every name the observability registry knows, mapped to its kind.
+
+    Kinds: ``"memo"`` (registered :class:`Memo` tables), ``"external"``
+    (externally managed caches), ``"exempt"`` (cache objects declared
+    outside :func:`reset_all_caches`), ``"counter"`` (declared or
+    bumped event counters) and ``"phase"`` (accumulated phase timers).
+    The PERF.md counter-namespace table is tested against this, so a
+    new prefix cannot ship undocumented.
+    """
+    names: Dict[str, str] = {}
+    for name, kind in _tracked_objects.values():
+        # exempt registrations carry their reason in the display name
+        names[name.split(" (", 1)[0]] = kind
+    names.update({name: "memo" for name in _memos})
+    names.update({name: "external" for name in _external})
+    names.update({name: "counter" for name in _counters})
+    names.update({name: "phase" for name in _phases})
+    return names
+
+
 def snapshot() -> Dict:
     """One JSON-able dict of counters, phases and per-cache statistics."""
     caches = {name: table.stats() for name, table in _memos.items()}

@@ -17,11 +17,13 @@ the integration tests compare against.
 from __future__ import annotations
 
 import os
+import pickle
 import time
-from typing import Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro import perf
 from repro.arraydf.options import AnalysisOptions
+from repro.pipeline import executor as _executor_mod
 from repro.pipeline.base import (
     CALLEES_SUFFIX,
     PROGRAM_SCOPE,
@@ -30,6 +32,12 @@ from repro.pipeline.base import (
     Pass,
 )
 from repro.pipeline.context import MissingArtifact, ProgramContext
+from repro.pipeline.executor import (
+    EXECUTORS,
+    executor_kind,
+    resolve_jobs,
+    set_executor,
+)
 from repro.pipeline.manager import PassManager, PipelineWiringError
 from repro.pipeline.passes import (
     DecidePass,
@@ -44,6 +52,7 @@ from repro.pipeline.passes import (
 
 __all__ = [
     "CALLEES_SUFFIX",
+    "EXECUTORS",
     "PROGRAM_SCOPE",
     "ROOT_ARTIFACT",
     "UNIT_SCOPE",
@@ -60,8 +69,12 @@ __all__ = [
     "SummarizePass",
     "TwoVersionPass",
     "analysis_passes",
+    "executor_kind",
     "pipeline_enabled",
+    "resolve_jobs",
     "run_pipeline",
+    "run_pipeline_batch",
+    "set_executor",
     "set_pipeline",
 ]
 
@@ -97,9 +110,10 @@ def run_pipeline(
     program,
     opts: Optional[AnalysisOptions] = None,
     cache=None,
-    jobs: int = 1,
+    jobs: Optional[int] = 1,
     goals: Sequence[str] = ("result",),
     explain: bool = False,
+    executor: Optional[str] = None,
 ) -> ProgramContext:
     """Run the compile flow for *program* up to *goals*.
 
@@ -109,6 +123,11 @@ def run_pipeline(
     unchanged program loads its whole result in one rebind, scheduling
     nothing upstream; a fresh, undegraded run stores the program payload
     back, exactly as the legacy driver did.
+
+    *jobs* ``None`` defers to ``REPRO_JOBS`` (default 1); *executor*
+    ``None`` defers to ``REPRO_EXECUTOR`` (default ``"thread"``).  Every
+    combination produces byte-identical artifacts — the executor only
+    changes *where* unit tasks run (see ``docs/EXECUTION.md``).
     """
     from repro.partests.driver import ParallelizationDriver, _decision_rows
     from repro.service.cache import program_key
@@ -134,7 +153,7 @@ def run_pipeline(
 
     manager = PassManager(analysis_passes())
     fresh_result = not ctx.has("result")
-    manager.run(ctx, jobs=jobs, goals=goals, explain=explain)
+    manager.run(ctx, jobs=jobs, goals=goals, explain=explain, executor=executor)
 
     if ctx.has("result"):
         result = ctx.get("result")
@@ -156,3 +175,97 @@ def run_pipeline(
                 ],
             )
     return ctx
+
+
+# ----------------------------------------------------------------------
+# whole-suite fan-out
+# ----------------------------------------------------------------------
+def run_pipeline_batch(
+    programs: Sequence,
+    opts: Optional[AnalysisOptions] = None,
+    cache=None,
+    jobs: Optional[int] = None,
+    executor: Optional[str] = None,
+) -> List:
+    """Analyze many independent programs, returning their
+    :class:`~repro.partests.driver.ProgramResult` objects **in input
+    order**.
+
+    Distinct programs share no artifacts, so they are the coarsest
+    independent "subtrees" the executor can schedule — this is where the
+    process executor pays off even for single-procedure programs, whose
+    intra-program task graph has nothing to overlap.  Under
+    ``executor="process"`` each program runs its whole pipeline inside a
+    pool worker and ships back the program's decision rows (the exact
+    payload shape the program-level cache stores); the parent rebinds
+    them onto its own parse, so results are byte-identical to a serial
+    loop.  A degraded (budget-tripped) worker result is rebound as-is —
+    conservative and, as always, never written to any cache.
+
+    The thread executor (and ``jobs=1``) analyzes locally; thread
+    workers only overlap cache/IO waits, exactly like ``--jobs`` inside
+    one program.
+    """
+    from repro.partests.driver import ParallelizationDriver
+
+    opts = opts or AnalysisOptions.predicated()
+    jobs = resolve_jobs(jobs)
+    kind = executor_kind(executor)
+    programs = list(programs)
+
+    def local(program):
+        return run_pipeline(
+            program, opts, cache=cache, jobs=1, executor="thread"
+        ).get("result")
+
+    if jobs <= 1 or len(programs) <= 1:
+        return [local(p) for p in programs]
+    if kind == "thread":
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(
+            max_workers=jobs, thread_name_prefix="pipeline-batch"
+        ) as pool:
+            return list(pool.map(local, programs))
+
+    from repro.linalg.fourier_motzkin import replay_fallback_warnings
+    from repro.service.budgets import suspended
+
+    pool = _executor_mod.process_pool(jobs)
+    futures = []
+    for program in programs:
+        perf.bump("pipeline.executor.batch_programs")
+        perf.bump("pipeline.executor.tasks")
+        blob = pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL)
+        futures.append(
+            pool.submit(
+                _executor_mod.run_remote_program,
+                blob,
+                opts,
+                str(cache.root) if cache is not None else None,
+                _executor_mod.remaining_budget(),
+            )
+        )
+    results = []
+    try:
+        for program, fut in zip(programs, futures):
+            out = _executor_mod.load_result(fut.result())
+            _executor_mod.absorb_worker(out["pid"], out["snapshot"])
+            replay_fallback_warnings(out["warnings"])
+            # rebinding a completed worker result may not re-trip the
+            # (possibly exhausted) request budget
+            with suspended(), perf.phase("driver.rebind"):
+                result = ParallelizationDriver(
+                    program, opts, cache=cache
+                )._rebind_program(out["payload"])
+            if result is None:
+                # same parse on both sides, so this cannot fail in
+                # practice; recompute locally (pure → identical)
+                perf.bump("pipeline.executor.fallback")
+                result = local(program)
+            result.analysis_seconds = out["seconds"]
+            results.append(result)
+    except BaseException:
+        _executor_mod.shutdown_pool()
+        raise
+    return results

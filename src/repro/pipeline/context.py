@@ -47,6 +47,9 @@ class ProgramContext:
         self._store: Dict[Tuple[str, Optional[str]], Any] = {
             ("source_program", None): source_program
         }
+        #: raw shipped payloads from process-executor tasks, kept beside
+        #: the hydrated artifacts (see :meth:`stash_payload`)
+        self._payloads: Dict[Tuple[str, Optional[str]], Any] = {}
         self._lock = threading.Lock()
         #: filled by ``PassManager.run(..., explain=True)``
         self.explain: Optional[dict] = None
@@ -76,6 +79,26 @@ class ProgramContext:
     def get_all(self, artifact: str, units: Iterable[str]) -> Dict[str, Any]:
         """The artifact for every unit of *units* (program-scope reads)."""
         return {u: self.get(artifact, u) for u in units}
+
+    def stash_payload(
+        self, artifact: str, unit: Optional[str], payload: Any
+    ) -> None:
+        """Keep the raw (picklable) payload a worker shipped for
+        ``(artifact, unit)``.
+
+        When the parent merges a process-executor result it *hydrates*
+        the payload into interned values for the store (so local passes
+        read normal artifacts), but later remote tasks that declare the
+        artifact as an input can be fed the already-serialized payload
+        verbatim instead of re-projecting the hydrated value.
+        """
+        with self._lock:
+            self._payloads[(artifact, unit)] = payload
+
+    def payload(self, artifact: str, unit: Optional[str] = None) -> Any:
+        """The stashed shipped payload for ``(artifact, unit)``, or
+        ``None`` when the artifact was produced locally."""
+        return self._payloads.get((artifact, unit))
 
     def available_artifacts(self) -> Tuple[str, ...]:
         """The distinct artifact names currently present (for wiring

@@ -1,0 +1,383 @@
+"""Executor selection and the shared process pool.
+
+The pass pipeline can run its unit-scope task graph on two executors:
+
+``thread`` (the default)
+    tasks run on a :class:`~concurrent.futures.ThreadPoolExecutor`
+    inside the parent process.  Cheap to start and shares every interned
+    object, but the GIL serializes the Python-level analysis work, so
+    ``--jobs N`` overlaps little beyond cache/IO waits.
+
+``process``
+    tasks run on a persistent, fork-preferred
+    :class:`~concurrent.futures.ProcessPoolExecutor`.  Each worker
+    rebuilds the hash-consed substrate for the program once per run
+    (``pipeline.executor.rebuilds``), hydrates shipped callee results
+    back into interned values (``pipeline.executor.hydrations``), runs
+    the ``(pass, unit)`` task under the shipped remaining budget, and
+    returns a picklable payload the parent merges in deterministic parse
+    order — byte-identical to the thread and serial schedules.
+
+The choice is ``--executor {thread,process}`` on the CLI, the
+``REPRO_EXECUTOR`` environment variable, or :func:`set_executor`
+programmatically; ``REPRO_JOBS`` supplies a default job count where a
+caller passes ``jobs=None``.
+
+Observability: every worker result carries the worker's
+:func:`repro.perf.snapshot`; the parent folds per-PID deltas into its
+own tables (:func:`absorb_worker`) so ``--profile`` reports substrate
+work done in the pool.  Captured Fourier–Motzkin fallback warnings ride
+along and are replayed parent-side with the usual once-per-context
+dedup (:func:`repro.linalg.fourier_motzkin.replay_fallback_warnings`),
+so a warning is never repeated once per worker.
+
+The pool is shared process-wide and torn down by
+:func:`repro.perf.reset_all_caches` (cold-path benchmarking must not
+reuse warm workers) and at interpreter exit.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import time
+from dataclasses import dataclass
+from itertools import count
+from typing import Any, Dict, Optional
+
+from repro import perf
+from repro.service.budgets import Budget, active_budget
+
+EXECUTORS = ("thread", "process")
+
+#: executor tasks shipped to pool workers (pipeline tasks and batch
+#: programs both count here)
+perf.declare("pipeline.executor.tasks")
+#: per-(worker, run) substrate rebuilds: a worker unpickled the program
+#: and built a fresh ArrayDataflow engine
+perf.declare("pipeline.executor.rebuilds")
+#: shipped payloads hydrated back into interned summaries inside a
+#: worker (the cache-hydration alternative to rebuilding from source)
+perf.declare("pipeline.executor.hydrations")
+#: process execution was requested but the region fell back to the
+#: thread path (non-distributable pass, or pool unavailable)
+perf.declare("pipeline.executor.fallback")
+#: whole programs fanned out by run_pipeline_batch
+perf.declare("pipeline.executor.batch_programs")
+
+
+# ----------------------------------------------------------------------
+# executor / jobs selection
+# ----------------------------------------------------------------------
+# Same shape as the REPRO_PACKED_KERNEL-style switches in repro.perf:
+# environment-controlled with a programmatic override so tests can pin
+# both executors against each other in one process.
+
+_executor: Optional[str] = None
+
+
+def executor_kind(explicit: Optional[str] = None) -> str:
+    """The executor to use: *explicit* if given, else the environment."""
+    if explicit is not None:
+        if explicit not in EXECUTORS:
+            raise ValueError(
+                f"unknown executor {explicit!r} (expected one of {EXECUTORS})"
+            )
+        return explicit
+    global _executor
+    if _executor is None:
+        raw = os.environ.get("REPRO_EXECUTOR", "thread").strip().lower()
+        if raw not in EXECUTORS:
+            raise ValueError(
+                f"REPRO_EXECUTOR={raw!r} (expected one of {EXECUTORS})"
+            )
+        _executor = raw
+    return _executor
+
+
+def set_executor(kind: Optional[str]) -> None:
+    """Force the executor kind; ``None`` re-reads the environment."""
+    if kind is not None and kind not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {kind!r} (expected one of {EXECUTORS})"
+        )
+    global _executor
+    _executor = kind
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """An explicit job count, else ``REPRO_JOBS``, else 1."""
+    if jobs is not None:
+        return max(1, int(jobs))
+    raw = os.environ.get("REPRO_JOBS", "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            raise ValueError(f"REPRO_JOBS={raw!r} is not an integer") from None
+    return 1
+
+
+# ----------------------------------------------------------------------
+# the shared process pool
+# ----------------------------------------------------------------------
+
+_pool = None
+_pool_jobs = 0
+#: parent snapshot at pool creation — forked workers inherit these
+#: counts, so it is the delta base for a worker's first shipped snapshot
+_pool_base: Optional[Dict] = None
+#: per-PID maximum of shipped worker snapshots (worker counters only
+#: grow, so the max is the latest state already folded into the parent)
+_pool_absorbed: Dict[int, Dict] = {}
+
+
+def _worker_init() -> None:
+    """Per-worker startup: drop state fork-inherited from the parent.
+
+    A forked worker inherits the parent's *active* budget (possibly
+    already exhausted) — left in place it would trip inside the pool's
+    call-queue unpickling, before any task's ``budget_scope`` starts,
+    killing the worker.  Tasks carry their own shipped remaining budget
+    instead.  The engine memo is cleared for the same reason: worker
+    engines must be built (and counted) worker-side.
+    """
+    from repro.service import budgets
+
+    budgets._active = None
+    _worker_engines.clear()
+
+
+def process_pool(jobs: int):
+    """The shared fork-preferred pool, (re)sized to *jobs* workers."""
+    global _pool, _pool_jobs, _pool_base
+    if _pool is not None and _pool_jobs != jobs:
+        shutdown_pool()
+    if _pool is None:
+        import multiprocessing as mp
+        from concurrent.futures import ProcessPoolExecutor
+
+        methods = mp.get_all_start_methods()
+        ctx = mp.get_context("fork" if "fork" in methods else None)
+        _pool_base = perf.snapshot()
+        _pool = ProcessPoolExecutor(
+            max_workers=jobs, mp_context=ctx, initializer=_worker_init
+        )
+        _pool_jobs = jobs
+        _pool_absorbed.clear()
+    return _pool
+
+
+def shutdown_pool() -> None:
+    """Tear the pool down (reset hook, error recovery, interpreter exit)."""
+    global _pool, _pool_jobs, _pool_base
+    pool = _pool
+    _pool = None
+    _pool_jobs = 0
+    _pool_base = None
+    _pool_absorbed.clear()
+    if pool is not None:
+        pool.shutdown(wait=True, cancel_futures=True)
+
+
+perf.on_reset(shutdown_pool)
+atexit.register(shutdown_pool)
+
+
+def absorb_worker(pid: int, snap: Dict) -> None:
+    """Fold one worker's shipped snapshot into the parent's perf tables.
+
+    Incremental per PID: only the delta beyond what this worker already
+    shipped (or inherited at fork) is absorbed, so task results may be
+    processed in any completion order without double counting.
+    """
+    prev = _pool_absorbed.get(pid)
+    if prev is None:
+        prev = _pool_base or {}
+    perf.absorb_snapshot(perf.snapshot_delta(snap, prev))
+    _pool_absorbed[pid] = perf.snapshot_max(prev, snap) if prev else snap
+
+
+def remaining_budget() -> Optional[Budget]:
+    """The active budget's *remaining* allowance, as a picklable Budget.
+
+    Taken at task-submit time and shipped with the task; the worker
+    activates it for the task's dynamic extent.  Each task therefore
+    charges its own ops/FM meters against the whole request's remaining
+    allowance at submit — the same global bound as the thread path, with
+    per-task (rather than shared-meter) accounting; exhaustion degrades
+    identically (conservative summaries, loops demoted to serial) and
+    degraded results are never cached or merged as clean.
+    """
+    active = active_budget()
+    if active is None:
+        return None
+    b = active.budget
+    wall = None
+    if b.max_wall_s is not None:
+        wall = max(0.0, b.max_wall_s - (time.perf_counter() - active.started))
+    ops = None
+    if b.max_ops is not None:
+        ops = max(0, b.max_ops - (perf.total_ops() - active.ops_base))
+    fm = None
+    if b.max_fm_constraints is not None:
+        fm = max(0, b.max_fm_constraints - active.fm_spent)
+    return Budget(max_wall_s=wall, max_ops=ops, max_fm_constraints=fm)
+
+
+# ----------------------------------------------------------------------
+# task shipping
+# ----------------------------------------------------------------------
+
+_run_nonce = count()
+
+
+@dataclass(frozen=True)
+class TaskHeader:
+    """Everything a worker needs to (re)build the substrate for one run.
+
+    ``engine_key`` includes a per-run nonce, so one scheduled region's
+    tasks share a worker-side engine while distinct runs never see each
+    other's mutable engine state (taint, unit keys).
+    """
+
+    engine_key: str
+    program_blob: bytes
+    opts: Any
+    cache_root: Optional[str]
+
+
+def make_header(program, opts, cache) -> TaskHeader:
+    """Serialize *program* once for all of a run's tasks."""
+    import hashlib
+
+    blob = pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL)
+    key = (
+        hashlib.sha256(blob).hexdigest()[:16] + f":{next(_run_nonce)}"
+    )
+    root = str(cache.root) if cache is not None else None
+    return TaskHeader(key, blob, opts, root)
+
+
+#: worker-side engines keyed by TaskHeader.engine_key (bounded: a
+#: long-lived worker serving many runs drops the oldest engine)
+_worker_engines: Dict[str, Any] = {}
+_WORKER_ENGINE_MAX = 4
+
+
+def _worker_engine(header: TaskHeader):
+    engine = _worker_engines.get(header.engine_key)
+    if engine is None:
+        from repro.arraydf.analysis import ArrayDataflow
+        from repro.service.cache import SummaryCache
+
+        perf.bump("pipeline.executor.rebuilds")
+        program = pickle.loads(header.program_blob)
+        cache = (
+            SummaryCache(header.cache_root) if header.cache_root else None
+        )
+        engine = ArrayDataflow(program, header.opts, cache=cache, propagated=True)
+        while len(_worker_engines) >= _WORKER_ENGINE_MAX:
+            _worker_engines.pop(next(iter(_worker_engines)))
+        _worker_engines[header.engine_key] = engine
+    return engine
+
+
+def dump_task(task: Dict) -> bytes:
+    """Parent-side pickling of a task payload, budget-suspended.
+
+    Symmetric to :func:`load_result`: the bytes cross the pool's queue
+    threads as an opaque blob, so no interning (and no budget
+    checkpoint) can run outside the task's own ``budget_scope``.
+    """
+    from repro.service.budgets import suspended
+
+    with suspended():
+        return pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_result(blob: bytes) -> Dict:
+    """Parent-side unpickling of a worker result, budget-suspended.
+
+    Workers ship results as opaque pickle bytes rather than live
+    objects: unpickling interned symbolic values re-runs interning (and
+    its feasibility checks), which must happen neither on the pool's
+    internal result-reader thread nor under the request's (possibly
+    exhausted) budget — merging *completed* results may never re-trip
+    it, mirroring :func:`repro.service.budgets.suspended` on the
+    degradation paths.
+    """
+    from repro.service.budgets import suspended
+
+    with suspended():
+        return pickle.loads(blob)
+
+
+def run_remote_task(
+    header: TaskHeader, budget: Optional[Budget], p, unit: str, task_blob: bytes
+) -> bytes:
+    """Worker-side entry point for one distributed ``(pass, unit)`` task."""
+    from repro.linalg.fourier_motzkin import capture_fallback_warnings
+    from repro.service.budgets import budget_scope, suspended
+
+    start = time.perf_counter()
+    engine = _worker_engine(header)
+    with suspended():
+        task = pickle.loads(task_blob)
+    with capture_fallback_warnings() as fm_warnings:
+        with budget_scope(budget):
+            with perf.phase(f"pass.{p.name}"):
+                payload = p.run_remote(engine, unit, task)
+    return pickle.dumps(
+        {
+            "pid": os.getpid(),
+            "payload": payload,
+            "seconds": time.perf_counter() - start,
+            "warnings": fm_warnings,
+            "snapshot": perf.snapshot(),
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )
+
+
+def run_remote_program(
+    program_blob: bytes,
+    opts,
+    cache_root: Optional[str],
+    budget: Optional[Budget],
+) -> bytes:
+    """Worker-side entry point for one whole-program batch task.
+
+    Runs the full pipeline serially inside the worker and ships the
+    program's decision rows (the same payload shape the program-level
+    cache stores), which the parent rebinds onto its own parse.
+    """
+    from repro.linalg.fourier_motzkin import capture_fallback_warnings
+    from repro.partests.driver import _decision_rows
+    from repro.pipeline import run_pipeline
+    from repro.service.budgets import budget_scope
+    from repro.service.cache import SummaryCache
+
+    start = time.perf_counter()
+    program = pickle.loads(program_blob)
+    cache = SummaryCache(cache_root) if cache_root else None
+    with capture_fallback_warnings() as fm_warnings:
+        with budget_scope(budget):
+            ctx = run_pipeline(program, opts, cache=cache, jobs=1)
+    result = ctx.get("result")
+    payload = [
+        (name, _decision_rows([l for l in result.loops if l.unit == name]))
+        for name in ctx.unit_names()
+    ]
+    return pickle.dumps(
+        {
+            "pid": os.getpid(),
+            "payload": payload,
+            "degraded": ctx.degraded,
+            "seconds": time.perf_counter() - start,
+            "warnings": fm_warnings,
+            "snapshot": perf.snapshot(),
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )

@@ -16,8 +16,15 @@ artifact wiring:
 Determinism: tasks only write unit-keyed artifacts into the
 :class:`~repro.pipeline.context.ProgramContext`; every merge across
 units happens in a later barrier pass that reads them in program (parse)
-order.  Results are therefore byte-identical for any worker count — the
-integration suite pins this.
+order.  Results are therefore byte-identical for any worker count *and
+any executor* — the integration suite pins this.
+
+Executors: ``jobs > 1`` regions run on worker threads by default, or —
+when every region pass is distributable and ``executor="process"`` /
+``REPRO_EXECUTOR=process`` selects it — on the shared process pool of
+:mod:`repro.pipeline.executor`, which ships picklable task payloads out
+and merges the hydrated results back in the parent (see
+``docs/EXECUTION.md`` for the end-to-end model).
 
 The serial order (``jobs=1``) is pass-major with units bottom-up, which
 is the legacy driver's exact execution order.
@@ -36,6 +43,8 @@ from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import perf
+from repro.pipeline import executor as pexec
+from repro.service.budgets import suspended
 from repro.pipeline.base import (
     PROGRAM_SCOPE,
     ROOT_ARTIFACT,
@@ -230,10 +239,13 @@ class PassManager:
     def run(
         self,
         ctx: ProgramContext,
-        jobs: int = 1,
+        jobs: Optional[int] = 1,
         goals=None,
         explain: bool = False,
+        executor: Optional[str] = None,
     ) -> ProgramContext:
+        jobs = pexec.resolve_jobs(jobs)
+        kind = pexec.executor_kind(executor)
         selected = self._select(ctx, goals)
         self._validate(ctx, selected)
         records: List[dict] = []
@@ -253,11 +265,13 @@ class PassManager:
                 while idx < len(selected) and selected[idx].scope == UNIT_SCOPE:
                     region.append(selected[idx])
                     idx += 1
-                sched = self._run_region(ctx, tuple(region), jobs, records, t0)
+                sched = self._run_region(
+                    ctx, tuple(region), jobs, records, t0, kind
+                )
                 region_groups.append(sched["groups"])
         if explain:
             ctx.explain = self._explain(
-                ctx, selected, records, region_groups, jobs
+                ctx, selected, records, region_groups, jobs, kind
             )
         return ctx
 
@@ -307,6 +321,7 @@ class PassManager:
         jobs: int,
         records: List[dict],
         t0: float,
+        kind: str = "thread",
     ) -> Dict:
         engine = ctx.engine
         units = ctx.unit_names()
@@ -331,6 +346,16 @@ class PassManager:
             for t in tasks:
                 launch(t)
             return sched
+
+        if kind == "process":
+            if all(p.distributable for p in region):
+                self._run_region_process(
+                    ctx, region, jobs, records, t0, sched
+                )
+                return sched
+            # a non-distributable unit pass in the region: fall back to
+            # the (always correct) thread path rather than failing
+            perf.bump("pipeline.executor.fallback")
 
         remaining: Dict[Task, Set[Task]] = {t: set(deps[t]) for t in tasks}
         dependents: Dict[Task, List[Task]] = {}
@@ -372,6 +397,106 @@ class PassManager:
             raise errors[0][1]
         return sched
 
+    def _run_region_process(
+        self,
+        ctx: ProgramContext,
+        region: Tuple[Pass, ...],
+        jobs: int,
+        records: List[dict],
+        t0: float,
+        sched: Dict,
+    ) -> None:
+        """The process-executor schedule of one unit-scope region.
+
+        Same dependence-driven loop as the thread path, but each ready
+        task is exported to a picklable form and shipped to the shared
+        process pool; completed payloads are merged (hydrated) in the
+        parent as they arrive.  Artifacts are unit-keyed and merges
+        rebind pure payloads, so the final store contents — and hence
+        the downstream barrier passes — are byte-identical to any other
+        schedule.  Worker perf snapshots and captured FM fallback
+        warnings are folded in per completion.
+        """
+        from repro.linalg.fourier_motzkin import replay_fallback_warnings
+
+        tasks: List[Task] = sched["tasks"]
+        deps: Dict[Task, Tuple[Task, ...]] = sched["deps"]
+        header = pexec.make_header(ctx.get("program"), ctx.opts, ctx.cache)
+        pool = pexec.process_pool(jobs)
+
+        remaining: Dict[Task, Set[Task]] = {t: set(deps[t]) for t in tasks}
+        dependents: Dict[Task, List[Task]] = {}
+        for t, ds in deps.items():
+            for d in ds:
+                dependents.setdefault(d, []).append(t)
+        errors: List[Tuple[Task, BaseException]] = []
+        pending: Dict = {}
+
+        def submit(t: Task) -> None:
+            i, u = t
+            # export + pickle under suspended(): projecting completed
+            # upstream results into a shippable blob is bookkeeping and
+            # may not charge (or trip) the request budget
+            with suspended():
+                task_blob = pexec.dump_task(region[i].export_task(ctx, u))
+            perf.bump("pipeline.executor.tasks")
+            fut = pool.submit(
+                pexec.run_remote_task,
+                header,
+                pexec.remaining_budget(),
+                region[i],
+                u,
+                task_blob,
+            )
+            pending[fut] = (t, time.perf_counter())
+
+        for t in tasks:
+            if not remaining[t]:
+                submit(t)
+        while pending:
+            done, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+            ready: List[Task] = []
+            for fut in done:
+                t, submitted = pending.pop(fut)
+                try:
+                    out = pexec.load_result(fut.result())
+                except BaseException as exc:
+                    errors.append((t, exc))
+                    continue
+                pexec.absorb_worker(out["pid"], out["snapshot"])
+                replay_fallback_warnings(out["warnings"])
+                i, u = t
+                # merging a completed result may not re-trip the (possibly
+                # exhausted) request budget; degradation travels in the
+                # payload's taint/degraded flags instead
+                with suspended():
+                    region[i].merge_remote(ctx, u, out["payload"])
+                records.append(
+                    {
+                        "pass": region[i].name,
+                        "unit": u,
+                        "start": round(submitted - t0, 6),
+                        "seconds": round(out["seconds"], 6),
+                        "worker": f"proc-{out['pid']}",
+                        "wave": sched["wave"][t],
+                        "group": sched["group_of"][u],
+                    }
+                )
+                for d in dependents.get(t, ()):
+                    waiting = remaining[d]
+                    waiting.discard(t)
+                    if not waiting:
+                        ready.append(d)
+            if errors:
+                continue  # drain in-flight work, submit nothing new
+            for t in sorted(ready, key=sched["task_key"]):
+                submit(t)
+        if errors:
+            # a broken pool poisons every later submit; rebuild it lazily
+            pexec.shutdown_pool()
+            errors.sort(key=lambda e: sched["task_key"](e[0]))
+            raise errors[0][1]
+
     # ------------------------------------------------------------------
     # explain (--explain-pipeline)
     # ------------------------------------------------------------------
@@ -382,6 +507,7 @@ class PassManager:
         records: List[dict],
         region_groups: List[List[List[str]]],
         jobs: int,
+        kind: str = "thread",
     ) -> dict:
         ran = [r for r in records if not r.get("skipped")]
         per_pass: Dict[str, float] = {}
@@ -402,6 +528,7 @@ class PassManager:
                 waves.setdefault(r["wave"], []).append([r["pass"], r["unit"]])
         return {
             "jobs": jobs,
+            "executor": kind,
             "units": list(ctx.unit_names()),
             "callgraph": callgraph,
             "passes": [

@@ -83,6 +83,13 @@ class SummarizePass(Pass):
     the callgraph dependence structure.  With a cache attached the
     engine loads/stores the summary under its content key; a budget trip
     degrades the unit soundly (and taints it out of the cache).
+
+    Distributable: the remote task ships each direct callee's summary
+    payload (the cache projection — interned values only), its content
+    key and its taint flag; the worker hydrates those into its rebuilt
+    engine, walks the unit, and ships the unit's own payload back with
+    its taint flag, so budget degradation crosses the process boundary
+    exactly as it crosses the cache boundary.
     """
 
     name = "summarize"
@@ -90,10 +97,77 @@ class SummarizePass(Pass):
     inputs = ("engine", "summary@callees")
     outputs = ("summary",)
     cacheable = True
+    distributable = True
 
     def run(self, ctx: ProgramContext, unit: Optional[str] = None) -> None:
         assert unit is not None
         ctx.put("summary", ctx.engine.run_unit(unit), unit)
+
+    # -- process-executor protocol -------------------------------------
+    def export_task(self, ctx: ProgramContext, unit: str) -> dict:
+        from repro.arraydf.analysis import _summary_payload
+
+        engine = ctx.engine
+        callees = []
+        for c in sorted(engine.callgraph.callees(unit)):
+            payload = ctx.payload("summary", c)
+            if payload is None:
+                payload = _summary_payload(ctx.get("summary", c))
+            callees.append(
+                (
+                    c,
+                    payload,
+                    c in engine.tainted_units,
+                    engine.unit_keys.get(c),
+                )
+            )
+        return {"callees": callees}
+
+    def run_remote(self, engine, unit: str, task: dict) -> dict:
+        from repro import perf
+        from repro.arraydf.analysis import _summary_payload
+
+        for name, payload, tainted, key in task["callees"]:
+            if tainted:
+                engine.tainted_units.add(name)
+            if key is not None:
+                engine.unit_keys[name] = key
+            if name in engine.units:
+                continue
+            rebound = engine._rebind_summary(payload, engine.program.units[name])
+            if rebound is None:
+                raise RuntimeError(
+                    f"summary payload for callee {name!r} failed to rebind"
+                )
+            engine.units[name] = rebound
+            perf.bump("pipeline.executor.hydrations")
+        summary = engine.run_unit(unit)
+        return {
+            "summary": _summary_payload(summary),
+            "tainted": unit in engine.tainted_units,
+            "unit_key": engine.unit_keys.get(unit),
+        }
+
+    def merge_remote(self, ctx: ProgramContext, unit: str, payload: dict) -> None:
+        from repro import perf
+
+        engine = ctx.engine
+        if payload["unit_key"] is not None:
+            engine.unit_keys[unit] = payload["unit_key"]
+        if payload["tainted"]:
+            engine.tainted_units.add(unit)
+        rebound = engine._rebind_summary(
+            payload["summary"], engine.program.units[unit]
+        )
+        if rebound is None:
+            # same source text on both sides, so this cannot fail in
+            # practice; recompute locally (pure → identical) if it does
+            perf.bump("pipeline.executor.fallback")
+            rebound = engine.run_unit(unit)
+        else:
+            engine.units[unit] = rebound
+        ctx.put("summary", rebound, unit)
+        ctx.stash_payload("summary", unit, payload["summary"])
 
 
 class DecidePass(Pass):
@@ -109,6 +183,7 @@ class DecidePass(Pass):
     inputs = ("engine", "summary")
     outputs = ("decisions", "decisions_degraded")
     cacheable = True
+    distributable = True
 
     def run(self, ctx: ProgramContext, unit: Optional[str] = None) -> None:
         assert unit is not None
@@ -125,6 +200,59 @@ class DecidePass(Pass):
         )
         ctx.put("decisions", rows, unit)
         ctx.put("decisions_degraded", degraded, unit)
+
+    # -- process-executor protocol -------------------------------------
+    def export_task(self, ctx: ProgramContext, unit: str) -> dict:
+        from repro.arraydf.analysis import _summary_payload
+
+        engine = ctx.engine
+        payload = ctx.payload("summary", unit)
+        if payload is None:
+            payload = _summary_payload(ctx.get("summary", unit))
+        return {
+            "summary": payload,
+            "tainted": unit in engine.tainted_units,
+            "unit_key": engine.unit_keys.get(unit),
+        }
+
+    def run_remote(self, engine, unit: str, task: dict) -> dict:
+        from repro import perf
+        from repro.partests.driver import _decision_rows, decide_unit
+
+        if task["unit_key"] is not None:
+            engine.unit_keys[unit] = task["unit_key"]
+        if task["tainted"]:
+            engine.tainted_units.add(unit)
+        summary = engine.units.get(unit)
+        if summary is None:
+            summary = engine._rebind_summary(
+                task["summary"], engine.program.units[unit]
+            )
+            if summary is None:
+                raise RuntimeError(
+                    f"summary payload for unit {unit!r} failed to rebind"
+                )
+            engine.units[unit] = summary
+            perf.bump("pipeline.executor.hydrations")
+        rows, degraded = decide_unit(
+            engine, unit, summary, engine.symtabs[unit], engine.opts, engine.cache
+        )
+        return {"decisions": _decision_rows(rows), "degraded": degraded}
+
+    def merge_remote(self, ctx: ProgramContext, unit: str, payload: dict) -> None:
+        from repro import perf
+        from repro.partests.driver import _rebind_decisions
+
+        rows = _rebind_decisions(
+            payload["decisions"], ctx.get("summary", unit), unit
+        )
+        if rows is None:
+            # cannot fail for same-parse payloads; recompute locally
+            perf.bump("pipeline.executor.fallback")
+            self.run(ctx, unit=unit)
+            return
+        ctx.put("decisions", rows, unit)
+        ctx.put("decisions_degraded", payload["degraded"], unit)
 
 
 class EnclosePass(Pass):

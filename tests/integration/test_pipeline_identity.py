@@ -21,7 +21,7 @@ from repro.arraydf.options import AnalysisOptions
 from repro.codegen.report import format_report
 from repro.experiments import fig1_examples, table2_programs
 from repro.lang.prettyprint import pretty
-from repro.pipeline import run_pipeline, set_pipeline
+from repro.pipeline import run_pipeline, run_pipeline_batch, set_pipeline
 from repro.service import Budget, budget_scope
 from repro.service.cache import SummaryCache
 from repro.suites import all_programs, get_program
@@ -69,6 +69,71 @@ class TestParallelVsSerial:
             serial = self._outputs(bench.fresh_program(), jobs=1)
             parallel = self._outputs(bench.fresh_program(), jobs=4)
             assert serial == parallel, bench.name
+
+
+class TestProcessExecutorIdentity:
+    """``--executor process`` is invisible in every artifact.
+
+    Workers rebuild the substrate per process and ship payloads back as
+    pickled projections; the parent rebinds them in deterministic parse
+    order, so the report and the transformed source must match the
+    serial schedule byte for byte — for every suite program and any job
+    count.
+    """
+
+    def _outputs(self, program, jobs, executor="thread"):
+        ctx = run_pipeline(
+            program,
+            AnalysisOptions.predicated(),
+            jobs=jobs,
+            executor=executor,
+            goals=("result", "transformed"),
+        )
+        report = _TIMING.sub(
+            "analysis: - ms", format_report(ctx.get("result"), title="t")
+        )
+        return report, pretty(ctx.get("transformed"))
+
+    def test_every_suite_program_identical_under_process_pool(self):
+        for bench in all_programs():
+            serial = self._outputs(bench.fresh_program(), jobs=1)
+            pooled = self._outputs(
+                bench.fresh_program(), jobs=2, executor="process"
+            )
+            assert serial == pooled, bench.name
+
+    def test_multi_unit_programs_identical_at_any_job_count(self):
+        for name in ("applu", "turb3d"):
+            bench = get_program(name)
+            serial = self._outputs(bench.fresh_program(), jobs=1)
+            for jobs in (2, 4):
+                pooled = self._outputs(
+                    bench.fresh_program(), jobs=jobs, executor="process"
+                )
+                assert serial == pooled, (name, jobs)
+
+    def test_batch_matches_serial_loop_for_both_executors(self):
+        benches = all_programs()[:8]
+        programs = [b.fresh_program() for b in benches]
+        serial = run_pipeline_batch(programs, jobs=1)
+
+        def rows(results):
+            return [
+                [
+                    (l.label, l.status, str(l.condition), l.enclosed)
+                    for l in r.loops
+                ]
+                for r in results
+            ]
+
+        base = rows(serial)
+        for executor in ("thread", "process"):
+            got = run_pipeline_batch(
+                [b.fresh_program() for b in benches],
+                jobs=4,
+                executor=executor,
+            )
+            assert rows(got) == base, executor
 
 
 class TestBudgetDegradationThroughPipeline:

@@ -175,11 +175,14 @@ class TestParallelExecution:
             ]
 
     def test_parallel_uses_worker_threads(self):
+        # pin the thread executor: under REPRO_EXECUTOR=process the
+        # schedule records proc-<pid> workers instead
         ctx = run_pipeline(
             parse_program(SRC),
             AnalysisOptions.predicated(),
             jobs=4,
             explain=True,
+            executor="thread",
         )
         workers = {
             r["worker"]

@@ -47,8 +47,12 @@ perfgate:
 	$(PYTHON) benchmarks/check_regression.py \
 		--baseline BENCH_pr6.json --current BENCH_pr7.json \
 		--threshold 2.0
+	$(PYTHON) benchmarks/check_regression.py \
+		--baseline BENCH_pr7.json --current BENCH_pr8.json \
+		--threshold 2.0 --require-faster test_whole_program_analysis \
+		--max-ratio test_whole_suite_screened:test_whole_suite_unscreened:1.1
 	$(PYTHON) benchmarks/check_regression.py --multicore
 
 # re-record the micro-benchmark timings (compare with perfgate)
 bench:
-	$(PYTHON) -m pytest benchmarks/test_core_micro.py benchmarks/test_predicates_micro.py benchmarks/test_pipeline_micro.py benchmarks/test_linalg_micro.py benchmarks/test_runtime_micro.py benchmarks/test_pipeline_multicore.py --benchmark-json BENCH_current.json
+	$(PYTHON) -m pytest benchmarks/test_core_micro.py benchmarks/test_predicates_micro.py benchmarks/test_pipeline_micro.py benchmarks/test_linalg_micro.py benchmarks/test_runtime_micro.py benchmarks/test_screen_micro.py benchmarks/test_pipeline_multicore.py --benchmark-json BENCH_current.json

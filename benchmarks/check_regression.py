@@ -40,6 +40,7 @@ MICRO_BENCH = [
     os.path.join(REPO_ROOT, "benchmarks", "test_pipeline_micro.py"),
     os.path.join(REPO_ROOT, "benchmarks", "test_linalg_micro.py"),
     os.path.join(REPO_ROOT, "benchmarks", "test_runtime_micro.py"),
+    os.path.join(REPO_ROOT, "benchmarks", "test_screen_micro.py"),
 ]
 
 

@@ -109,6 +109,10 @@ class LoopSummary:
     loop_value: AccessValue  # projected across the iteration space
     unit_name: str = ""
     path_pred: Predicate = TRUE  # conjunction of tests reaching the loop
+    #: the iteration-space projection was skipped (tier-0 screen proved
+    #: the loop independent and nothing consumes the projected value);
+    #: ``loop_value`` is a placeholder — reproject before reading it
+    elided: bool = False
 
     @property
     def label(self) -> str:
@@ -156,6 +160,12 @@ class ArrayDataflow:
         #: units whose summary (or a callee's) was budget-degraded;
         #: their results are conservative and must never be cached
         self.tainted_units: Set[str] = set()
+        #: per-unit labels of loops whose iteration-space projection may
+        #: be elided (tier-0 screen proved them independent *and* the
+        #: unit is caller-free, so nothing reads the projected value);
+        #: populated by the pipeline's screen pass — empty for the
+        #: legacy path, which always walks in full
+        self.screen_hints: Dict[str, frozenset] = {}
         self._stats = {"feasibility_calls": 0}
 
     # ------------------------------------------------------------------
@@ -216,7 +226,9 @@ class ArrayDataflow:
                 # fresh names are per-walk so a summary is a pure function
                 # of (unit source, callee summaries, options) — a cache
                 # requirement, and what makes concurrent walks safe
-                summary = _UnitWalker(self).analyze(unit)
+                summary = _UnitWalker(
+                    self, self.screen_hints.get(name, frozenset())
+                ).analyze(unit)
         except BudgetExceeded:
             from repro.service.degrade import conservative_unit_summary
 
@@ -227,7 +239,13 @@ class ArrayDataflow:
             )
         if tainted:
             self.tainted_units.add(name)
-        elif self.cache is not None and key is not None:
+        elif (
+            self.cache is not None
+            and key is not None
+            # an elided walk holds placeholder loop values; storing it
+            # would leak them into runs (e.g. screen-off) that read them
+            and not any(ls.elided for ls in summary.loops.values())
+        ):
             self.cache.store(key, "summary", _summary_payload(summary))
         return summary
 
@@ -255,9 +273,12 @@ class ArrayDataflow:
                 loop=loop,
                 info=info[loop],
                 body_value=body_value,
-                loop_value=loop_value,
+                loop_value=(
+                    AccessValue.empty() if loop_value is None else loop_value
+                ),
                 unit_name=unit.name,
                 path_pred=path_pred,
+                elided=loop_value is None,
             )
         return summary
 
@@ -280,13 +301,28 @@ class _UnitWalker:
     populated bottom-up.
     """
 
-    __slots__ = ("opts", "symtabs", "units", "fresh")
+    __slots__ = ("opts", "symtabs", "units", "fresh", "elide")
 
-    def __init__(self, dataflow: "ArrayDataflow") -> None:
+    def __init__(
+        self, dataflow: "ArrayDataflow", elide: frozenset = frozenset()
+    ) -> None:
         self.opts = dataflow.opts
         self.symtabs = dataflow.symtabs
         self.units = dataflow.units
         self.fresh = FreshNameSource()
+        #: labels whose loop projection may be skipped (screen hints)
+        self.elide = elide
+
+    @classmethod
+    def _bare(cls, opts) -> "_UnitWalker":
+        """A walker shim for reprojecting one loop outside any walk."""
+        w = cls.__new__(cls)
+        w.opts = opts
+        w.symtabs = {}
+        w.units = {}
+        w.fresh = FreshNameSource()
+        w.elide = frozenset()
+        return w
 
     # ------------------------------------------------------------------
     # per-unit walk
@@ -484,6 +520,26 @@ class _UnitWalker:
         body_value = self._region_value(
             region.body_seq, symtab, out, path_pred
         )
+        # tier-0 screen elision: an outermost screened-independent loop
+        # of a caller-free unit feeds its projected value only into the
+        # unit's (unread) proc value — skip the whole iteration-space
+        # projection and record a placeholder.  The decision for the
+        # loop comes pre-made from the screen; should the cross-check
+        # ever refuse it, :func:`reproject_loop` rebuilds the real value
+        # on demand.
+        if loop.label in self.elide and not region.enclosing_loops():
+            perf.bump("screen.saved_units")
+            summary = LoopSummary(
+                loop=loop,
+                info=info,
+                body_value=body_value,
+                loop_value=AccessValue.empty(),
+                unit_name=out.unit_name,
+                path_pred=path_pred,
+                elided=True,
+            )
+            out.loops[loop] = summary
+            return summary.loop_value
         loop_value = self._project_loop(body_value, loop, info)
         out.loops[loop] = LoopSummary(
             loop=loop,
@@ -693,10 +749,27 @@ def _summary_payload(summary: UnitSummary):
     post-order so a rebound summary reports loops in the same order.
     """
     loop_rows = [
-        (ls.label, ls.body_value, ls.loop_value, ls.path_pred)
+        # ``None`` marks an elided (never computed) projection; such
+        # payloads only cross the process-executor boundary — elided
+        # summaries never reach the cache
+        (ls.label, ls.body_value, None if ls.elided else ls.loop_value, ls.path_pred)
         for ls in summary.loops.values()
     ]
     return (summary.proc_value, loop_rows)
+
+
+def reproject_loop(loop_summary: LoopSummary, opts) -> AccessValue:
+    """Recompute an elided loop's iteration-space projection on demand.
+
+    A pure function of the (real) body value, loop info and options —
+    the walker's fresh-name counter state is the only difference from
+    the inline projection, and fresh names never reach any reported
+    result (pinned by ``tests/ir/test_scalarprop_engine.py``'s
+    fresh-name perturbation test).
+    """
+    return _UnitWalker._bare(opts)._project_loop(
+        loop_summary.body_value, loop_summary.loop, loop_summary.info
+    )
 
 
 def _drop_arrays_from_value(value: AccessValue, arrays: List[str]) -> AccessValue:

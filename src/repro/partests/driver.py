@@ -266,6 +266,7 @@ def decide_unit(
     symtab,
     opts: AnalysisOptions,
     cache: Optional[SummaryCache] = None,
+    screen=None,
 ) -> Tuple[List[LoopResult], bool]:
     """Decide every loop of one unit, via the decisions cache.
 
@@ -274,6 +275,14 @@ def decide_unit(
     share it.  Budget-degraded loops — and every loop of a unit whose
     summary was degraded — stay out of the cache.  Returns the loop
     results plus whether any loop was budget-degraded.
+
+    With a :class:`~repro.arraydf.screen.UnitScreen` attached, loops the
+    tier-0 screen proved independent take their pre-made ``parallel``
+    row after a cheap cross-check against the real summary (write set
+    and scalar classes must match the prediction — ``screen.agree``),
+    skipping the full dependence test; any mismatch falls back to
+    :func:`decide_loop` (``screen.disagree``), keeping results identical
+    by construction.
     """
     key = dataflow.unit_keys.get(unit_name)
     cacheable = (
@@ -287,9 +296,25 @@ def decide_unit(
             rebound = _rebind_decisions(rows, summary, unit_name)
             if rebound is not None:
                 return rebound, False
+    screen_rows = screen.rows if screen is not None else {}
     out: List[LoopResult] = []
     degraded = False
     for loop, loop_summary in summary.loops.items():
+        row = screen_rows.get(loop.label)
+        if row is not None and row["status"] == "parallel":
+            screened = _screened_result(row, loop_summary, symtab, unit_name)
+            if screened is not None:
+                perf.bump("screen.agree")
+                out.append(screened)
+                continue
+            perf.bump("screen.disagree")
+        if loop_summary.elided:
+            # the walk skipped this loop's projection on the screen's
+            # word; the full test needs the real projected value
+            from repro.arraydf.analysis import reproject_loop
+
+            loop_summary.loop_value = reproject_loop(loop_summary, opts)
+            loop_summary.elided = False
         try:
             with perf.analysis_context(loop_summary.label):
                 out.append(decide_loop(loop_summary, symtab, opts))
@@ -389,6 +414,64 @@ def decide_loop(summary: LoopSummary, symtab, opts: AnalysisOptions) -> LoopResu
     base.status = "serial"
     base.reason = "unprovable predicate: " + str(cond)
     return base
+
+
+def _screened_result(
+    row, loop_summary: LoopSummary, symtab, unit_name: str
+) -> Optional[LoopResult]:
+    """Bind a screen-made ``parallel`` row to the loop's real summary.
+
+    The cross-check re-derives from the *actual* body value everything
+    the screen predicted from syntax — the written-array set and the
+    scalar classification — and refuses the row (``None``) on any
+    difference, so a screened decision can never diverge from what
+    :func:`decide_loop` would compute.
+    """
+    from repro.partests.dependence import _inner_loops
+
+    info = loop_summary.info
+    body = loop_summary.body_value
+    if not info.is_candidate:
+        return None
+    verdicts, _obstacles, _reductions, privates = row["verdict"]
+    if sorted(body.w.arrays()) != sorted(verdicts):
+        return None
+    inner_indices = {s.var for s in _inner_loops(loop_summary.loop)}
+    obstacles, reductions, private_scalars = set(), set(), set()
+    for name in sorted(body.scalar_writes | info.scalar_writes):
+        if name == loop_summary.loop.var or name in inner_indices:
+            continue
+        if not symtab.is_scalar(name):
+            continue
+        if name in info.reductions:
+            reductions.add(name)
+        elif name in info.scalar_exposed_reads:
+            obstacles.add(name)
+        else:
+            private_scalars.add(name)
+    if obstacles or reductions or private_scalars != set(privates):
+        return None
+    return LoopResult(
+        label=row["label"],
+        unit=unit_name,
+        loop=loop_summary.loop,
+        status=row["status"],
+        condition=row["condition"],
+        runtime_test=row["runtime_test"],
+        runtime_cost=row["runtime_cost"],
+        private_arrays=list(row["private_arrays"]),
+        private_scalars=list(row["private_scalars"]),
+        reduction_scalars=list(row["reduction_scalars"]),
+        reason=row["reason"],
+        depth=row["depth"],
+        verdict=LoopVerdict(
+            summary=loop_summary,
+            array_verdicts=dict(verdicts),
+            scalar_obstacles=frozenset(),
+            reduction_scalars=frozenset(),
+            private_scalars=frozenset(privates),
+        ),
+    )
 
 
 def mark_enclosed(result: ProgramResult) -> None:

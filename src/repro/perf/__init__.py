@@ -21,6 +21,7 @@ from repro.perf.counters import (
     counter,
     current_context,
     declare,
+    dep_screen_enabled,
     exempt_cache,
     memo_table,
     on_reset,
@@ -32,6 +33,7 @@ from repro.perf.counters import (
     reset_all_caches,
     reset_counters,
     set_bytecode,
+    set_dep_screen,
     set_packed_kernel,
     set_pred_oracle,
     snapshot,
@@ -52,6 +54,7 @@ __all__ = [
     "counter",
     "current_context",
     "declare",
+    "dep_screen_enabled",
     "exempt_cache",
     "memo_table",
     "on_reset",
@@ -63,6 +66,7 @@ __all__ = [
     "reset_all_caches",
     "reset_counters",
     "set_bytecode",
+    "set_dep_screen",
     "set_packed_kernel",
     "set_pred_oracle",
     "snapshot",

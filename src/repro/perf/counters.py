@@ -258,6 +258,39 @@ def set_bytecode(enabled: Optional[bool]) -> None:
     _bytecode = enabled
 
 
+# ----------------------------------------------------------------------
+# dependence-screen switch
+# ----------------------------------------------------------------------
+# The tier-0 dependence screen (repro.arraydf.screen) classifies each
+# loop's array accesses with cheap syntactic/affine facts before the
+# predicated analysis runs; loops it proves independent skip region
+# summarization and get a pre-made parallel decision.  It is a pure
+# cost optimization: on or off, every decision row, plan and experiment
+# table is identical — the screen only fires where the full analysis
+# provably agrees.  The switch lives here for the same reason as the
+# kernel switches: the dependency-free perf layer is importable from
+# anywhere.  Controlled by the REPRO_DEP_SCREEN environment variable
+# ("0"/"off"/"false"/"no" disable) or programmatically via
+# set_dep_screen().
+
+_dep_screen: Optional[bool] = None
+
+
+def dep_screen_enabled() -> bool:
+    """Is the tier-0 dependence screen enabled?"""
+    global _dep_screen
+    if _dep_screen is None:
+        raw = os.environ.get("REPRO_DEP_SCREEN", "1").strip().lower()
+        _dep_screen = raw not in ("0", "off", "false", "no")
+    return _dep_screen
+
+
+def set_dep_screen(enabled: Optional[bool]) -> None:
+    """Force the dependence screen on/off; ``None`` re-reads the environment."""
+    global _dep_screen
+    _dep_screen = enabled
+
+
 def bump(name: str, n: int = 1) -> None:
     """Increment event counter *name* by *n*."""
     _counters[name] = _counters.get(name, 0) + n

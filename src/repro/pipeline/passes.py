@@ -12,7 +12,9 @@ is the same code the legacy path runs, lifted behind the declared-I/O
         ▼
     program ──── frontend       (program: parse-side tables)
         ▼
-    engine ───── summarize      (unit, bottom-up over callees, cacheable)
+    engine ───── screen         (unit, tier-0 dependence screen, cacheable)
+        ▼
+    screen ───── summarize      (unit, bottom-up over callees, cacheable)
         ▼
     summary ──── decide         (unit, cacheable)
         ▼
@@ -75,6 +77,106 @@ class FrontendPass(Pass):
         ctx.put("engine", engine)
 
 
+class ScreenPass(Pass):
+    """Tier-0 graph-based dependence screen of one unit.
+
+    Pure syntax over the scalar-propagated unit (no callee inputs, no
+    budgets): classifies each loop ``independent`` / ``unknown`` /
+    ``not_candidate`` and synthesizes the exact decision rows for the
+    loops it settles (:mod:`repro.arraydf.screen`).  A unit whose every
+    loop is settled *and* that no other unit calls is marked
+    ``skip_summary`` — its data-flow walk is skipped entirely (callers
+    would need the summary, so called units always summarize).
+
+    Cacheable under the unit's own content key (empty callee-key list —
+    the screen never looks across calls).  Distributable: the worker
+    recomputes the screen from its rebuilt engine, which is cheaper than
+    shipping it; the skip flag stays parent-side state derived from the
+    callgraph after merge.  Disabled (``REPRO_DEP_SCREEN=0`` /
+    ``perf.set_dep_screen(False)``) it emits an empty screen: nothing
+    is skipped and downstream passes run unchanged.
+    """
+
+    name = "screen"
+    scope = UNIT_SCOPE
+    inputs = ("engine",)
+    outputs = ("screen",)
+    cacheable = True
+    distributable = True
+
+    @staticmethod
+    def _key(engine, unit: str) -> Optional[str]:
+        if engine.cache is None:
+            return None
+        from repro.lang.prettyprint import unit_str
+        from repro.service.cache import unit_key
+
+        return unit_key(unit_str(engine.program.units[unit]), [], engine.opts)
+
+    @staticmethod
+    def _compute(engine, unit: str):
+        """Screen one unit via the engine's cache (worker or parent)."""
+        from repro import perf
+        from repro.arraydf.screen import (
+            empty_screen,
+            rebind_screen,
+            screen_payload,
+            screen_unit,
+        )
+
+        if not perf.dep_screen_enabled():
+            return empty_screen(unit)
+        key = ScreenPass._key(engine, unit)
+        if key is not None:
+            payload = engine.cache.load(key, "screen")
+            if payload is not None:
+                screen = rebind_screen(payload, unit)
+                if screen is not None:
+                    return screen
+        screen = screen_unit(engine.program.units[unit], engine.symtabs[unit])
+        if key is not None:
+            engine.cache.store(key, "screen", screen_payload(screen))
+        return screen
+
+    @staticmethod
+    def _attach(ctx: ProgramContext, unit: str, screen) -> None:
+        """Derive the caller-dependent state and publish the screen."""
+        engine = ctx.engine
+        caller_free = not engine.callgraph.callers(unit)
+        screen.skip_summary = screen.full_cover and caller_free
+        if caller_free:
+            # nothing reads a caller-free unit's proc value, so the walk
+            # may elide outermost screened-independent loop projections
+            engine.screen_hints[unit] = frozenset(screen.independent_labels)
+        ctx.put("screen", screen, unit)
+
+    def run(self, ctx: ProgramContext, unit: Optional[str] = None) -> None:
+        assert unit is not None
+        self._attach(ctx, unit, self._compute(ctx.engine, unit))
+
+    # -- process-executor protocol -------------------------------------
+    def export_task(self, ctx: ProgramContext, unit: str) -> dict:
+        return {}
+
+    def run_remote(self, engine, unit: str, task: dict) -> dict:
+        from repro.arraydf.screen import screen_payload
+
+        return {"screen": screen_payload(self._compute(engine, unit))}
+
+    def merge_remote(self, ctx: ProgramContext, unit: str, payload: dict) -> None:
+        from repro import perf
+        from repro.arraydf.screen import rebind_screen
+
+        screen = rebind_screen(payload["screen"], unit)
+        if screen is None:
+            # same source text on both sides, so this cannot happen in
+            # practice; recompute locally (pure → identical) if it does
+            perf.bump("pipeline.executor.fallback")
+            self.run(ctx, unit=unit)
+            return
+        self._attach(ctx, unit, screen)
+
+
 class SummarizePass(Pass):
     """The array data-flow walk of one unit.
 
@@ -90,23 +192,39 @@ class SummarizePass(Pass):
     engine, walks the unit, and ships the unit's own payload back with
     its taint flag, so budget degradation crosses the process boundary
     exactly as it crosses the cache boundary.
+
+    A unit the screen marked ``skip_summary`` never walks at all: its
+    summary slot takes the :class:`~repro.arraydf.screen.ScreenedUnit`
+    sentinel (counted in ``screen.saved_units``) and the decide pass
+    reads the screen's pre-made rows instead.  Skipped units are by
+    construction caller-free, so no other unit's walk ever asks for the
+    missing summary.
     """
 
     name = "summarize"
     scope = UNIT_SCOPE
-    inputs = ("engine", "summary@callees")
+    inputs = ("engine", "screen", "summary@callees")
     outputs = ("summary",)
     cacheable = True
     distributable = True
 
     def run(self, ctx: ProgramContext, unit: Optional[str] = None) -> None:
         assert unit is not None
+        if ctx.get("screen", unit).skip_summary:
+            from repro import perf
+            from repro.arraydf.screen import ScreenedUnit
+
+            perf.bump("screen.saved_units")
+            ctx.put("summary", ScreenedUnit(unit), unit)
+            return
         ctx.put("summary", ctx.engine.run_unit(unit), unit)
 
     # -- process-executor protocol -------------------------------------
     def export_task(self, ctx: ProgramContext, unit: str) -> dict:
         from repro.arraydf.analysis import _summary_payload
 
+        if ctx.get("screen", unit).skip_summary:
+            return {"screened": True}
         engine = ctx.engine
         callees = []
         for c in sorted(engine.callgraph.callees(unit)):
@@ -121,12 +239,21 @@ class SummarizePass(Pass):
                     engine.unit_keys.get(c),
                 )
             )
-        return {"callees": callees}
+        # the elision decision is the parent's: the worker must not
+        # re-derive it from its own (possibly different) screen gating
+        return {
+            "callees": callees,
+            "elide": sorted(engine.screen_hints.get(unit, ())),
+        }
 
     def run_remote(self, engine, unit: str, task: dict) -> dict:
         from repro import perf
         from repro.arraydf.analysis import _summary_payload
 
+        if task.get("screened"):
+            return {"screened": True}
+        if task.get("elide"):
+            engine.screen_hints[unit] = frozenset(task["elide"])
         for name, payload, tainted, key in task["callees"]:
             if tainted:
                 engine.tainted_units.add(name)
@@ -151,6 +278,12 @@ class SummarizePass(Pass):
     def merge_remote(self, ctx: ProgramContext, unit: str, payload: dict) -> None:
         from repro import perf
 
+        if payload.get("screened"):
+            from repro.arraydf.screen import ScreenedUnit
+
+            perf.bump("screen.saved_units")
+            ctx.put("summary", ScreenedUnit(unit), unit)
+            return
         engine = ctx.engine
         if payload["unit_key"] is not None:
             engine.unit_keys[unit] = payload["unit_key"]
@@ -176,20 +309,57 @@ class DecidePass(Pass):
     Pure in the unit's summary key, so decisions share it in the cache.
     Budget-tripped loops demote to ``serial`` and mark the unit
     degraded; degraded decisions are never stored.
+
+    With the screen attached, decisions consult it two ways: a
+    ``skip_summary`` unit takes the screen's pre-made rows directly
+    (there is no summary to decide from — screened decisions never
+    consult budgets, which is sound because they can only *add*
+    ``parallel`` answers the full analysis would also prove); every
+    other unit hands the screen to
+    :func:`~repro.partests.driver.decide_unit`, which fast-paths the
+    screen-independent loops after a per-loop cross-check.
     """
 
     name = "decide"
     scope = UNIT_SCOPE
-    inputs = ("engine", "summary")
+    inputs = ("engine", "screen", "summary")
     outputs = ("decisions", "decisions_degraded")
     cacheable = True
     distributable = True
+
+    @staticmethod
+    def _screened_rows(engine, unit: str, screen):
+        """The pre-made decision rows of a summary-skipped unit."""
+        from repro.lang.astnodes import DoLoop, walk_stmts
+        from repro.partests.driver import _rebind_rows
+
+        loops_by_label = {
+            s.label: s
+            for s in walk_stmts(engine.program.units[unit].body)
+            if isinstance(s, DoLoop)
+        }
+        rows = _rebind_rows(
+            [screen.rows[label] for label in screen.order],
+            loops_by_label,
+            {},
+            unit,
+        )
+        if rows is None:  # pragma: no cover - full_cover guarantees shape
+            raise RuntimeError(
+                f"screen rows for unit {unit!r} failed to rebind"
+            )
+        return rows
 
     def run(self, ctx: ProgramContext, unit: Optional[str] = None) -> None:
         assert unit is not None
         from repro.partests.driver import decide_unit
 
         engine = ctx.engine
+        screen = ctx.get("screen", unit)
+        if screen.skip_summary:
+            ctx.put("decisions", self._screened_rows(engine, unit, screen), unit)
+            ctx.put("decisions_degraded", False, unit)
+            return
         rows, degraded = decide_unit(
             engine,
             unit,
@@ -197,6 +367,7 @@ class DecidePass(Pass):
             engine.symtabs[unit],
             ctx.opts,
             ctx.cache,
+            screen=screen,
         )
         ctx.put("decisions", rows, unit)
         ctx.put("decisions_degraded", degraded, unit)
@@ -204,21 +375,40 @@ class DecidePass(Pass):
     # -- process-executor protocol -------------------------------------
     def export_task(self, ctx: ProgramContext, unit: str) -> dict:
         from repro.arraydf.analysis import _summary_payload
+        from repro.arraydf.screen import screen_payload
 
         engine = ctx.engine
+        screen = ctx.get("screen", unit)
+        if screen.skip_summary:
+            # ship the rows themselves: the worker must not depend on
+            # its own screen gating matching the parent's
+            return {"screened": True, "screen": screen_payload(screen)}
         payload = ctx.payload("summary", unit)
         if payload is None:
             payload = _summary_payload(ctx.get("summary", unit))
+        # ship the parent's screen rows: worker decisions must fast-path
+        # exactly the loops the parent screened (identical by contract,
+        # and elided summaries carry no projected values to decide from)
         return {
             "summary": payload,
             "tainted": unit in engine.tainted_units,
             "unit_key": engine.unit_keys.get(unit),
+            "screen": screen_payload(screen),
         }
 
     def run_remote(self, engine, unit: str, task: dict) -> dict:
         from repro import perf
+        from repro.arraydf.screen import rebind_screen
         from repro.partests.driver import _decision_rows, decide_unit
 
+        screen = rebind_screen(task["screen"], unit)
+        if screen is None:
+            raise RuntimeError(
+                f"screen payload for unit {unit!r} failed to rebind"
+            )
+        if task.get("screened"):
+            rows = self._screened_rows(engine, unit, screen)
+            return {"decisions": _decision_rows(rows), "degraded": False}
         if task["unit_key"] is not None:
             engine.unit_keys[unit] = task["unit_key"]
         if task["tainted"]:
@@ -235,17 +425,30 @@ class DecidePass(Pass):
             engine.units[unit] = summary
             perf.bump("pipeline.executor.hydrations")
         rows, degraded = decide_unit(
-            engine, unit, summary, engine.symtabs[unit], engine.opts, engine.cache
+            engine,
+            unit,
+            summary,
+            engine.symtabs[unit],
+            engine.opts,
+            engine.cache,
+            screen=screen,
         )
         return {"decisions": _decision_rows(rows), "degraded": degraded}
 
     def merge_remote(self, ctx: ProgramContext, unit: str, payload: dict) -> None:
         from repro import perf
+        from repro.arraydf.screen import ScreenedUnit
         from repro.partests.driver import _rebind_decisions
 
-        rows = _rebind_decisions(
-            payload["decisions"], ctx.get("summary", unit), unit
-        )
+        summary = ctx.get("summary", unit)
+        if isinstance(summary, ScreenedUnit):
+            screen = ctx.get("screen", unit)
+            ctx.put(
+                "decisions", self._screened_rows(ctx.engine, unit, screen), unit
+            )
+            ctx.put("decisions_degraded", False, unit)
+            return
+        rows = _rebind_decisions(payload["decisions"], summary, unit)
         if rows is None:
             # cannot fail for same-parse payloads; recompute locally
             perf.bump("pipeline.executor.fallback")
@@ -319,6 +522,7 @@ def analysis_passes() -> Tuple[Pass, ...]:
     return (
         ScalarPropPass(),
         FrontendPass(),
+        ScreenPass(),
         SummarizePass(),
         DecidePass(),
         EnclosePass(),

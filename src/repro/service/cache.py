@@ -118,10 +118,14 @@ def program_key(program, opts) -> str:
 class SummaryCache:
     """On-disk store of per-procedure analysis artifacts.
 
-    Two kinds of artifact share one key: ``"summary"`` (the
+    Three kinds of artifact are stored: ``"summary"`` (the
     :class:`~repro.arraydf.analysis.UnitSummary`) and ``"decisions"``
     (the driver's per-loop :class:`~repro.partests.driver.LoopResult`
-    list).  Writes are atomic (temp file + ``os.replace``), so
+    list) share one key; ``"screen"`` (the tier-0 dependence screen's
+    :class:`~repro.arraydf.screen.UnitScreen` rows) uses the unit's own
+    content key with no callee components — the screen never looks
+    across calls, and being pure syntax it is stored even on
+    budget-degraded runs.  Writes are atomic (temp file + ``os.replace``), so
     concurrent analyzers — the ``--jobs`` pool, several ``serve``
     workers, or independent processes — may share a directory safely:
     at worst two processes compute the same entry and the last write

@@ -1,0 +1,282 @@
+"""Edge construction in the region flow graph.
+
+The :class:`~repro.ir.regiongraph.FlowGraph` built by
+:func:`~repro.ir.regiongraph.build_flow_graph` is what the generic
+worklist engine iterates, so its corner cases need direct coverage:
+
+* loop headers carry the back edge and double as the loop exit, with an
+  empty body degenerating to a header self-loop;
+* ``Return`` jumps to ``EXIT``, leaving statements after it unreachable
+  and giving the enclosing loop a second exit;
+* branch arms re-join at the common successor, including empty arms
+  flowing through the ``If`` header itself.
+"""
+
+import pytest
+
+from repro.ir.regiongraph import (
+    CallRegion,
+    FlowGraph,
+    IfRegion,
+    LoopRegion,
+    StmtRegion,
+    build_flow_graph,
+    build_region_tree,
+)
+from repro.lang.astnodes import Return
+from repro.lang.parser import parse_program
+
+
+def _graph(src, unit=None):
+    program = parse_program(src)
+    proc = build_region_tree(
+        program.units[unit] if unit else program.main_unit
+    )
+    return proc, build_flow_graph(proc)
+
+
+def _loop_nodes(proc, graph):
+    return {
+        r.label: graph.node_for(r)
+        for r in proc.walk()
+        if isinstance(r, LoopRegion)
+    }
+
+
+class TestStraightLine:
+    def test_chain_entry_to_exit(self):
+        proc, g = _graph(
+            "program p\n"
+            "  integer n\n"
+            "  read n\n"
+            "  n = n + 1\n"
+            "  print n\n"
+            "end\n"
+        )
+        stmts = [
+            g.node_for(r) for r in proc.walk() if isinstance(r, StmtRegion)
+        ]
+        assert g.succs[FlowGraph.ENTRY] == [stmts[0]]
+        for a, b in zip(stmts, stmts[1:]):
+            assert g.succs[a] == [b]
+        assert g.succs[stmts[-1]] == [FlowGraph.EXIT]
+        assert all(g.is_reachable(i) for i in range(2, len(g)))
+
+    def test_calls_are_nodes(self):
+        proc, g = _graph(
+            "program p\n"
+            "  real a(10)\n"
+            "  call f(a)\n"
+            "end\n"
+            "subroutine f(x)\n"
+            "  real x(*)\n"
+            "  x(1) = 0.0\n"
+            "end\n"
+        )
+        calls = [r for r in proc.walk() if isinstance(r, CallRegion)]
+        assert len(calls) == 1
+        node = g.node_for(calls[0])
+        assert g.preds[node] == [FlowGraph.ENTRY]
+        assert g.succs[node] == [FlowGraph.EXIT]
+
+
+class TestLoops:
+    def test_header_has_back_edge_and_is_exit(self):
+        proc, g = _graph(
+            "program p\n"
+            "  integer n\n"
+            "  real a(10)\n"
+            "  read n\n"
+            "  do i = 1, n\n"
+            "    a(i) = 0.0\n"
+            "  enddo\n"
+            "  print a(1)\n"
+            "end\n"
+        )
+        header = _loop_nodes(proc, g)["p:L1"]
+        # back edge: exactly one successor of the header flows back to it
+        (body,) = [s for s in g.succs[header] if header in g.succs[s]]
+        # the header is the loop exit: it also flows to the print
+        after = [s for s in g.succs[header] if s != body]
+        assert len(after) == 1
+        assert g.succs[after[0]] == [FlowGraph.EXIT]
+
+    def test_empty_body_is_header_self_loop(self):
+        proc, g = _graph(
+            "program p\n"
+            "  integer n\n"
+            "  read n\n"
+            "  do i = 1, n\n"
+            "  enddo\n"
+            "end\n"
+        )
+        header = _loop_nodes(proc, g)["p:L1"]
+        assert header in g.succs[header]  # degenerate back edge
+        assert FlowGraph.EXIT in g.succs[header]
+
+    def test_nested_loop_back_edges_stay_separate(self):
+        proc, g = _graph(
+            "program p\n"
+            "  integer n\n"
+            "  real a(10)\n"
+            "  read n\n"
+            "  do i = 1, n\n"
+            "    do j = 1, n\n"
+            "      a(j) = 0.0\n"
+            "    enddo\n"
+            "  enddo\n"
+            "end\n"
+        )
+        loops = _loop_nodes(proc, g)
+        outer, inner = loops["p:L1"], loops["p:L2"]
+        # outer body is just the inner loop: inner header carries the
+        # outer back edge, the assignment carries the inner one
+        assert outer in g.succs[inner]
+        stmt = [
+            g.node_for(r) for r in proc.walk() if isinstance(r, StmtRegion)
+        ][-1]
+        assert inner in g.succs[stmt]
+        assert outer not in g.succs[stmt]
+
+
+class TestReturnAndUnreachable:
+    SRC = (
+        "subroutine f(x, n)\n"
+        "  integer n\n"
+        "  real x(*)\n"
+        "  return\n"
+        "  x(1) = 0.0\n"
+        "end\n"
+        "program p\n"
+        "  integer n\n"
+        "  real a(10)\n"
+        "  read n\n"
+        "  call f(a, n)\n"
+        "end\n"
+    )
+
+    def test_return_jumps_to_exit(self):
+        proc, g = _graph(self.SRC, unit="f")
+        ret = next(
+            g.node_for(r)
+            for r in proc.walk()
+            if isinstance(r, StmtRegion) and isinstance(r.stmt, Return)
+        )
+        assert g.succs[ret] == [FlowGraph.EXIT]
+
+    def test_statement_after_return_is_unreachable(self):
+        proc, g = _graph(self.SRC, unit="f")
+        dead = next(
+            g.node_for(r)
+            for r in proc.walk()
+            if isinstance(r, StmtRegion) and not isinstance(r.stmt, Return)
+        )
+        assert g.preds[dead] == []
+        assert not g.is_reachable(dead)
+        # it still wires forward to EXIT (falling off the body's end),
+        # but no path from ENTRY ever enters it
+        assert dead in g.preds[FlowGraph.EXIT]
+
+    def test_conditional_return_makes_loop_multi_exit(self):
+        proc, g = _graph(
+            "subroutine f(x, n)\n"
+            "  integer n\n"
+            "  real x(*)\n"
+            "  do i = 1, n\n"
+            "    if (i > 3) then\n"
+            "      return\n"
+            "    endif\n"
+            "    x(i) = 0.0\n"
+            "  enddo\n"
+            "  x(1) = 1.0\n"
+            "end\n"
+            "program p\n"
+            "  integer n\n"
+            "  real a(10)\n"
+            "  read n\n"
+            "  call f(a, n)\n"
+            "end\n",
+            unit="f",
+        )
+        header = _loop_nodes(proc, g)["f:L1"]
+        ret = next(
+            g.node_for(r)
+            for r in proc.walk()
+            if isinstance(r, StmtRegion) and isinstance(r.stmt, Return)
+        )
+        # two paths reach EXIT: the return inside the loop and the
+        # fall-through statement after it
+        assert ret in g.preds[FlowGraph.EXIT]
+        assert g.succs[ret] == [FlowGraph.EXIT]
+        assert header not in g.succs[ret]  # the return path skips the latch
+        after = next(
+            s for s in g.succs[header] if g.nodes[s] is not None
+            and isinstance(g.nodes[s], StmtRegion)
+        )
+        assert after in g.preds[FlowGraph.EXIT]
+        assert len(g.preds[FlowGraph.EXIT]) == 2
+
+
+class TestBranches:
+    def test_arms_rejoin_at_successor(self):
+        proc, g = _graph(
+            "program p\n"
+            "  integer n\n"
+            "  read n\n"
+            "  if (n > 0) then\n"
+            "    n = 1\n"
+            "  else\n"
+            "    n = 2\n"
+            "  endif\n"
+            "  print n\n"
+            "end\n"
+        )
+        cond = next(
+            g.node_for(r) for r in proc.walk() if isinstance(r, IfRegion)
+        )
+        then_n, else_n = g.succs[cond]
+        join = next(
+            g.node_for(r)
+            for r in proc.walk()
+            if isinstance(r, StmtRegion)
+            and r.stmt.__class__.__name__ == "PrintStmt"
+        )
+        assert sorted(g.preds[join]) == sorted([then_n, else_n])
+
+    def test_empty_else_flows_through_header(self):
+        proc, g = _graph(
+            "program p\n"
+            "  integer n\n"
+            "  read n\n"
+            "  if (n > 0) then\n"
+            "    n = 1\n"
+            "  endif\n"
+            "  print n\n"
+            "end\n"
+        )
+        cond = next(
+            g.node_for(r) for r in proc.walk() if isinstance(r, IfRegion)
+        )
+        join = next(
+            g.node_for(r)
+            for r in proc.walk()
+            if isinstance(r, StmtRegion)
+            and r.stmt.__class__.__name__ == "PrintStmt"
+        )
+        # the empty arm's path is the If header itself
+        assert cond in g.preds[join]
+
+    def test_edges_are_deduplicated(self):
+        _, g = _graph(
+            "program p\n"
+            "  integer n\n"
+            "  read n\n"
+            "  if (n > 0) then\n"
+            "  endif\n"
+            "  print n\n"
+            "end\n"
+        )
+        for succs in g.succs:
+            assert len(succs) == len(set(succs))
+        for preds in g.preds:
+            assert len(preds) == len(set(preds))

@@ -1,0 +1,130 @@
+"""Scalar propagation on the dataflow engine matches the legacy scan.
+
+:func:`~repro.ir.scalarprop.propagate_scalars` now phrases definition
+availability as a FORWARD/ALLPATH problem on the generic worklist
+engine; :func:`~repro.ir.scalarprop.propagate_scalars_legacy` keeps the
+original sequential positional scan.  The two must produce the same
+program text for every benchmark program — the cache keys
+(:func:`~repro.service.cache.unit_key` hashes the propagated source)
+and every downstream analysis artifact depend on it.
+"""
+
+from repro import perf
+from repro.ir.scalarprop import propagate_scalars, propagate_scalars_legacy
+from repro.lang.parser import parse_program
+from repro.lang.prettyprint import pretty
+from repro.suites import all_programs
+
+EXTRA = [
+    # a join where the same definition arrives along both arms — the
+    # ALLPATH meet keeps it; a branch-local redefinition kills it
+    (
+        "join-kills",
+        "program p\n"
+        "  integer n, m, k\n"
+        "  real a(100)\n"
+        "  read n\n"
+        "  m = n + 1\n"
+        "  if (n > 3) then\n"
+        "    k = m\n"
+        "  else\n"
+        "    m = n + 2\n"
+        "    k = m\n"
+        "  endif\n"
+        "  do i = 1, m\n"
+        "    a(i) = 0.0\n"
+        "  enddo\n"
+        "end\n",
+    ),
+    # a loop-carried redefinition must not propagate into the loop
+    (
+        "loop-carried",
+        "program p\n"
+        "  integer n, m\n"
+        "  real a(100)\n"
+        "  read n\n"
+        "  m = 2\n"
+        "  do i = 1, n\n"
+        "    a(m) = 1.0\n"
+        "    m = m + 1\n"
+        "  enddo\n"
+        "end\n",
+    ),
+    # dead code after a return still rewrites deterministically
+    (
+        "post-return",
+        "subroutine f(x, n)\n"
+        "  integer n, m\n"
+        "  real x(*)\n"
+        "  m = n + 1\n"
+        "  return\n"
+        "  x(m) = 0.0\n"
+        "end\n"
+        "program p\n"
+        "  integer n\n"
+        "  real a(100)\n"
+        "  read n\n"
+        "  call f(a, n)\n"
+        "end\n",
+    ),
+]
+
+
+class TestEngineMatchesLegacy:
+    def test_every_suite_program_identical(self):
+        for bench in all_programs():
+            flow = pretty(propagate_scalars(bench.fresh_program()))
+            legacy = pretty(propagate_scalars_legacy(bench.fresh_program()))
+            assert flow == legacy, bench.name
+
+    def test_handwritten_control_flow_identical(self):
+        for name, src in EXTRA:
+            flow = pretty(propagate_scalars(parse_program(src)))
+            legacy = pretty(propagate_scalars_legacy(parse_program(src)))
+            assert flow == legacy, name
+
+    def test_propagation_is_idempotent(self):
+        for name, src in EXTRA:
+            once = propagate_scalars(parse_program(src))
+            twice = propagate_scalars(once)
+            assert pretty(once) == pretty(twice), name
+
+
+class TestEngineIsExercised:
+    # one stable, affine, prefix definition: exactly one candidate bit
+    CANDIDATE = (
+        "program p\n"
+        "  integer n, m\n"
+        "  real a(100)\n"
+        "  read n\n"
+        "  m = n + 1\n"
+        "  do i = 1, m\n"
+        "    a(i) = 0.0\n"
+        "  enddo\n"
+        "end\n"
+    )
+
+    def test_candidates_drive_the_worklist(self):
+        runs = perf.counter("dataflow.engine.runs")
+        iters = perf.counter("dataflow.iterations")
+        out = propagate_scalars(parse_program(self.CANDIDATE))
+        assert perf.counter("dataflow.engine.runs") > runs
+        assert perf.counter("dataflow.iterations") > iters
+        assert "n + 1" in pretty(out)  # the bound was rewritten
+
+    def test_unit_without_candidates_skips_the_solver(self):
+        # no scalar definition feeds a later use: nothing to solve
+        src = (
+            "program p\n"
+            "  integer n\n"
+            "  real a(10)\n"
+            "  read n\n"
+            "  do i = 1, n\n"
+            "    a(i) = 0.0\n"
+            "  enddo\n"
+            "end\n"
+        )
+        runs = perf.counter("dataflow.engine.runs")
+        out = propagate_scalars(parse_program(src))
+        assert perf.counter("dataflow.engine.runs") == runs
+        assert pretty(out) == pretty(parse_program(src))

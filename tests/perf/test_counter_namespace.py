@@ -29,7 +29,7 @@ def _documented_prefixes():
     m = re.search(r"### 1\.4[^\n]*\n(.*?)(?=\n## )", text, re.S)
     assert m, "PERF.md lost its counter-namespace table (section 1.4)"
     prefixes = re.findall(r"^\| `([a-z0-9_.]+?)(?:\.\*)?` \|", m.group(1), re.M)
-    assert len(prefixes) >= 15, f"namespace table parsed oddly: {prefixes}"
+    assert len(prefixes) >= 17, f"namespace table parsed oddly: {prefixes}"
     return prefixes
 
 
@@ -94,6 +94,24 @@ def test_every_documented_prefix_is_live(registry):
         f"PERF.md section 1.4 documents prefixes with no registered "
         f"name behind them: {stale}"
     )
+
+
+def test_dataflow_and_screen_namespaces_are_documented(registry):
+    """The PR-8 namespaces: the worklist engine and the tier-0 screen."""
+    prefixes = _documented_prefixes()
+    assert "dataflow" in prefixes
+    assert "screen" in prefixes
+    for name in (
+        "dataflow.engine.runs",
+        "dataflow.engine.nodes",
+        "dataflow.iterations",
+        "screen.independent",
+        "screen.unknown",
+        "screen.agree",
+        "screen.disagree",
+        "screen.saved_units",
+    ):
+        assert registry.get(name) == "counter", name
 
 
 def test_registered_names_report_their_kind(registry):

@@ -116,39 +116,54 @@ class TestRegionSchedule:
         region = tuple(p for p in self.PASSES if p.scope == UNIT_SCOPE)
         return _build_region_schedule(units, edges, region)
 
-    def test_summarize_waits_for_callees_only(self):
+    def test_screen_tasks_are_dependence_free(self):
         sched = self._schedule()
-        # region pass 0 = summarize, 1 = decide
+        # region pass 0 = screen: per-unit syntax, no callee coupling
         deps = sched["deps"]
-        assert deps[(0, "leaf")] == ()
-        assert deps[(0, "right")] == ()
-        assert deps[(0, "left")] == ((0, "leaf"),)
-        assert set(deps[(0, "main")]) == {(0, "left"), (0, "right")}
-
-    def test_decide_depends_on_own_summary_only(self):
-        sched = self._schedule()
         for unit in ("main", "left", "leaf", "right"):
-            assert sched["deps"][(1, unit)] == ((0, unit),)
+            assert deps[(0, unit)] == ()
+
+    def test_summarize_waits_for_screen_and_callees_only(self):
+        sched = self._schedule()
+        # region pass 1 = summarize
+        deps = sched["deps"]
+        assert deps[(1, "leaf")] == ((0, "leaf"),)
+        assert deps[(1, "right")] == ((0, "right"),)
+        assert set(deps[(1, "left")]) == {(0, "left"), (1, "leaf")}
+        assert set(deps[(1, "main")]) == {
+            (0, "main"),
+            (1, "left"),
+            (1, "right"),
+        }
+
+    def test_decide_depends_on_own_screen_and_summary_only(self):
+        sched = self._schedule()
+        # region pass 2 = decide
+        for unit in ("main", "left", "leaf", "right"):
+            assert sched["deps"][(2, unit)] == ((0, unit), (1, unit))
 
     def test_waves_expose_parallelism(self):
         sched = self._schedule()
         wave = sched["wave"]
-        # leaf and right are independent roots: same wave
-        assert wave[(0, "leaf")] == wave[(0, "right")] == 0
-        assert wave[(0, "left")] == 1
-        assert wave[(0, "main")] == 2
+        # every screen fires immediately
+        assert all(wave[(0, u)] == 0 for u in ("main", "left", "leaf", "right"))
+        # leaf and right are independent roots: same summarize wave
+        assert wave[(1, "leaf")] == wave[(1, "right")] == 1
+        assert wave[(1, "left")] == 2
+        assert wave[(1, "main")] == 3
         # decide rides one wave behind its summarize
-        assert wave[(1, "right")] == 1
+        assert wave[(2, "right")] == 2
 
     def test_serial_task_order_is_pass_major_bottom_up(self):
         sched = self._schedule()
         tasks = sched["tasks"]
-        summarize_units = [u for i, u in tasks if i == 0]
+        summarize_units = [u for i, u in tasks if i == 1]
         # bottom-up: leaf before left before main
         assert summarize_units.index("leaf") < summarize_units.index("left")
         assert summarize_units.index("left") < summarize_units.index("main")
-        # pass-major: all summarize before any decide
+        # pass-major: all screen before any summarize before any decide
         assert tasks.index((1, "leaf")) > tasks.index((0, "main"))
+        assert tasks.index((2, "leaf")) > tasks.index((1, "main"))
 
     def test_schedule_is_memoized(self):
         perf.reset_all_caches()
@@ -231,6 +246,7 @@ class TestExplain:
         assert names == [
             "scalarprop",
             "frontend",
+            "screen",
             "summarize",
             "decide",
             "enclose",
@@ -239,10 +255,14 @@ class TestExplain:
         ]
         assert all("seconds" in r for r in ex["schedule"] if not r.get("skipped"))
         assert ex["pass_seconds"].keys() == set(names)
-        # first wave holds both independent subtree roots
+        # first wave holds every unit's screen (all dependence-free)
         first_wave = {tuple(t) for t in ex["waves"][0]}
-        assert ("summarize", "leaf") in first_wave
-        assert ("summarize", "right") in first_wave
+        assert ("screen", "leaf") in first_wave
+        assert ("screen", "right") in first_wave
+        # the independent subtree roots summarize in the next wave
+        second_wave = {tuple(t) for t in ex["waves"][1]}
+        assert ("summarize", "leaf") in second_wave
+        assert ("summarize", "right") in second_wave
 
     def test_explain_off_by_default(self):
         ctx = run_pipeline(parse_program(SRC), AnalysisOptions.predicated())

@@ -81,12 +81,21 @@ class TestFmExhaustion:
         _degraded_analysis(
             bench.fresh_program(), Budget(max_fm_constraints=1), cache=cache
         )
-        assert cache.entry_count() == 0
+        # the budget-independent screen rows may be stored; the degraded
+        # analysis artifacts (summaries, decisions) must not be
+        def degradable():
+            return [
+                p
+                for p in cache.root.glob("*/*.pkl")
+                if not p.name.endswith(".screen.pkl")
+            ]
+
+        assert degradable() == []
 
         # ... so a later unbudgeted run computes (and caches) the
         # precise result rather than resurrecting a degraded one
         precise = analyze_program(bench.fresh_program(), cache=cache)
-        assert cache.entry_count() > 0
+        assert degradable()
         assert _statuses(precise) == _statuses(
             analyze_program(bench.fresh_program())
         )

@@ -5,9 +5,9 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check lint test perfgate bench
+.PHONY: check lint test perfgate serve-smoke bench
 
-check: lint test perfgate
+check: lint test perfgate serve-smoke
 
 lint:
 	@if command -v ruff >/dev/null 2>&1; then \
@@ -51,8 +51,18 @@ perfgate:
 		--baseline BENCH_pr7.json --current BENCH_pr8.json \
 		--threshold 2.0 --require-faster test_whole_program_analysis \
 		--max-ratio test_whole_suite_screened:test_whole_suite_unscreened:1.1
+	$(PYTHON) benchmarks/check_regression.py \
+		--baseline BENCH_pr8.json --current BENCH_pr9.json \
+		--threshold 2.0 \
+		--max-ratio test_serve_job_fleet:test_serve_job_direct:1.3
 	$(PYTHON) benchmarks/check_regression.py --multicore
+	$(PYTHON) benchmarks/check_regression.py --serve
+
+# end-to-end smoke of the HTTP job service: start, submit, poll,
+# validate receipts, graceful SIGTERM drain
+serve-smoke:
+	$(PYTHON) scripts/serve_smoke.py
 
 # re-record the micro-benchmark timings (compare with perfgate)
 bench:
-	$(PYTHON) -m pytest benchmarks/test_core_micro.py benchmarks/test_predicates_micro.py benchmarks/test_pipeline_micro.py benchmarks/test_linalg_micro.py benchmarks/test_runtime_micro.py benchmarks/test_screen_micro.py benchmarks/test_pipeline_multicore.py --benchmark-json BENCH_current.json
+	$(PYTHON) -m pytest benchmarks/test_core_micro.py benchmarks/test_predicates_micro.py benchmarks/test_pipeline_micro.py benchmarks/test_linalg_micro.py benchmarks/test_runtime_micro.py benchmarks/test_screen_micro.py benchmarks/test_pipeline_multicore.py benchmarks/test_serve_latency.py --benchmark-json BENCH_current.json

@@ -53,7 +53,13 @@ def _load_means(path: str) -> dict:
 
 
 def _load_extra_info(path: str) -> dict:
-    """name -> {key: numeric value} for benchmarks with extra_info."""
+    """name -> {key: numeric value} for benchmarks with extra_info.
+
+    Keys ending in ``_ms`` / ``_s`` are wall-clock readings recorded for
+    information (e.g. the serve benchmarks' per-job p50); they are
+    timing noise, not deterministic op counters, so the monotone
+    not-above-baseline gate must not see them.
+    """
     with open(path) as f:
         data = json.load(f)
     out = {}
@@ -61,7 +67,9 @@ def _load_extra_info(path: str) -> dict:
         info = {
             k: v
             for k, v in (b.get("extra_info") or {}).items()
-            if isinstance(v, (int, float)) and not isinstance(v, bool)
+            if isinstance(v, (int, float))
+            and not isinstance(v, bool)
+            and not k.endswith(("_ms", "_s"))
         }
         if info:
             out[b["name"]] = info
@@ -279,6 +287,61 @@ def check_multicore() -> int:
     return 0
 
 
+#: allowed end-to-end overhead of the job system (queue + fleet +
+#: receipts) over calling the execution core directly
+SERVE_OVERHEAD_LIMIT = 1.3
+
+
+def check_serve() -> int:
+    """Live serve-latency gate: the job system must stay cheap.
+
+    Runs the paired-round driver in ``benchmarks/test_serve_latency.py``
+    (every suite program as a closed-loop job through a persistent
+    queue + 4-worker fleet, alternating round-for-round with the same
+    requests through ``run_analyze`` directly) and enforces that the
+    fleet path stays within ``SERVE_OVERHEAD_LIMIT`` of the direct
+    path.  The fleet uses threads, so — unlike the multicore gate —
+    this runs on any machine, single-core included.  The comparison is
+    p50-to-p50 over the pooled per-request latencies (~150 samples a
+    side), and the rounds interleave so machine drift on a shared
+    runner cancels out of the ratio instead of landing on one side.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [
+            sys.executable,
+            os.path.join(REPO_ROOT, "benchmarks", "test_serve_latency.py"),
+        ],
+        check=True,
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    stats = json.loads(proc.stdout.strip().splitlines()[-1])
+    direct = stats.get("direct_p50_ms")
+    fleet = stats.get("fleet_p50_ms")
+    if not direct or not fleet:
+        print("FAIL: serve latencies missing from the driver output")
+        return 1
+    overhead = fleet / direct
+    print(
+        f"serve gate: per-job p50 direct {direct:.2f}ms / "
+        f"fleet {fleet:.2f}ms = {overhead:.2f}x overhead "
+        f"(limit {SERVE_OVERHEAD_LIMIT:.1f}x)"
+    )
+    if overhead > SERVE_OVERHEAD_LIMIT:
+        print(
+            f"FAIL: job-system overhead {overhead:.2f}x exceeds the "
+            f"{SERVE_OVERHEAD_LIMIT:.1f}x limit over direct invocation"
+        )
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -322,10 +385,19 @@ def main(argv=None) -> int:
         help="run only the live multicore gate (whole suite serial vs "
         "process pool); skips with a notice on single-core runners",
     )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="run only the live serve-latency gate (suite jobs through "
+        "the queue + worker fleet vs direct invocation); thread-based, "
+        "so it runs on any machine",
+    )
     args = parser.parse_args(argv)
 
     if args.multicore:
         return check_multicore()
+    if args.serve:
+        return check_serve()
 
     baseline = _load_means(args.baseline)
     baseline_info = _load_extra_info(args.baseline)

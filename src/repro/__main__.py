@@ -10,15 +10,22 @@ Usage::
     python -m repro elpd FILE [inputs...]
     python -m repro experiments [fig1|tab1|tab2|tab3|figs|figo|all]
                     [--jobs N] [--profile] [--cache DIR]
-    python -m repro serve [--jobs N] [--cache DIR] [--profile]
+    python -m repro serve [--stdio] [--jobs N] [--cache DIR] [--profile]
+                    [--executor {thread,process}] [--queue-dir DIR]
+    python -m repro serve --http HOST:PORT [--workers N] [--max-queue N]
+                    [--queue-dir DIR] [--cache DIR]
+                    [--executor {thread,process}]
 
 ``analyze`` parses a mini-Fortran source file and prints the
 parallelization report (``--base`` switches to the non-predicated
 analysis; ``--emit`` additionally prints the two-version transformed
 source).  ``run`` interprets the program, reading ``read`` inputs from
 the command line.  ``elpd`` runs the dynamic oracle.  ``experiments``
-regenerates paper tables/figures.  ``serve`` is the JSON-lines analysis
-server (requests on stdin, one JSON result per line on stdout).
+regenerates paper tables/figures.  ``serve`` is the analysis job
+service: by default the JSON-lines loop (requests on stdin, one JSON
+result per line on stdout); with ``--http HOST:PORT`` the HTTP front
+door over the persistent job queue and a worker fleet (see
+``docs/SERVICE.md``).
 
 ``--cache DIR`` attaches the content-addressed procedure-summary cache;
 ``--max-wall``/``--max-ops``/``--max-fm`` bound one request's resources
@@ -32,22 +39,148 @@ overlap), or worker *processes* with ``--executor process`` /
 graph, the per-unit schedule and per-pass timings as JSON.  Output is
 byte-identical for every executor and job count; the execution model is
 documented end-to-end in ``docs/EXECUTION.md``.
+
+The module is a small subcommand registry: each command contributes a
+``(name, help, configure, run)`` record via :func:`command`, and
+:func:`main` assembles the parser from the registry — adding a
+subcommand never touches the others' wiring.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from typing import Callable, Dict, List, Optional
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
 
 
-def _print_profile() -> None:
+class Command:
+    """One subcommand: argparse wiring plus its entry point."""
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        configure: Optional[Callable[[argparse.ArgumentParser], None]],
+        run: Callable[[argparse.Namespace], int],
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.configure = configure
+        self.run = run
+
+
+#: registration order is display order in ``--help``
+COMMANDS: Dict[str, Command] = {}
+
+
+def command(name: str, help: str, configure=None):
+    """Register the decorated function as subcommand *name*."""
+
+    def register(run):
+        COMMANDS[name] = Command(name, help, configure, run)
+        return run
+
+    return register
+
+
+# ----------------------------------------------------------------------
+# shared flag groups
+# ----------------------------------------------------------------------
+def _print_profile(stream=None) -> None:
     import json
 
     from repro import perf
 
-    print(json.dumps(perf.snapshot(), indent=2, sort_keys=True))
+    print(
+        json.dumps(perf.snapshot(), indent=2, sort_keys=True),
+        file=stream or sys.stdout,
+    )
 
 
+def _add_cache_flag(p: argparse.ArgumentParser, help: str) -> None:
+    p.add_argument("--cache", metavar="DIR", default=None, help=help)
+
+
+def _add_profile_flag(p: argparse.ArgumentParser, help: str) -> None:
+    p.add_argument("--profile", action="store_true", help=help)
+
+
+def _add_executor_flag(p: argparse.ArgumentParser, help: str) -> None:
+    p.add_argument(
+        "--executor", choices=["thread", "process"], default=None, help=help
+    )
+
+
+def _parse_inputs(values: List[str]) -> List:
+    return [int(v) if "." not in v else float(v) for v in values]
+
+
+# ----------------------------------------------------------------------
+# analyze
+# ----------------------------------------------------------------------
+def _configure_analyze(p: argparse.ArgumentParser) -> None:
+    p.add_argument("file")
+    p.add_argument("--base", action="store_true", help="base analysis only")
+    p.add_argument(
+        "--emit", action="store_true", help="print two-version output"
+    )
+    _add_cache_flag(
+        p,
+        "content-addressed summary cache directory (reused across "
+        "runs; only edited procedures are re-analyzed)",
+    )
+    _add_profile_flag(
+        p, "append a JSON performance snapshot after the report"
+    )
+    p.add_argument(
+        "--max-wall",
+        type=float,
+        default=None,
+        metavar="S",
+        help="wall-clock budget in seconds (exhaustion degrades soundly)",
+    )
+    p.add_argument(
+        "--max-ops",
+        type=int,
+        default=None,
+        metavar="N",
+        help="substrate-operation budget (see perf.total_ops)",
+    )
+    p.add_argument(
+        "--max-fm",
+        type=int,
+        default=None,
+        metavar="N",
+        help="Fourier-Motzkin bound-pair budget",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="analyze independent callgraph subtrees on N workers "
+        "(default: REPRO_JOBS or 1; output is byte-identical for any N)",
+    )
+    _add_executor_flag(
+        p,
+        "where --jobs workers run: 'thread' shares one interpreter "
+        "(GIL-bound), 'process' uses a pool of worker processes for real "
+        "multicore speedup (default: REPRO_EXECUTOR or 'thread'; output "
+        "is byte-identical either way)",
+    )
+    p.add_argument(
+        "--explain-pipeline",
+        action="store_true",
+        help="append a JSON dump of the pass graph, the per-unit schedule "
+        "(waves, workers, parallel subtrees) and per-pass timings",
+    )
+
+
+@command("analyze", "analyze a source file", _configure_analyze)
 def _cmd_analyze(args) -> int:
     import json
 
@@ -112,26 +245,34 @@ def _cmd_analyze(args) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# run / elpd
+# ----------------------------------------------------------------------
+def _configure_run(p: argparse.ArgumentParser) -> None:
+    p.add_argument("file")
+    p.add_argument("inputs", nargs="*", default=[])
+
+
+@command("run", "interpret a program", _configure_run)
 def _cmd_run(args) -> int:
     from repro.lang.parser import parse_program
     from repro.runtime.interp import run_program
 
     program = parse_program(open(args.file).read())
-    inputs = [int(v) if "." not in v else float(v) for v in args.inputs]
-    result = run_program(program, inputs)
+    result = run_program(program, _parse_inputs(args.inputs))
     for line in result.outputs:
         print(line)
     print(f"[{result.steps} steps]", file=sys.stderr)
     return 0
 
 
+@command("elpd", "run the ELPD dynamic oracle", _configure_run)
 def _cmd_elpd(args) -> int:
     from repro.lang.parser import parse_program
     from repro.runtime.elpd import run_oracle
 
     program = parse_program(open(args.file).read())
-    inputs = [int(v) if "." not in v else float(v) for v in args.inputs]
-    report = run_oracle(program, inputs)
+    report = run_oracle(program, _parse_inputs(args.inputs))
     for label in sorted(report.observations):
         obs = report.observations[label]
         extras = []
@@ -144,6 +285,37 @@ def _cmd_elpd(args) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# experiments
+# ----------------------------------------------------------------------
+def _configure_experiments(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "which",
+        nargs="?",
+        default="all",
+        choices=["fig1", "tab1", "tab2", "tab3", "figs", "figo", "all"],
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="fan per-program analyses over N worker processes "
+        "(output is byte-identical for any N)",
+    )
+    _add_profile_flag(
+        p,
+        "append a JSON performance snapshot (counters, phase timers, "
+        "cache hit rates) after the tables",
+    )
+    _add_cache_flag(
+        p,
+        "summary cache directory shared by the whole run (and by "
+        "worker processes under --jobs)",
+    )
+
+
+@command("experiments", "regenerate paper tables/figures", _configure_experiments)
 def _cmd_experiments(args) -> int:
     from repro.experiments import (
         fig1_examples,
@@ -175,158 +347,124 @@ def _cmd_experiments(args) -> int:
     return 0
 
 
+# ----------------------------------------------------------------------
+# serve
+# ----------------------------------------------------------------------
+def _configure_serve(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--http",
+        metavar="HOST:PORT",
+        default=None,
+        help="start the HTTP front door (POST /v1/jobs, GET /v1/jobs/ID, "
+        "GET /v1/jobs/ID/receipt, /v1/healthz, /v1/stats) instead of the "
+        "stdin/stdout JSON-lines loop",
+    )
+    p.add_argument(
+        "--stdio",
+        action="store_true",
+        help="serve the JSON-lines loop on stdin/stdout (the default)",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker fleet size for the stdio loop (results stream in "
+        "request order; responses are byte-identical for any N)",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker fleet size for --http (default 2)",
+    )
+    p.add_argument(
+        "--queue-dir",
+        metavar="DIR",
+        default=None,
+        help="persistent job-queue directory (journal, claims, results, "
+        "receipts; survives restarts — interrupted jobs are re-run). "
+        "Default: a temporary directory for --stdio, "
+        "<cache-dir-or-cwd>/queue for --http",
+    )
+    p.add_argument(
+        "--max-queue",
+        type=int,
+        default=256,
+        metavar="N",
+        help="bound on pending jobs; beyond it --http answers 429 with "
+        "Retry-After and --stdio applies backpressure (default 256)",
+    )
+    _add_executor_flag(
+        p,
+        "run each job's pipeline fan-out on worker processes "
+        "('process') instead of threads (responses are byte-identical "
+        "either way)",
+    )
+    _add_cache_flag(p, "summary cache directory shared by all workers")
+    _add_profile_flag(
+        p, "write a JSON performance snapshot to stderr at exit"
+    )
+
+
+@command(
+    "serve",
+    "analysis job service: JSON-lines on stdio, or an HTTP front door "
+    "with --http HOST:PORT",
+    _configure_serve,
+)
 def _cmd_serve(args) -> int:
-    from repro.service.server import serve
+    if args.http and args.stdio:
+        print("serve: --http and --stdio are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.http:
+        import os
 
-    serve(sys.stdin, sys.stdout, jobs=args.jobs, cache_dir=args.cache)
-    if args.profile:
-        import json
+        from repro.service.http import serve_http
 
-        from repro import perf
-
-        print(
-            json.dumps(perf.snapshot(), indent=2, sort_keys=True),
-            file=sys.stderr,
+        queue_dir = args.queue_dir
+        if queue_dir is None:
+            base = args.cache or os.getcwd()
+            queue_dir = os.path.join(base, "queue")
+        serve_http(
+            args.http,
+            queue_dir=queue_dir,
+            workers=args.workers,
+            capacity=args.max_queue,
+            pipeline_executor=args.executor,
+            cache_dir=args.cache,
         )
+    else:
+        from repro.service.server import serve
+
+        serve(
+            sys.stdin,
+            sys.stdout,
+            jobs=args.jobs,
+            cache_dir=args.cache,
+            queue_dir=args.queue_dir,
+            executor=args.executor,
+        )
+    if args.profile:
+        _print_profile(stream=sys.stderr)
     return 0
 
 
+# ----------------------------------------------------------------------
+# entry point
+# ----------------------------------------------------------------------
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Predicated array data-flow analysis (PPoPP'99 reproduction)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
-
-    p = sub.add_parser("analyze", help="analyze a source file")
-    p.add_argument("file")
-    p.add_argument("--base", action="store_true", help="base analysis only")
-    p.add_argument(
-        "--emit", action="store_true", help="print two-version output"
-    )
-    p.add_argument(
-        "--cache",
-        metavar="DIR",
-        default=None,
-        help="content-addressed summary cache directory (reused across "
-        "runs; only edited procedures are re-analyzed)",
-    )
-    p.add_argument(
-        "--profile",
-        action="store_true",
-        help="append a JSON performance snapshot after the report",
-    )
-    p.add_argument(
-        "--max-wall",
-        type=float,
-        default=None,
-        metavar="S",
-        help="wall-clock budget in seconds (exhaustion degrades soundly)",
-    )
-    p.add_argument(
-        "--max-ops",
-        type=int,
-        default=None,
-        metavar="N",
-        help="substrate-operation budget (see perf.total_ops)",
-    )
-    p.add_argument(
-        "--max-fm",
-        type=int,
-        default=None,
-        metavar="N",
-        help="Fourier-Motzkin bound-pair budget",
-    )
-    p.add_argument(
-        "--jobs",
-        type=int,
-        default=None,
-        metavar="N",
-        help="analyze independent callgraph subtrees on N workers "
-        "(default: REPRO_JOBS or 1; output is byte-identical for any N)",
-    )
-    p.add_argument(
-        "--executor",
-        choices=["thread", "process"],
-        default=None,
-        help="where --jobs workers run: 'thread' shares one interpreter "
-        "(GIL-bound), 'process' uses a pool of worker processes for real "
-        "multicore speedup (default: REPRO_EXECUTOR or 'thread'; output "
-        "is byte-identical either way)",
-    )
-    p.add_argument(
-        "--explain-pipeline",
-        action="store_true",
-        help="append a JSON dump of the pass graph, the per-unit schedule "
-        "(waves, workers, parallel subtrees) and per-pass timings",
-    )
-    p.set_defaults(func=_cmd_analyze)
-
-    p = sub.add_parser("run", help="interpret a program")
-    p.add_argument("file")
-    p.add_argument("inputs", nargs="*", default=[])
-    p.set_defaults(func=_cmd_run)
-
-    p = sub.add_parser("elpd", help="run the ELPD dynamic oracle")
-    p.add_argument("file")
-    p.add_argument("inputs", nargs="*", default=[])
-    p.set_defaults(func=_cmd_elpd)
-
-    p = sub.add_parser("experiments", help="regenerate paper tables/figures")
-    p.add_argument(
-        "which",
-        nargs="?",
-        default="all",
-        choices=["fig1", "tab1", "tab2", "tab3", "figs", "figo", "all"],
-    )
-    p.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        metavar="N",
-        help="fan per-program analyses over N worker processes "
-        "(output is byte-identical for any N)",
-    )
-    p.add_argument(
-        "--profile",
-        action="store_true",
-        help="append a JSON performance snapshot (counters, phase timers, "
-        "cache hit rates) after the tables",
-    )
-    p.add_argument(
-        "--cache",
-        metavar="DIR",
-        default=None,
-        help="summary cache directory shared by the whole run (and by "
-        "worker processes under --jobs)",
-    )
-    p.set_defaults(func=_cmd_experiments)
-
-    p = sub.add_parser(
-        "serve",
-        help="JSON-lines analysis server: requests on stdin, one JSON "
-        "result per line on stdout",
-    )
-    p.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        metavar="N",
-        help="fan requests over N worker processes (results stream in "
-        "request order)",
-    )
-    p.add_argument(
-        "--cache",
-        metavar="DIR",
-        default=None,
-        help="summary cache directory shared by all workers",
-    )
-    p.add_argument(
-        "--profile",
-        action="store_true",
-        help="write a JSON performance snapshot to stderr at EOF",
-    )
-    p.set_defaults(func=_cmd_serve)
+    for cmd in COMMANDS.values():
+        p = sub.add_parser(cmd.name, help=cmd.help)
+        if cmd.configure is not None:
+            cmd.configure(p)
+        p.set_defaults(func=cmd.run)
 
     args = parser.parse_args(argv)
     return args.func(args)

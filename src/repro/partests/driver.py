@@ -162,8 +162,24 @@ class ParallelizationDriver:
             jobs=self.jobs,
             executor=self.executor,
         )
-        self._degraded = ctx.degraded
+        self._degraded = ctx.degraded or bool(
+            ctx.has("engine") and ctx.engine.tainted_units
+        )
         return ctx.get("result")
+
+    @property
+    def degraded(self) -> bool:
+        """Did the last :meth:`run` degrade under a budget anywhere?
+
+        Covers both granularities — budget-demoted loop decisions and
+        budget-demoted (tainted) unit summaries — including degradation
+        that happened inside process-executor workers, whose taint flags
+        travel back in the merged payloads.  The service layer reports
+        this per job; it is deterministic for a given cache state, unlike
+        a delta over the process-global ``budget.*`` counters, which
+        concurrent jobs would cross-contaminate.
+        """
+        return self._degraded
 
     def run_legacy(self) -> ProgramResult:
         start = time.perf_counter()
@@ -185,6 +201,8 @@ class ParallelizationDriver:
             dataflow = ArrayDataflow(
                 self.program, self.opts, cache=self.cache
             ).run()
+        if dataflow.tainted_units:
+            self._degraded = True
         result = ProgramResult(self.program, self.opts)
 
         unit_rows: List = []

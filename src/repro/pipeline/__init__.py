@@ -223,10 +223,20 @@ def run_pipeline_batch(
     if kind == "thread":
         from concurrent.futures import ThreadPoolExecutor
 
+        from repro.service.budgets import active_budget, adopt_scope
+
+        # budgets are thread-local; batch worker threads adopt the
+        # caller's scope so the whole batch charges one request budget
+        scope = active_budget()
+
+        def local_scoped(program):
+            with adopt_scope(scope):
+                return local(program)
+
         with ThreadPoolExecutor(
             max_workers=jobs, thread_name_prefix="pipeline-batch"
         ) as pool:
-            return list(pool.map(local, programs))
+            return list(pool.map(local_scoped, programs))
 
     from repro.linalg.fourier_motzkin import replay_fallback_warnings
     from repro.service.budgets import suspended

@@ -145,7 +145,7 @@ def _worker_init() -> None:
     """
     from repro.service import budgets
 
-    budgets._active = None
+    budgets.clear_thread_budget()
     _worker_engines.clear()
 
 

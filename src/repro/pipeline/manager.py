@@ -44,7 +44,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import perf
 from repro.pipeline import executor as pexec
-from repro.service.budgets import suspended
+from repro.service.budgets import active_budget, adopt_scope, suspended
 from repro.pipeline.base import (
     PROGRAM_SCOPE,
     ROOT_ARTIFACT,
@@ -363,13 +363,23 @@ class PassManager:
             for d in ds:
                 dependents.setdefault(d, []).append(t)
         errors: List[Tuple[Task, BaseException]] = []
+        # the active budget is thread-local (several service jobs may run
+        # concurrently, each under its own); region worker threads adopt
+        # the scheduling thread's scope so every task of this request
+        # charges the same request-wide book-keeping
+        scope = active_budget()
+
+        def launch_scoped(t: Task) -> None:
+            with adopt_scope(scope):
+                launch(t)
+
         with ThreadPoolExecutor(
             max_workers=jobs, thread_name_prefix="pipeline"
         ) as pool:
             pending: Dict = {}
 
             def submit(t: Task) -> None:
-                pending[pool.submit(launch, t)] = t
+                pending[pool.submit(launch_scoped, t)] = t
 
             for t in tasks:
                 if not remaining[t]:

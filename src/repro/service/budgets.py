@@ -34,6 +34,7 @@ the linear-algebra substrate can import it without cycles.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -72,11 +73,27 @@ class Budget:
     def unlimited() -> "Budget":
         return Budget()
 
+    #: the only keys a request's ``budget`` object may carry
+    KEYS = ("max_wall_s", "max_ops", "max_fm_constraints")
+
     @staticmethod
     def from_dict(data: Optional[Dict]) -> "Budget":
-        """Build from a request payload; unknown keys are ignored."""
+        """Build from a request payload.
+
+        Unknown keys are *rejected* (:class:`ValueError` naming the bad
+        key) rather than silently ignored — a typo like ``max_walls``
+        would otherwise grant an unlimited budget while the client
+        believes one is in force.
+        """
         if not data:
             return Budget()
+        unknown = sorted(set(data) - set(Budget.KEYS))
+        if unknown:
+            raise ValueError(
+                "unknown budget key(s): "
+                + ", ".join(repr(k) for k in unknown)
+                + " (allowed: " + ", ".join(Budget.KEYS) + ")"
+            )
         return Budget(
             max_wall_s=data.get("max_wall_s"),
             max_ops=data.get("max_ops"),
@@ -140,14 +157,31 @@ class _ActiveBudget:
         return bool(self.trips)
 
 
-#: the budget in scope for the current request (process-local; worker
-#: processes activate their own scope from the request payload)
-_active: Optional[_ActiveBudget] = None
+#: the budget in scope for the current request, held **per thread**.
+#: The worker fleet (:mod:`repro.service.workers`) runs several jobs
+#: concurrently on threads, each under its own budget; a process-global
+#: slot would let one job's budget meter another job's work.  Threads
+#: *inside* one request (the pipeline's ``--jobs`` thread regions) share
+#: the request's single :class:`_ActiveBudget` via :func:`adopt_scope`,
+#: so charges still accumulate request-wide exactly as before.  Worker
+#: *processes* activate their own scope from the shipped request payload.
+_tls = threading.local()
 
 
 def active_budget() -> Optional[_ActiveBudget]:
-    """The active budget book-keeping, or ``None``."""
-    return _active
+    """The calling thread's active budget book-keeping, or ``None``."""
+    return getattr(_tls, "active", None)
+
+
+def clear_thread_budget() -> None:
+    """Drop any budget inherited by this thread (forked pool workers).
+
+    A forked worker process begins life as a copy of the submitting
+    thread — including that thread's active budget.  Tasks carry their
+    own shipped remaining budget, so the inherited scope must go before
+    the worker starts serving.
+    """
+    _tls.active = None
 
 
 @contextmanager
@@ -156,35 +190,57 @@ def budget_scope(budget: Optional[Budget]) -> Iterator[Optional[_ActiveBudget]]:
 
     ``None`` or an unlimited budget leaves enforcement off (zero
     overhead in the substrate hot paths).  Scopes nest; the inner scope
-    wins while active.
+    wins while active.  The scope is per-thread; use
+    :func:`adopt_scope` to extend it into helper threads.
     """
-    global _active
     if budget is None or budget.is_unlimited:
         yield None
         return
-    previous = _active
-    _active = _ActiveBudget(budget)
+    previous = active_budget()
+    scope = _ActiveBudget(budget)
+    _tls.active = scope
     try:
-        yield _active
+        yield scope
     finally:
-        _active = previous
+        _tls.active = previous
+
+
+@contextmanager
+def adopt_scope(scope: Optional[_ActiveBudget]) -> Iterator[None]:
+    """Activate an *existing* budget scope in the calling thread.
+
+    The pipeline's thread executor captures :func:`active_budget` when a
+    region is scheduled and adopts it inside each worker thread, so every
+    task of one request charges the **same** book-keeping object — the
+    request-wide wall/ops/FM totals behave exactly as they did when the
+    slot was process-global.  ``None`` adopts nothing (no budget in the
+    scheduling thread).
+    """
+    if scope is None:
+        yield
+        return
+    previous = active_budget()
+    _tls.active = scope
+    try:
+        yield
+    finally:
+        _tls.active = previous
 
 
 @contextmanager
 def suspended() -> Iterator[None]:
-    """Disable budget enforcement for the block.
+    """Disable budget enforcement for the block (calling thread only).
 
     The degradation paths run under an *exhausted* budget by definition;
     the (cheap, bounded) work of building a conservative fallback must
     not re-trip it.
     """
-    global _active
-    previous = _active
-    _active = None
+    previous = active_budget()
+    _tls.active = None
     try:
         yield
     finally:
-        _active = previous
+        _tls.active = previous
 
 
 def checkpoint() -> None:
@@ -193,11 +249,13 @@ def checkpoint() -> None:
     Cheap no-op without an active budget; hot substrate entry points
     (feasibility tests, FM elimination) call this.
     """
-    if _active is not None:
-        _active.checkpoint()
+    active = active_budget()
+    if active is not None:
+        active.checkpoint()
 
 
 def charge_fm(amount: int) -> None:
     """Charge *amount* units of Fourier–Motzkin work to the budget."""
-    if _active is not None:
-        _active.charge_fm(amount)
+    active = active_budget()
+    if active is not None:
+        active.charge_fm(amount)

@@ -1,0 +1,289 @@
+"""Job execution core: one queued job in, one response + receipt out.
+
+This is the single code path every front end funnels through — the
+JSON-lines loop (``serve --stdio``), the HTTP front door (``serve
+--http``) and the worker fleet all call :func:`execute_job`.  Two job
+kinds exist:
+
+``analyze``
+    The body is exactly today's JSON-lines request object (``source`` /
+    ``file``, ``options``, ``budget``, ``report``, echoed ``id``); the
+    response is byte-identical to the pre-queue server's.  The analysis
+    runs under the job's budget in the *calling thread's* budget scope
+    (budgets are thread-local, so a fleet runs many budgeted jobs
+    concurrently without cross-metering), degrades soundly on
+    exhaustion, and shares the process-wide summary cache.
+
+``experiment``
+    The body names a paper table/figure (``which`` ∈ fig1 / tab1 / tab2
+    / tab3 / figs / figo) plus an optional per-job ``jobs`` fan-out; the
+    response carries the formatted text the CLI would print.
+
+:func:`execute_job` never raises: a bad request becomes an ``"ok":
+false`` response (and a *failed* receipt) — one poisoned job never
+takes down a worker.  Every execution produces a receipt
+(:mod:`repro.service.receipts`) recording inputs, knobs, budgets,
+degradation and cost.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Tuple
+
+from repro import perf
+from repro.service import receipts
+from repro.service.budgets import Budget, budget_scope
+
+for _name in (
+    "job.analyze",
+    "job.experiment",
+    "job.done",
+    "job.failed",
+    "job.degraded",
+    "job.receipt",
+):
+    perf.declare(_name)
+
+#: experiment ids an ``experiment`` job may name (module resolved lazily)
+EXPERIMENTS = ("fig1", "tab1", "tab2", "tab3", "figs", "figo")
+
+
+def _options_named(name: str):
+    from repro.arraydf.options import AnalysisOptions
+
+    if name == "base":
+        return AnalysisOptions.base()
+    if name == "predicated":
+        return AnalysisOptions.predicated()
+    raise ValueError(f"unknown options {name!r} (use 'predicated' or 'base')")
+
+
+def _experiment_module(which: str):
+    from repro.experiments import (
+        fig1_examples,
+        fig_overhead,
+        fig_speedups,
+        table1_loops,
+        table2_programs,
+        table3_categories,
+    )
+
+    return {
+        "fig1": fig1_examples,
+        "tab1": table1_loops,
+        "tab2": table2_programs,
+        "tab3": table3_categories,
+        "figs": fig_speedups,
+        "figo": fig_overhead,
+    }[which]
+
+
+# ----------------------------------------------------------------------
+# analyze
+# ----------------------------------------------------------------------
+def run_analyze(
+    body: Dict,
+    jobs: Optional[int] = 1,
+    executor: Optional[str] = None,
+) -> Tuple[Dict, Dict]:
+    """Run one analysis request; returns ``(response, extras)``.
+
+    The response dict is the pinned JSON-lines wire format (see
+    :mod:`repro.service.server`); *extras* carries what the receipt
+    needs beyond the response (parsed program, options, budget, trips).
+    *jobs*/*executor* configure the pass pipeline underneath — output is
+    byte-identical for every combination, so the fleet can fan units
+    out over worker processes without changing any answer.
+    """
+    rid = body.get("id")
+    extras: Dict = {
+        "options_name": None,
+        "opts": None,
+        "program": None,
+        "budget": None,
+        "trips": {},
+        "degraded": False,
+    }
+    try:
+        source = body.get("source")
+        if source is None:
+            path = body.get("file")
+            if path is None:
+                raise ValueError("request needs 'source' or 'file'")
+            with open(path) as f:
+                source = f.read()
+        options_name = body.get("options", "predicated")
+        opts = _options_named(options_name)
+        extras["options_name"], extras["opts"] = options_name, opts
+        budget = Budget.from_dict(body.get("budget"))
+        extras["budget"] = budget
+
+        from repro.lang.parser import parse_program
+        from repro.partests.driver import ParallelizationDriver
+        from repro.service.cache import default_cache
+
+        program = parse_program(source)
+        extras["program"] = program
+        driver = ParallelizationDriver(
+            program,
+            opts,
+            cache=default_cache(),
+            jobs=jobs,
+            executor=executor,
+        )
+        with budget_scope(budget) as scope:
+            result = driver.run()
+        if scope is not None:
+            extras["trips"] = dict(scope.trips)
+        extras["degraded"] = driver.degraded
+
+        loops = [
+            {
+                "label": l.label,
+                "unit": l.unit,
+                "status": l.status,
+                "condition": (
+                    None
+                    if l.condition is None or l.condition.is_true()
+                    else str(l.condition)
+                ),
+                "runtime_test": l.runtime_test,
+                "reason": l.reason,
+                "enclosed": l.enclosed,
+            }
+            for l in result.loops
+        ]
+        resp: Dict = {
+            "id": rid,
+            "ok": True,
+            "program": program.main,
+            "degraded": driver.degraded,
+            "loops": loops,
+        }
+        if body.get("report"):
+            from repro.codegen.report import format_report
+
+            resp["report"] = format_report(result)
+        return resp, extras
+    except Exception as exc:  # one bad request must not kill the worker
+        return (
+            {"id": rid, "ok": False, "error": f"{type(exc).__name__}: {exc}"},
+            extras,
+        )
+
+
+# ----------------------------------------------------------------------
+# experiment
+# ----------------------------------------------------------------------
+def run_experiment(body: Dict) -> Tuple[Dict, Dict]:
+    """Run one experiment request; returns ``(response, extras)``."""
+    rid = body.get("id")
+    extras: Dict = {"which": None, "budget": None, "trips": {}, "degraded": False}
+    try:
+        which = body.get("which")
+        if which not in EXPERIMENTS:
+            raise ValueError(
+                f"unknown experiment {which!r} "
+                f"(use one of {', '.join(EXPERIMENTS)})"
+            )
+        extras["which"] = which
+        jobs = int(body.get("jobs", 1))
+        budget = Budget.from_dict(body.get("budget"))
+        extras["budget"] = budget
+        with budget_scope(budget) as scope:
+            output = _experiment_module(which).run(jobs=jobs).format()
+        if scope is not None:
+            extras["trips"] = dict(scope.trips)
+            extras["degraded"] = scope.degraded
+        return (
+            {"id": rid, "ok": True, "which": which, "output": output},
+            extras,
+        )
+    except Exception as exc:
+        return (
+            {"id": rid, "ok": False, "error": f"{type(exc).__name__}: {exc}"},
+            extras,
+        )
+
+
+# ----------------------------------------------------------------------
+# the one entry point
+# ----------------------------------------------------------------------
+def execute_job(
+    job,
+    worker: str = "",
+    jobs: Optional[int] = 1,
+    executor: Optional[str] = None,
+) -> Tuple[Dict, Dict]:
+    """Execute one queued :class:`~repro.service.queue.Job`.
+
+    Returns ``(response, receipt)`` and never raises.  *jobs* and
+    *executor* are the fleet's pipeline configuration (how much
+    intra-job fan-out each worker may use), not part of the request.
+    """
+    started = time.perf_counter()
+    base = perf.snapshot()
+    if job.kind == "experiment":
+        perf.bump("job.experiment")
+        resp, extras = run_experiment(job.body)
+        inputs = receipts.experiment_inputs(extras.get("which"))
+    else:
+        perf.bump("job.analyze")
+        resp, extras = run_analyze(job.body, jobs=jobs, executor=executor)
+        program, opts = extras.get("program"), extras.get("opts")
+        if program is not None and opts is not None:
+            inputs = receipts.analyze_inputs(program, opts)
+        else:
+            inputs = receipts.empty_inputs()
+    run_s = time.perf_counter() - started
+
+    perf.bump("job.done" if resp.get("ok") else "job.failed")
+    degraded = bool(extras.get("degraded"))
+    if degraded:
+        perf.bump("job.degraded")
+
+    budget: Optional[Budget] = extras.get("budget")
+    granted = {
+        key: getattr(budget, key) if budget is not None else None
+        for key in Budget.KEYS
+    }
+    result_summary: Dict = {
+        "state": "done" if resp.get("ok") else "failed",
+        "ok": bool(resp.get("ok")),
+    }
+    if resp.get("ok") and job.kind == "analyze":
+        loops = resp.get("loops", [])
+        result_summary["loops"] = len(loops)
+        result_summary["parallel"] = sum(
+            1 for l in loops if l["status"] in ("parallel", "runtime")
+        )
+    if not resp.get("ok"):
+        result_summary["error"] = resp.get("error")
+
+    queued_s = None
+    if job.submitted_at is not None:
+        queued_s = max(0.0, round(time.time() - run_s - job.submitted_at, 6))
+    timings = {
+        "wall_s": {"queued": queued_s, "run": round(run_s, 6)},
+        "perf": perf.snapshot_delta(perf.snapshot(), base),
+        "worker": worker,
+        "finished_at": round(time.time(), 3),
+    }
+
+    receipt = receipts.build_receipt(
+        job_id=job.id,
+        kind=job.kind,
+        priority=job.priority,
+        inputs=inputs,
+        knobs=receipts.knobs_in_effect(
+            extras.get("options_name"), extras.get("opts"), executor, jobs or 1
+        ),
+        budget_granted=granted,
+        degraded=degraded,
+        trips=extras.get("trips", {}),
+        result_summary=result_summary,
+        timings=timings,
+    )
+    perf.bump("job.receipt")
+    return resp, receipt

@@ -1,0 +1,596 @@
+"""Persistent on-disk job queue: journal, atomic claims, crash recovery.
+
+The production service decouples *accepting* work from *executing* it:
+the HTTP front door (:mod:`repro.service.http`) and the stdio loop
+(:mod:`repro.service.server`) only ever :meth:`~JobQueue.submit`;
+the worker fleet (:mod:`repro.service.workers`) drains the queue
+through the analysis pipeline.  The queue is a directory::
+
+    <dir>/
+      journal.jsonl   append-only event log (submit/claim/done/recover)
+      jobs/<id>.json      the job record (kind, body, priority, seq)
+      claims/<id>         exists while a worker owns the job (hard link)
+      results/<id>.json   the terminal response (done or failed)
+      receipts/<id>.json  the per-job provenance receipt
+
+Every state transition is carried by an **atomic filesystem operation**
+(a hard link publishes a complete job record under its sequence-numbered
+name and fails on collision, a second hard link of the record at
+``claims/<id>`` arbitrates claims the same way, temp-file +
+``os.replace`` lands results), so any number of threads
+*and* processes may share one queue directory:
+
+* a job is **queued** when its record exists and neither a claim nor a
+  result does;
+* **running** when a claim exists but no result (exactly one worker can
+  hold the claim — link creation fails with ``EEXIST`` for everyone
+  after the first);
+* **done** / **failed** once the result record exists (the receipt is
+  written *before* the result, so a finished job always has one).
+
+Crash safety falls out of that ordering: a worker that dies between
+claim and result leaves a claim with no result, and :meth:`recover` (run
+when a queue is reopened) deletes the orphaned claim — the job becomes
+claimable again and re-runs **exactly once**, because re-claiming goes
+back through the same atomic-link gate.  A crash *after* the result write
+loses nothing: the job is terminal and its receipt is already on disk.
+
+Scheduling is deterministic: jobs are claimed in (priority descending,
+sequence ascending) order — FIFO within each priority class.  The queue
+is bounded (:class:`QueueFull` carries a suggested retry delay); the
+HTTP front door maps it to ``429 Retry-After``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro import perf
+
+for _name in (
+    "queue.submitted",
+    "queue.claimed",
+    "queue.finished",
+    "queue.recovered",
+    "queue.rejected",
+    "queue.scan_cached",
+):
+    perf.declare(_name)
+
+#: job kinds the execution core understands (see repro.service.jobs)
+JOB_KINDS = ("analyze", "experiment")
+
+
+class QueueFull(RuntimeError):
+    """The queue is at capacity; retry after ``retry_after`` seconds."""
+
+    def __init__(self, depth: int, capacity: int, retry_after: float = 1.0):
+        self.depth = depth
+        self.capacity = capacity
+        self.retry_after = retry_after
+        super().__init__(
+            f"queue full: {depth} pending >= capacity {capacity}"
+        )
+
+
+class Job:
+    """One queued unit of work (identity + payload, no behavior)."""
+
+    __slots__ = ("id", "kind", "body", "priority", "seq", "submitted_at")
+
+    def __init__(self, id, kind, body, priority, seq, submitted_at):
+        self.id = id
+        self.kind = kind
+        self.body = body
+        self.priority = priority
+        self.seq = seq
+        self.submitted_at = submitted_at
+
+    def record(self) -> Dict:
+        return {
+            "id": self.id,
+            "kind": self.kind,
+            "body": self.body,
+            "priority": self.priority,
+            "seq": self.seq,
+            "submitted_at": self.submitted_at,
+        }
+
+    @staticmethod
+    def from_record(rec: Dict) -> "Job":
+        return Job(
+            rec["id"],
+            rec["kind"],
+            rec["body"],
+            rec.get("priority", 0),
+            rec["seq"],
+            rec.get("submitted_at"),
+        )
+
+
+def _tmp_name(path: Path) -> str:
+    """A collision-free sibling temp name (unique per process+thread,
+    and no two writers ever target the same final path concurrently) —
+    cheaper than ``mkstemp``'s probe loop on the serve hot path."""
+    return f"{path}.{os.getpid()}.{threading.get_ident()}.tmp"
+
+
+def _put_bytes(path, payload: bytes) -> None:
+    """One-shot small-file write on a raw fd.
+
+    ``io.open``'s wrapper stack (BufferedWriter + TextIOWrapper) costs
+    more than the write itself for the small records on the queue's hot
+    path; raw ``os.open``/``os.write``/``os.close`` is ~3x cheaper.
+    """
+    fd = os.open(str(path), os.O_CREAT | os.O_TRUNC | os.O_WRONLY, 0o644)
+    try:
+        os.write(fd, payload)
+    finally:
+        os.close(fd)
+
+
+def _write_atomic(path: Path, payload: Dict) -> None:
+    """Write *payload* as JSON via temp file + ``os.replace``.
+
+    ``json.dumps`` (not ``json.dump``) keeps the C encoder; streaming
+    to a file goes through the pure-Python iterencode path, ~3x slower.
+    """
+    _write_bytes_atomic(path, json.dumps(payload, sort_keys=True).encode())
+
+
+def _write_bytes_atomic(path: Path, payload: bytes) -> None:
+    tmp = _tmp_name(path)
+    try:
+        _put_bytes(tmp, payload)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def _read_json(path: Path) -> Optional[Dict]:
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError):
+        return None
+
+
+class JobQueue:
+    """A persistent, bounded, multi-producer multi-consumer job queue.
+
+    *capacity* bounds the number of **pending** (queued, unclaimed)
+    jobs — running and finished jobs never count against it, so a busy
+    fleet cannot wedge the front door.  Opening a queue directory runs
+    :meth:`recover` unless ``recover=False``.
+    """
+
+    def __init__(self, root, capacity: int = 256, recover: bool = True):
+        self.root = Path(root)
+        self.capacity = capacity
+        self.jobs_dir = self.root / "jobs"
+        self.claims_dir = self.root / "claims"
+        self.results_dir = self.root / "results"
+        self.receipts_dir = self.root / "receipts"
+        for d in (
+            self.jobs_dir,
+            self.claims_dir,
+            self.results_dir,
+            self.receipts_dir,
+        ):
+            d.mkdir(parents=True, exist_ok=True)
+        self._journal_path = self.root / "journal.jsonl"
+        #: serializes submits, journal writes and the scan cache between
+        #: this process's threads (reentrant: ``submit`` scans while
+        #: holding it); cross-process arbitration is the atomic
+        #: ``os.link`` that publishes a job record under its
+        #: sequence-numbered name
+        self._local = threading.RLock()
+        #: wakes in-process waiters when a result lands
+        self._done_cond = threading.Condition()
+        #: wakes idle in-process workers when a job arrives; the
+        #: generation counter closes the scan-then-park race (a submit
+        #: landing between a worker's empty claim scan and its park
+        #: bumps the generation, so the park returns immediately)
+        self._submit_cond = threading.Condition()
+        self._submit_gen = 0
+        #: in-process fast path mirroring ``results/`` — spares waiters a
+        #: file read per poll; disk stays the cross-process truth
+        self._responses: Dict[str, Dict] = {}
+        #: job records are immutable once written, so claims under a
+        #: backlog need not re-parse every pending record from disk
+        self._records: Dict[str, Dict] = {}
+        #: append handle kept open across journal writes (one ``open``
+        #: per event is measurable on the serve hot path)
+        self._journal_file = None
+        #: memoized directory scan, keyed by journal size.  Every
+        #: mutation that can make a job pending or un-pending — submit,
+        #: claim, recover — appends a journal line first, and the
+        #: journal only ever grows, so an unchanged size proves the
+        #: listing is still current (no mtime-granularity hazards).
+        #: ``_journal`` keeps the cache coherent for this process's own
+        #: events; any other process's append changes the size and
+        #: forces a rescan.  (journal_size, pending_ids, max_seq)
+        self._scan_cache: Optional[Tuple[int, List[str], int]] = None
+        if recover:
+            self.recover()
+
+    # ------------------------------------------------------------------
+    # journal
+    # ------------------------------------------------------------------
+    def _journal(self, event: str, job_id: str, **extra) -> None:
+        entry = {"ev": event, "id": job_id, "t": round(time.time(), 3)}
+        entry.update(extra)
+        line = (json.dumps(entry, sort_keys=True) + "\n").encode()
+        with self._local:
+            if self._journal_file is None or self._journal_file.closed:
+                # binary + unbuffered: every event must hit the OS (the
+                # crash-recovery contract reads the journal of killed
+                # processes), and ``tell`` on a raw fd is a cheap seek
+                # where text-mode tell computes an opaque cookie
+                self._journal_file = open(self._journal_path, "ab", buffering=0)
+            self._journal_file.write(line)
+            # keep the scan memo coherent for our own event instead of
+            # letting the size change force a rescan: this process knows
+            # exactly how each event moves the pending set
+            cached = self._scan_cache
+            if cached is not None:
+                _, pending, max_seq = cached
+                if event == "submit":
+                    pending.append(job_id)
+                    try:
+                        max_seq = max(max_seq, int(job_id[1:]))
+                    except ValueError:
+                        pass
+                elif event == "claim":
+                    try:
+                        pending.remove(job_id)
+                    except ValueError:
+                        pass
+                elif event == "recover" and job_id not in pending:
+                    pending.append(job_id)
+                self._scan_cache = (
+                    self._journal_file.tell(),
+                    pending,
+                    max_seq,
+                )
+
+    def journal_events(self, job_id: Optional[str] = None) -> List[Dict]:
+        """Parsed journal entries, optionally filtered to one job."""
+        out: List[Dict] = []
+        try:
+            with open(self._journal_path) as f:
+                for line in f:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except ValueError:
+                        continue  # torn tail write from a crash
+                    if job_id is None or entry.get("id") == job_id:
+                        out.append(entry)
+        except FileNotFoundError:
+            pass
+        return out
+
+    # ------------------------------------------------------------------
+    # submit
+    # ------------------------------------------------------------------
+    def _journal_size(self) -> int:
+        try:
+            return os.stat(self._journal_path).st_size
+        except OSError:
+            return -1
+
+    def _scan_jobs(self) -> Tuple[List[str], int]:
+        """One pass over the directory listings: (pending ids, max seq).
+
+        Job records are never deleted, so the highest sequence-numbered
+        file is the allocation high-water mark for this directory — no
+        separate counter file needed.
+
+        The result is memoized against the journal size (see
+        ``_scan_cache``): the steady-state claim — a worker re-polling a
+        queue nothing has touched — costs one ``stat`` instead of three
+        ``listdir`` calls.  The size is read *before* the listings, so
+        an event landing mid-scan leaves a stale key behind and the next
+        call rescans.
+        """
+        with self._local:
+            size = self._journal_size()
+            cached = self._scan_cache
+            if cached is not None and cached[0] == size:
+                perf.bump("queue.scan_cached")
+                return list(cached[1]), cached[2]
+            try:
+                job_files = os.listdir(self.jobs_dir)
+            except FileNotFoundError:
+                return [], 0
+            claimed = set(os.listdir(self.claims_dir))
+            finished = set(os.listdir(self.results_dir))
+            pending = []
+            max_seq = 0
+            for fn in job_files:
+                if not (fn.startswith("j") and fn.endswith(".json")):
+                    continue
+                jid = fn[:-5]
+                try:
+                    max_seq = max(max_seq, int(jid[1:]))
+                except ValueError:
+                    continue
+                if jid not in claimed and fn not in finished:
+                    pending.append(jid)
+            self._scan_cache = (size, pending, max_seq)
+            return list(pending), max_seq
+
+    def submit(self, kind: str, body: Dict, priority: int = 0) -> str:
+        """Accept one job; returns its queue id.
+
+        Raises :class:`QueueFull` at capacity and :class:`ValueError`
+        for an unknown *kind* — acceptance validates only what it must
+        to route the job; the body itself is validated by the worker
+        (a malformed body becomes a *failed job*, not a lost one).
+        """
+        if kind not in JOB_KINDS:
+            raise ValueError(
+                f"unknown job kind {kind!r} (use one of {', '.join(JOB_KINDS)})"
+            )
+        with self._local:
+            pending, max_seq = self._scan_jobs()
+            if len(pending) >= self.capacity:
+                perf.bump("queue.rejected")
+                raise QueueFull(len(pending), self.capacity)
+            # publish the record under the next free sequence number:
+            # the hard link is atomic and fails on a name collision, so
+            # it arbitrates between processes sharing the directory
+            # (``_local`` already serializes this process's threads)
+            seq = max_seq
+            while True:
+                seq += 1
+                job = Job(
+                    id=f"j{seq:08d}",
+                    kind=kind,
+                    body=body,
+                    priority=int(priority),
+                    seq=seq,
+                    submitted_at=round(time.time(), 3),
+                )
+                path = self.jobs_dir / f"{job.id}.json"
+                tmp = _tmp_name(path)
+                _put_bytes(tmp, json.dumps(job.record(), sort_keys=True).encode())
+                try:
+                    os.link(tmp, path)
+                    break
+                except FileExistsError:
+                    continue  # another process took this seq; retry
+                finally:
+                    os.unlink(tmp)
+        self._records[job.id] = job.record()
+        self._journal("submit", job.id, kind=kind, priority=job.priority)
+        perf.bump("queue.submitted")
+        with self._submit_cond:
+            self._submit_gen += 1
+            # one job needs one worker: waking the whole fleet would put
+            # every loser through a futile claim scan that competes (on
+            # the GIL) with the worker actually running the job
+            self._submit_cond.notify()
+        return job.id
+
+    def submit_generation(self) -> int:
+        """Read before an empty claim scan; pass to :meth:`wait_for_submit`
+        so a submit racing the scan cannot be slept through."""
+        with self._submit_cond:
+            return self._submit_gen
+
+    def wait_for_submit(self, timeout: float, gen: Optional[int] = None) -> int:
+        """Park an idle worker until a submit (or *timeout* elapses).
+
+        *gen* is the :meth:`submit_generation` the caller read before its
+        (empty) claim scan: if any submit has landed since, the park
+        returns immediately instead of sleeping through it.  In-process
+        submits wake parked workers immediately; submits from other
+        processes sharing the directory are picked up when the timeout
+        expires and the worker re-polls.  Returns the current generation.
+        """
+        with self._submit_cond:
+            if gen is None or gen == self._submit_gen:
+                self._submit_cond.wait(timeout)
+            return self._submit_gen
+
+    def kick(self) -> None:
+        """Wake every parked worker (used to begin a drain promptly)."""
+        with self._submit_cond:
+            self._submit_gen += 1
+            self._submit_cond.notify_all()
+        with self._done_cond:
+            self._done_cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # claim / finish
+    # ------------------------------------------------------------------
+    def _pending_ids(self) -> List[str]:
+        """Queued-and-unclaimed job ids — three ``listdir`` calls, no
+        per-file stats (the scan runs on every submit and claim)."""
+        return self._scan_jobs()[0]
+
+    def _record(self, jid: str) -> Optional[Dict]:
+        rec = self._records.get(jid)
+        if rec is None:  # submitted by another process sharing the dir
+            rec = _read_json(self.jobs_dir / f"{jid}.json")
+            if rec is not None:
+                self._records[jid] = rec
+        return rec
+
+    def _ordered_pending(self) -> List[Dict]:
+        pending = []
+        for jid in self._pending_ids():
+            rec = self._record(jid)
+            if rec is not None:
+                pending.append(rec)
+        pending.sort(key=lambda r: (-r.get("priority", 0), r["seq"]))
+        return pending
+
+    def claim(self, owner: str = "") -> Optional[Job]:
+        """Atomically take the next pending job, or ``None``.
+
+        Deterministic order: highest priority first, FIFO (sequence
+        order) within a priority.  The claim is a hard link of the job
+        record at ``claims/<id>``: link creation fails with ``EEXIST``
+        when the name is taken, so exactly one claimant ever wins — the
+        same cross-process guarantee as an ``O_CREAT|O_EXCL`` create,
+        in one syscall instead of open+write+close (file creation is
+        ~8x the cost of a link on the queue's hot path).  The owner is
+        recorded in the journal's claim event.
+        """
+        for rec in self._ordered_pending():
+            jid = rec["id"]
+            try:
+                os.link(
+                    str(self.jobs_dir / f"{jid}.json"),
+                    str(self.claims_dir / jid),
+                )
+            except FileExistsError:
+                continue  # another worker won this job
+            except FileNotFoundError:
+                continue  # record not visible here (foreign cleanup)
+            self._journal("claim", jid, owner=owner)
+            perf.bump("queue.claimed")
+            return Job.from_record(rec)
+        return None
+
+    def finish(self, job_id: str, response: Dict, receipt: Optional[Dict]) -> None:
+        """Record a job's terminal result (and its receipt, first).
+
+        ``response["ok"]`` selects the terminal state (done vs failed).
+        The receipt lands before anything announces the job as terminal,
+        so an observer who sees a terminal job can always read its
+        provenance; a crash between the writes leaves the claim orphaned
+        and recovery re-runs the job — overwriting the receipt with
+        identical stable content.
+
+        In-process waiters are woken right after the receipt lands,
+        *before* the result file and journal writes: the response dict
+        is already final, and each trailing write releases the GIL at
+        its syscall, so on a busy single core the waiter's next submit
+        overlaps this job's bookkeeping instead of queueing behind it.
+        Synchronous callers still get the full ordering — ``finish``
+        does not return until everything is on disk.
+        """
+        if receipt is not None:
+            from repro.service.receipts import receipt_bytes
+
+            _write_bytes_atomic(
+                self.receipts_dir / f"{job_id}.json", receipt_bytes(receipt)
+            )
+        self._records.pop(job_id, None)  # terminal: not claimable again
+        with self._done_cond:
+            self._responses[job_id] = response
+            if len(self._responses) > 4096:  # disk keeps the full history
+                self._responses.pop(next(iter(self._responses)))
+            self._done_cond.notify_all()
+        state = "done" if response.get("ok") else "failed"
+        _write_atomic(
+            self.results_dir / f"{job_id}.json",
+            {"id": job_id, "state": state, "response": response},
+        )
+        self._journal(state, job_id)
+        perf.bump("queue.finished")
+
+    # ------------------------------------------------------------------
+    # recovery
+    # ------------------------------------------------------------------
+    def recover(self) -> List[str]:
+        """Re-enqueue claimed-but-unfinished jobs (crashed workers).
+
+        Deleting the orphaned claim makes the job claimable again; the
+        journal records the recovery.  Returns the recovered ids.
+        """
+        recovered = []
+        for claim in self.claims_dir.glob("j*"):
+            jid = claim.name
+            if (self.results_dir / f"{jid}.json").exists():
+                continue  # terminal; claim file is just history
+            try:
+                os.unlink(claim)
+            except OSError:
+                continue
+            self._journal("recover", jid)
+            perf.bump("queue.recovered")
+            recovered.append(jid)
+        return sorted(recovered)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    def state(self, job_id: str) -> Optional[str]:
+        """``"queued" | "running" | "done" | "failed"``, or ``None``."""
+        result = _read_json(self.results_dir / f"{job_id}.json")
+        if result is not None:
+            return result["state"]
+        if not (self.jobs_dir / f"{job_id}.json").exists():
+            return None
+        if (self.claims_dir / job_id).exists():
+            return "running"
+        return "queued"
+
+    def job(self, job_id: str) -> Optional[Job]:
+        rec = _read_json(self.jobs_dir / f"{job_id}.json")
+        return Job.from_record(rec) if rec is not None else None
+
+    def response(self, job_id: str) -> Optional[Dict]:
+        """The terminal response object, or ``None`` while unfinished."""
+        resp = self._responses.get(job_id)
+        if resp is not None:
+            return resp
+        result = _read_json(self.results_dir / f"{job_id}.json")
+        return result["response"] if result is not None else None
+
+    def receipt(self, job_id: str) -> Optional[Dict]:
+        return _read_json(self.receipts_dir / f"{job_id}.json")
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Optional[Dict]:
+        """Block until *job_id* is terminal; returns its response.
+
+        In-process completions wake waiters immediately — the check runs
+        under the completion condition, so a finish landing between poll
+        and sleep cannot be missed.  Cross-process completions are
+        picked up by a short poll.  ``None`` on timeout.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._done_cond:
+            while True:
+                resp = self.response(job_id)
+                if resp is not None:
+                    return resp
+                # in-process finishes notify; the poll only bounds how
+                # long a cross-process completion can go unnoticed (and
+                # cheap enough not to preempt busy workers on one core)
+                remaining = 0.5
+                if deadline is not None:
+                    remaining = min(remaining, deadline - time.monotonic())
+                    if remaining <= 0:
+                        return None
+                self._done_cond.wait(remaining)
+
+    def depth(self) -> int:
+        """Pending (queued, unclaimed) jobs — the backpressure measure."""
+        return len(self._pending_ids())
+
+    def stats(self) -> Dict:
+        """Queue-shape snapshot for ``GET /v1/stats``."""
+        states = {"queued": 0, "running": 0, "done": 0, "failed": 0}
+        for path in self.jobs_dir.glob("j*.json"):
+            st = self.state(path.stem)
+            if st in states:
+                states[st] += 1
+        states["capacity"] = self.capacity
+        return states

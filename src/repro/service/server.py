@@ -1,11 +1,14 @@
-"""JSON-lines batch/server front end.
+"""JSON-lines batch/server front end (``serve --stdio``).
 
 ``python -m repro serve`` reads one analysis request per line from
 stdin and writes one JSON result per line to stdout, in request order.
-With ``--jobs N`` requests fan out over the experiment worker pool (the
-same fork-preferred, order-preserving machinery as ``experiments
---jobs``) through a sliding window, so results stream while later
-requests are still being read.
+Since the job-system refactor the loop is a thin front end over the
+same persistent queue + worker fleet the HTTP front door uses
+(:mod:`repro.service.queue` / :mod:`repro.service.workers`): each line
+becomes a queued job, ``--jobs N`` sizes the worker fleet, and results
+stream strictly in request order through a sliding window — responses
+are byte-identical to the pre-queue server (an integration test pins
+the full suite).
 
 Request object::
 
@@ -18,6 +21,10 @@ Request object::
                 "max_fm_constraints": 20000},
      "report": false}              # include the formatted text report
 
+An optional ``"kind"`` field selects the job kind (``"analyze"``, the
+default, or ``"experiment"`` with a ``"which"`` body — the same schema
+``POST /v1/jobs`` accepts).
+
 Response object::
 
     {"id": 7, "ok": true, "program": "p",
@@ -28,8 +35,10 @@ Response object::
 
 A failed request answers ``{"id": ..., "ok": false, "error": "..."}``
 on its own line — one bad request never takes down the server or the
-batch.  Budget exhaustion is *not* a failure: it degrades the answer
-(sound, ``"degraded": true``) and the server keeps going.
+batch.  An unknown ``budget`` key is such a failure (the server names
+the bad key rather than silently granting an unlimited budget).  Budget
+exhaustion is *not* a failure: it degrades the answer (sound,
+``"degraded": true``) and the server keeps going.
 
 The cache directory configured via ``--cache`` (or the
 ``REPRO_CACHE_DIR`` environment variable) is shared by every worker, so
@@ -39,80 +48,23 @@ a long-lived server warms it monotonically.
 from __future__ import annotations
 
 import json
-import os
+import shutil
+import tempfile
+from collections import deque
 from typing import Dict, Optional, TextIO
 
-from repro import perf
-from repro.service.budgets import Budget, budget_scope
-from repro.service.cache import default_cache
-
-#: degradation counters summed to decide a request's ``degraded`` flag
-_DEGRADE_COUNTERS = ("budget.degraded_unit", "budget.degraded_loop")
-
-
-def _options_named(name: str):
-    from repro.arraydf.options import AnalysisOptions
-
-    if name == "base":
-        return AnalysisOptions.base()
-    if name == "predicated":
-        return AnalysisOptions.predicated()
-    raise ValueError(f"unknown options {name!r} (use 'predicated' or 'base')")
+from repro.service.jobs import run_analyze
 
 
 def handle_request(req: Dict) -> Dict:
-    """Analyze one request dict into one response dict (never raises)."""
-    rid = req.get("id")
-    try:
-        source = req.get("source")
-        if source is None:
-            path = req.get("file")
-            if path is None:
-                raise ValueError("request needs 'source' or 'file'")
-            with open(path) as f:
-                source = f.read()
-        opts = _options_named(req.get("options", "predicated"))
-        budget = Budget.from_dict(req.get("budget"))
+    """Analyze one request dict into one response dict (never raises).
 
-        from repro.lang.parser import parse_program
-        from repro.partests.driver import analyze_program
-
-        program = parse_program(source)
-        before = sum(perf.counter(c) for c in _DEGRADE_COUNTERS)
-        with budget_scope(budget):
-            result = analyze_program(program, opts, cache=default_cache())
-        degraded = sum(perf.counter(c) for c in _DEGRADE_COUNTERS) > before
-
-        loops = [
-            {
-                "label": l.label,
-                "unit": l.unit,
-                "status": l.status,
-                "condition": (
-                    None
-                    if l.condition is None or l.condition.is_true()
-                    else str(l.condition)
-                ),
-                "runtime_test": l.runtime_test,
-                "reason": l.reason,
-                "enclosed": l.enclosed,
-            }
-            for l in result.loops
-        ]
-        resp: Dict = {
-            "id": rid,
-            "ok": True,
-            "program": program.main,
-            "degraded": degraded,
-            "loops": loops,
-        }
-        if req.get("report"):
-            from repro.codegen.report import format_report
-
-            resp["report"] = format_report(result)
-        return resp
-    except Exception as exc:  # one bad request must not kill the batch
-        return {"id": rid, "ok": False, "error": f"{type(exc).__name__}: {exc}"}
+    The direct (no queue) entry point; kept as the pinned wire format —
+    :func:`repro.service.jobs.run_analyze` is the single implementation
+    both this and the job system use.
+    """
+    resp, _extras = run_analyze(req)
+    return resp
 
 
 def _handle_line(line: str) -> Dict:
@@ -125,11 +77,6 @@ def _handle_line(line: str) -> Dict:
     return handle_request(req)
 
 
-def _instrumented_line(line: str):
-    """Worker-side wrapper: response plus this process's perf state."""
-    return os.getpid(), _handle_line(line), perf.snapshot()
-
-
 def _emit(out: TextIO, resp: Dict) -> None:
     out.write(json.dumps(resp, sort_keys=True) + "\n")
     out.flush()
@@ -140,47 +87,93 @@ def serve(
     out_stream: TextIO,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    queue_dir: Optional[str] = None,
+    executor: Optional[str] = None,
 ) -> int:
-    """Run the JSON-lines loop until EOF; returns the request count."""
+    """Run the JSON-lines loop until EOF; returns the request count.
+
+    Every request runs through the queue + worker core: *jobs* worker
+    threads drain the queue (each job under its own thread-local
+    budget), *executor* optionally puts the process pool under each
+    job's pipeline.  A line that fails to parse, or names an unknown
+    job kind, is answered locally — still on its own line, still in
+    request order.  With *queue_dir* ``None`` the queue lives in a
+    temporary directory deleted on return; pass a path to keep the
+    journal and receipts.
+    """
     if cache_dir is not None:
         from repro.service.cache import set_default_cache_dir
 
         set_default_cache_dir(cache_dir)
 
-    lines = (l for l in in_stream if l.strip())
+    from repro.service.queue import JobQueue, QueueFull
+    from repro.service.workers import WorkerFleet
+
+    workers = max(1, jobs)
+    own_dir = queue_dir is None
+    qdir = tempfile.mkdtemp(prefix="repro-serve-") if own_dir else queue_dir
+    queue = JobQueue(qdir, capacity=max(64, 4 * workers))
+    fleet = WorkerFleet(queue, workers=workers, pipeline_executor=executor)
+    fleet.start()
+
+    #: responses already decided locally, or job ids awaiting results —
+    #: emitted strictly in arrival order
+    window: deque = deque()
     count = 0
-    if jobs <= 1:
-        for line in lines:
-            _emit(out_stream, _handle_line(line))
-            count += 1
-        return count
 
-    from collections import deque
-    from concurrent.futures import ProcessPoolExecutor
-    import multiprocessing as mp
+    def emit_head(block: bool) -> bool:
+        nonlocal count
+        kind, val = window[0]
+        if kind == "resp":
+            resp = val
+        else:
+            resp = queue.wait(val) if block else queue.response(val)
+            if resp is None:
+                return False
+        _emit(out_stream, resp)
+        window.popleft()
+        count += 1
+        return True
 
-    methods = mp.get_all_start_methods()
-    ctx = mp.get_context("fork" if "fork" in methods else None)
-    base = perf.snapshot()
-    per_worker: Dict[int, Dict] = {}
-
-    def absorb(future) -> Dict:
-        pid, resp, snap = future.result()
-        seen = per_worker.get(pid)
-        per_worker[pid] = snap if seen is None else perf.snapshot_max(seen, snap)
-        return resp
-
-    with ProcessPoolExecutor(max_workers=jobs, mp_context=ctx) as pool:
-        window: deque = deque()
-        for line in lines:
-            window.append(pool.submit(_instrumented_line, line))
-            # keep the pool busy but stream strictly in request order
-            while window and (window[0].done() or len(window) >= 2 * jobs):
-                _emit(out_stream, absorb(window.popleft()))
-                count += 1
+    try:
+        for line in in_stream:
+            if not line.strip():
+                continue
+            try:
+                req = json.loads(line)
+                if not isinstance(req, dict):
+                    raise TypeError("request must be an object")
+                kind = req.pop("kind", "analyze")
+            except ValueError as exc:
+                window.append(
+                    ("resp", {"id": None, "ok": False,
+                              "error": f"bad JSON: {exc}"})
+                )
+            except TypeError as exc:
+                window.append(
+                    ("resp", {"id": None, "ok": False, "error": str(exc)})
+                )
+            else:
+                while True:
+                    try:
+                        window.append(("job", queue.submit(kind, req)))
+                        break
+                    except QueueFull:
+                        emit_head(block=True)  # backpressure: drain one
+                    except ValueError as exc:
+                        window.append(
+                            ("resp", {"id": req.get("id"), "ok": False,
+                                      "error": f"ValueError: {exc}"})
+                        )
+                        break
+            # stream: flush whatever is already done, in order, and
+            # block once the window outgrows the fleet's useful depth
+            while window and emit_head(block=len(window) >= 2 * workers):
+                pass
         while window:
-            _emit(out_stream, absorb(window.popleft()))
-            count += 1
-    for snap in per_worker.values():
-        perf.absorb_snapshot(perf.snapshot_delta(snap, base))
+            emit_head(block=True)
+    finally:
+        fleet.drain()
+        if own_dir:
+            shutil.rmtree(qdir, ignore_errors=True)
     return count

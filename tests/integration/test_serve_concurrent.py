@@ -1,0 +1,157 @@
+"""Concurrent traffic through the HTTP front door.
+
+N client threads POST a mixed analyze/experiment workload at a live
+server with a 4-worker fleet.  Every job must complete, every analyze
+response must equal the single-threaded ground truth (the direct
+handler), and the shared summary cache must warm monotonically across
+waves of identical jobs.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import perf
+from repro.service.cache import set_default_cache_dir
+from repro.service.http import ServiceServer
+from repro.service.jobs import run_experiment
+from repro.service.queue import JobQueue
+from repro.service.server import handle_request
+from repro.service.workers import WorkerFleet
+from repro.suites import all_programs
+
+CLIENTS = 4
+PROGRAMS = 6  # suite programs in the mix (each submitted by every client)
+
+
+@pytest.fixture
+def service(tmp_path):
+    set_default_cache_dir(str(tmp_path / "cache"))
+    queue = JobQueue(tmp_path / "q", capacity=512)
+    fleet = WorkerFleet(queue, workers=4).start()
+    server = ServiceServer(("127.0.0.1", 0), queue, fleet)
+    t = threading.Thread(target=server.serve_forever, daemon=True)
+    t.start()
+    try:
+        yield f"http://127.0.0.1:{server.server_address[1]}", queue
+    finally:
+        server.shutdown()
+        server.server_close()
+        fleet.drain(timeout=60.0)
+        set_default_cache_dir(None)
+
+
+def _post_job(base, body):
+    req = urllib.request.Request(
+        base + "/v1/jobs",
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(req, timeout=30) as r:
+        assert r.status == 202
+        return json.loads(r.read())["id"]
+
+def _get(base, path):
+    with urllib.request.urlopen(base + path, timeout=30) as r:
+        return json.loads(r.read())
+
+
+def _wait_done(base, jid, timeout_s=300.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        payload = _get(base, f"/v1/jobs/{jid}")
+        if payload["state"] in ("done", "failed"):
+            return payload
+        time.sleep(0.05)
+    raise AssertionError(f"job {jid} never finished")
+
+
+def test_concurrent_mixed_traffic_matches_serial_ground_truth(service):
+    base, _queue = service
+    suite = all_programs()[:PROGRAMS]
+    analyze_reqs = [
+        {"id": i, "source": bench.source} for i, bench in enumerate(suite)
+    ]
+    # single-threaded ground truth through the direct handler (shares
+    # the cache; responses are byte-identical warm or cold)
+    truth = {
+        r["id"]: handle_request(dict(r)) for r in analyze_reqs
+    }
+    experiment_truth = run_experiment({"id": "x", "which": "fig1"})[0]
+
+    results = {}
+    errors = []
+    lock = threading.Lock()
+
+    def client(cid):
+        try:
+            ids = []
+            for r in analyze_reqs:
+                ids.append((_post_job(base, dict(r)), r["id"]))
+            if cid == 0:  # one experiment rides along with the flood
+                ids.append(
+                    (
+                        _post_job(
+                            base,
+                            {"id": "x", "kind": "experiment", "which": "fig1"},
+                        ),
+                        "experiment",
+                    )
+                )
+            for jid, rid in ids:
+                payload = _wait_done(base, jid)
+                with lock:
+                    results[(cid, jid)] = (rid, payload)
+        except Exception as exc:  # pragma: no cover - surfaced below
+            with lock:
+                errors.append((cid, repr(exc)))
+
+    threads = [
+        threading.Thread(target=client, args=(c,)) for c in range(CLIENTS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert not errors, errors
+    assert len(results) == CLIENTS * PROGRAMS + 1
+    for (cid, jid), (rid, payload) in results.items():
+        assert payload["state"] == "done", (cid, jid, payload)
+        if rid == "experiment":
+            assert payload["response"] == experiment_truth
+        else:
+            assert payload["response"] == truth[rid], (cid, jid)
+
+    # every completed job left a valid receipt behind
+    from repro.service.receipts import validate_receipt
+
+    for (_cid, jid), _ in results.items():
+        receipt = _get(base, f"/v1/jobs/{jid}/receipt")
+        assert validate_receipt(receipt) == []
+
+
+def test_shared_cache_warms_monotonically(service):
+    base, _queue = service
+    bench = all_programs()[0]
+    req = {"id": 0, "source": bench.source}
+
+    jid = _post_job(base, dict(req))
+    assert _wait_done(base, jid)["state"] == "done"
+    stats_after_first = _get(base, "/v1/stats")
+    base_hits = perf.counter("cache.program_hit")
+
+    # a second wave of the identical job: pure program-cache hits
+    ids = [_post_job(base, dict(req)) for _ in range(3)]
+    for jid in ids:
+        assert _wait_done(base, jid)["state"] == "done"
+    stats_after_second = _get(base, "/v1/stats")
+
+    assert perf.counter("cache.program_hit") >= base_hits + 3
+    first = stats_after_first["counters"].get("cache.program_hit", 0)
+    second = stats_after_second["counters"].get("cache.program_hit", 0)
+    assert second >= first + 3  # monotone, and visible through /v1/stats

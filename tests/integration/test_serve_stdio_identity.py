@@ -1,0 +1,96 @@
+"""``serve --stdio`` is byte-identical to the pre-queue JSON-lines server.
+
+The job-system refactor rebuilt the stdio loop on the persistent queue +
+worker fleet.  Its wire contract did not move: for every program of the
+full benchmark suite, the emitted line must equal
+``json.dumps(handle_request(req), sort_keys=True)`` — the exact
+serialization the pre-refactor server produced — and a multi-worker
+fleet must emit the same bytes in the same (request) order as a
+single worker.
+"""
+
+import io
+import json
+
+from repro.service.server import handle_request, serve
+from repro.suites import all_programs
+
+
+def _serve_bytes(requests, **kwargs):
+    stdin = io.StringIO(
+        "".join(json.dumps(r) + "\n" for r in requests)
+    )
+    stdout = io.StringIO()
+    count = serve(stdin, stdout, **kwargs)
+    assert count == len(requests)
+    return stdout.getvalue().splitlines()
+
+
+class TestStdioIdentity:
+    def test_full_suite_byte_identical_to_direct_handler(self):
+        requests = [
+            {"id": i, "source": bench.source}
+            for i, bench in enumerate(all_programs())
+        ]
+        expected = [
+            json.dumps(handle_request(dict(r)), sort_keys=True)
+            for r in requests
+        ]
+        served = _serve_bytes(requests)
+        assert served == expected
+
+    def test_fleet_size_does_not_change_bytes(self):
+        requests = [
+            {"id": i, "source": bench.source}
+            for i, bench in enumerate(all_programs())
+        ]
+        serial = _serve_bytes(requests, jobs=1)
+        fleet = _serve_bytes(requests, jobs=4)
+        assert fleet == serial
+
+    def test_mixed_good_and_bad_lines_keep_order(self):
+        bench = all_programs()[0]
+        stdin = io.StringIO(
+            json.dumps({"id": 0, "source": bench.source}) + "\n"
+            + "not json\n"
+            + json.dumps({"id": 2, "source": bench.source}) + "\n"
+        )
+        stdout = io.StringIO()
+        assert serve(stdin, stdout, jobs=2) == 3
+        lines = [json.loads(l) for l in stdout.getvalue().splitlines()]
+        assert lines[0]["id"] == 0 and lines[0]["ok"]
+        assert lines[1]["id"] is None and "bad JSON" in lines[1]["error"]
+        assert lines[2]["id"] == 2 and lines[2]["ok"]
+
+    def test_experiment_kind_over_stdio(self):
+        stdin = io.StringIO(
+            json.dumps({"id": 0, "kind": "experiment", "which": "fig1"})
+            + "\n"
+        )
+        stdout = io.StringIO()
+        assert serve(stdin, stdout) == 1
+        (line,) = stdout.getvalue().splitlines()
+        resp = json.loads(line)
+        assert resp["ok"] and resp["which"] == "fig1"
+        assert "output" in resp
+
+    def test_unknown_kind_is_a_local_error_line(self):
+        stdin = io.StringIO(json.dumps({"id": 3, "kind": "bogus"}) + "\n")
+        stdout = io.StringIO()
+        assert serve(stdin, stdout) == 1
+        (line,) = stdout.getvalue().splitlines()
+        resp = json.loads(line)
+        assert resp["id"] == 3 and not resp["ok"] and "bogus" in resp["error"]
+
+    def test_queue_dir_keeps_journal_and_receipts(self, tmp_path):
+        bench = all_programs()[0]
+        qdir = tmp_path / "q"
+        _serve_bytes(
+            [{"id": 0, "source": bench.source}], queue_dir=str(qdir)
+        )
+        from repro.service.queue import JobQueue
+        from repro.service.receipts import validate_receipt
+
+        q = JobQueue(qdir, recover=False)
+        assert q.state("j00000001") == "done"
+        assert validate_receipt(q.receipt("j00000001")) == []

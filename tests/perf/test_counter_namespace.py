@@ -114,6 +114,31 @@ def test_dataflow_and_screen_namespaces_are_documented(registry):
         assert registry.get(name) == "counter", name
 
 
+def test_job_system_namespaces_are_documented(registry):
+    """The PR-9 namespaces: the job queue, execution core and fleet."""
+    prefixes = _documented_prefixes()
+    for prefix in ("job", "queue", "worker", "http"):
+        assert prefix in prefixes, prefix
+    for name in (
+        "job.analyze",
+        "job.experiment",
+        "job.done",
+        "job.failed",
+        "job.degraded",
+        "job.receipt",
+        "queue.submitted",
+        "queue.claimed",
+        "queue.finished",
+        "queue.recovered",
+        "queue.rejected",
+        "worker.jobs",
+        "worker.idle_waits",
+        "http.requests",
+        "http.rejected",
+    ):
+        assert registry.get(name) == "counter", name
+
+
 def test_registered_names_report_their_kind(registry):
     assert registry.get("pipeline.executor.tasks") == "counter"
     assert registry.get("affine.intern") == "memo"

@@ -22,9 +22,7 @@ class TestBudget:
         assert Budget.unlimited().is_unlimited
 
     def test_from_dict(self):
-        b = Budget.from_dict(
-            {"max_wall_s": 1.5, "max_fm_constraints": 10, "junk": 3}
-        )
+        b = Budget.from_dict({"max_wall_s": 1.5, "max_fm_constraints": 10})
         assert b.max_wall_s == 1.5
         assert b.max_fm_constraints == 10
         assert b.max_ops is None
@@ -33,6 +31,19 @@ class TestBudget:
     def test_from_dict_empty(self):
         assert Budget.from_dict(None).is_unlimited
         assert Budget.from_dict({}).is_unlimited
+
+    def test_from_dict_rejects_unknown_keys(self):
+        """Regression: a typo'd key used to be silently ignored, leaving
+        the request unlimited while the client believed a budget held."""
+        import pytest
+
+        with pytest.raises(ValueError, match="'max_walls'"):
+            Budget.from_dict({"max_walls": 1.5})
+        with pytest.raises(ValueError, match="'junk'"):
+            Budget.from_dict({"max_ops": 10, "junk": 3})
+        # the error names every bad key and the allowed ones
+        with pytest.raises(ValueError, match="max_fm_constraints"):
+            Budget.from_dict({"a": 1, "b": 2})
 
 
 class TestScope:

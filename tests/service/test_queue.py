@@ -1,0 +1,217 @@
+"""Unit tests for the persistent on-disk job queue."""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro import perf
+from repro.service.queue import JobQueue, QueueFull
+
+BODY = {"id": 1, "source": "program p\nend\n"}
+
+
+class TestSubmit:
+    def test_ids_are_deterministic_fifo(self, tmp_path):
+        q = JobQueue(tmp_path)
+        ids = [q.submit("analyze", BODY) for _ in range(3)]
+        assert ids == ["j00000001", "j00000002", "j00000003"]
+        assert all(q.state(i) == "queued" for i in ids)
+        assert q.depth() == 3
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        q = JobQueue(tmp_path)
+        with pytest.raises(ValueError, match="bogus"):
+            q.submit("bogus", BODY)
+        assert q.depth() == 0
+
+    def test_bounded_capacity(self, tmp_path):
+        q = JobQueue(tmp_path, capacity=2)
+        base = perf.counter("queue.rejected")
+        q.submit("analyze", BODY)
+        q.submit("analyze", BODY)
+        with pytest.raises(QueueFull) as exc:
+            q.submit("analyze", BODY)
+        assert exc.value.retry_after > 0
+        assert perf.counter("queue.rejected") == base + 1
+        # claiming frees capacity: pending, not running, is bounded
+        q.claim()
+        q.submit("analyze", BODY)
+
+    def test_journal_records_lifecycle(self, tmp_path):
+        q = JobQueue(tmp_path)
+        jid = q.submit("analyze", BODY)
+        q.claim(owner="w0")
+        q.finish(jid, {"id": 1, "ok": True}, None)
+        events = [e["ev"] for e in q.journal_events(jid)]
+        assert events == ["submit", "claim", "done"]
+
+
+class TestClaim:
+    def test_fifo_within_priority(self, tmp_path):
+        q = JobQueue(tmp_path)
+        low = q.submit("analyze", BODY, priority=0)
+        high1 = q.submit("analyze", BODY, priority=5)
+        high2 = q.submit("analyze", BODY, priority=5)
+        order = [q.claim().id for _ in range(3)]
+        assert order == [high1, high2, low]
+
+    def test_claim_is_exclusive(self, tmp_path):
+        q = JobQueue(tmp_path)
+        jid = q.submit("analyze", BODY)
+        assert q.claim().id == jid
+        assert q.claim() is None
+        assert q.state(jid) == "running"
+
+    def test_concurrent_claims_get_distinct_jobs(self, tmp_path):
+        q = JobQueue(tmp_path)
+        for _ in range(8):
+            q.submit("analyze", BODY)
+        got, lock = [], threading.Lock()
+
+        def worker():
+            while True:
+                job = q.claim()
+                if job is None:
+                    return
+                with lock:
+                    got.append(job.id)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(got) == 8
+        assert len(set(got)) == 8  # exactly-once: no duplicate claims
+
+    def test_two_queue_objects_share_one_directory(self, tmp_path):
+        a = JobQueue(tmp_path)
+        b = JobQueue(tmp_path)
+        jid = a.submit("analyze", BODY)
+        assert b.claim().id == jid
+        assert a.claim() is None
+        b.finish(jid, {"ok": True}, None)
+        assert a.state(jid) == "done"
+
+
+class TestFinish:
+    def test_response_roundtrip(self, tmp_path):
+        q = JobQueue(tmp_path)
+        jid = q.submit("analyze", BODY)
+        q.claim()
+        resp = {"id": 1, "ok": True, "loops": []}
+        q.finish(jid, resp, None)
+        assert q.state(jid) == "done"
+        assert q.response(jid) == resp
+
+    def test_failed_state(self, tmp_path):
+        q = JobQueue(tmp_path)
+        jid = q.submit("analyze", BODY)
+        q.claim()
+        q.finish(jid, {"id": 1, "ok": False, "error": "x"}, None)
+        assert q.state(jid) == "failed"
+
+    def test_wait_blocks_until_done(self, tmp_path):
+        q = JobQueue(tmp_path)
+        jid = q.submit("analyze", BODY)
+        assert q.wait(jid, timeout=0.05) is None  # not finished yet
+
+        def finisher():
+            job = q.claim()
+            q.finish(job.id, {"ok": True}, None)
+
+        t = threading.Thread(target=finisher)
+        t.start()
+        assert q.wait(jid, timeout=10.0) == {"ok": True}
+        t.join()
+
+    def test_stats_shape(self, tmp_path):
+        q = JobQueue(tmp_path, capacity=9)
+        done = q.submit("analyze", BODY)
+        q.claim()
+        q.finish(done, {"ok": True}, None)
+        q.submit("analyze", BODY)
+        q.claim()
+        q.submit("analyze", BODY)
+        assert q.stats() == {
+            "queued": 1,
+            "running": 1,
+            "done": 1,
+            "failed": 0,
+            "capacity": 9,
+        }
+
+
+class TestRecovery:
+    def test_claimed_but_unfinished_is_reenqueued(self, tmp_path):
+        q = JobQueue(tmp_path)
+        jid = q.submit("analyze", BODY)
+        q.claim(owner="doomed")
+        assert q.state(jid) == "running"
+        # simulate the worker dying: reopen the directory
+        base = perf.counter("queue.recovered")
+        q2 = JobQueue(tmp_path)
+        assert q2.state(jid) == "queued"
+        assert perf.counter("queue.recovered") == base + 1
+        assert "recover" in [e["ev"] for e in q2.journal_events(jid)]
+        # the job re-runs exactly once
+        assert q2.claim().id == jid
+        assert q2.claim() is None
+
+    def test_finished_jobs_are_not_recovered(self, tmp_path):
+        q = JobQueue(tmp_path)
+        jid = q.submit("analyze", BODY)
+        q.claim()
+        q.finish(jid, {"ok": True}, None)
+        q2 = JobQueue(tmp_path)
+        assert q2.state(jid) == "done"
+        assert q2.recover() == []
+
+    def test_crash_between_claim_and_finish_subprocess(self, tmp_path):
+        """Kill a real worker process mid-job; restart re-runs it once."""
+        q = JobQueue(tmp_path)
+        jid = q.submit("analyze", {"id": 7, "source": "program p\nend\n"})
+        # the "worker": claims the job, then dies without finishing
+        script = (
+            "import os, sys\n"
+            "sys.path.insert(0, %r)\n"
+            "from repro.service.queue import JobQueue\n"
+            "q = JobQueue(%r, recover=False)\n"
+            "job = q.claim(owner='crashy')\n"
+            "assert job is not None\n"
+            "os._exit(1)\n"
+        ) % (
+            os.path.join(os.path.dirname(__file__), "..", "..", "src"),
+            str(tmp_path),
+        )
+        proc = subprocess.run([sys.executable, "-c", script])
+        assert proc.returncode == 1
+        assert JobQueue(tmp_path, recover=False).state(jid) == "running"
+
+        # restart: recovery re-enqueues, a fleet completes it exactly once
+        q2 = JobQueue(tmp_path)
+        assert q2.state(jid) == "queued"
+        from repro.service.workers import WorkerFleet
+
+        fleet = WorkerFleet(q2, workers=2).start()
+        resp = q2.wait(jid, timeout=60.0)
+        fleet.drain(timeout=10.0)
+        assert resp is not None and resp["ok"]
+        # exactly one receipt, exactly one result, exactly one re-run
+        assert (q2.receipts_dir / f"{jid}.json").exists()
+        assert len(list(q2.receipts_dir.glob("*.json"))) == 1
+        events = [e["ev"] for e in q2.journal_events(jid)]
+        assert events == ["submit", "claim", "recover", "claim", "done"]
+
+    def test_torn_journal_tail_is_ignored(self, tmp_path):
+        q = JobQueue(tmp_path)
+        jid = q.submit("analyze", BODY)
+        with open(tmp_path / "journal.jsonl", "a") as f:
+            f.write('{"ev": "cl')  # torn write from a crash
+        events = JobQueue(tmp_path).journal_events(jid)
+        assert [e["ev"] for e in events] == ["submit"]
+        assert json.dumps(events)  # parseable structures only

@@ -85,6 +85,20 @@ class TestHandleRequest:
         resp = handle_request({"source": SRC, "options": "bogus"})
         assert not resp["ok"] and "bogus" in resp["error"]
 
+    def test_unknown_budget_key_rejected(self):
+        """Regression: a typo'd budget key used to be silently ignored,
+        granting an unlimited budget; now the request fails, naming it."""
+        resp = handle_request(
+            {
+                "id": 3,
+                "source": SRC,
+                "budget": {"max_walls": 1.0, "max_fm_constraints": 5},
+            }
+        )
+        assert resp["id"] == 3 and not resp["ok"]
+        assert "max_walls" in resp["error"]
+        assert "max_wall_s" in resp["error"]  # the allowed keys are listed
+
 
 class TestServeLoop:
     def test_order_and_ids(self):

@@ -55,8 +55,12 @@ perfgate:
 		--baseline BENCH_pr8.json --current BENCH_pr9.json \
 		--threshold 2.0 \
 		--max-ratio test_serve_job_fleet:test_serve_job_direct:1.3
+	$(PYTHON) benchmarks/check_regression.py \
+		--baseline BENCH_pr9.json --current BENCH_pr10.json \
+		--threshold 2.0
 	$(PYTHON) benchmarks/check_regression.py --multicore
 	$(PYTHON) benchmarks/check_regression.py --serve
+	$(PYTHON) benchmarks/check_regression.py --throughput
 
 # end-to-end smoke of the HTTP job service: start, submit, poll,
 # validate receipts, graceful SIGTERM drain
@@ -65,4 +69,4 @@ serve-smoke:
 
 # re-record the micro-benchmark timings (compare with perfgate)
 bench:
-	$(PYTHON) -m pytest benchmarks/test_core_micro.py benchmarks/test_predicates_micro.py benchmarks/test_pipeline_micro.py benchmarks/test_linalg_micro.py benchmarks/test_runtime_micro.py benchmarks/test_screen_micro.py benchmarks/test_pipeline_multicore.py benchmarks/test_serve_latency.py --benchmark-json BENCH_current.json
+	$(PYTHON) -m pytest benchmarks/test_core_micro.py benchmarks/test_predicates_micro.py benchmarks/test_pipeline_micro.py benchmarks/test_linalg_micro.py benchmarks/test_runtime_micro.py benchmarks/test_screen_micro.py benchmarks/test_pipeline_multicore.py benchmarks/test_serve_latency.py benchmarks/test_batch_throughput.py --benchmark-json BENCH_current.json

@@ -287,6 +287,86 @@ def check_multicore() -> int:
     return 0
 
 
+def check_throughput() -> int:
+    """Live warm-fleet gate: warm batch rounds must beat cold ones.
+
+    Runs ``benchmarks/test_batch_throughput.py`` (the single-unit suite
+    programs streamed through ``run_pipeline_batch`` at 4 process
+    workers, cold-per-round vs warm fleet) and enforces a cpu-aware
+    speedup floor: >= 2x with 4+ cores, >= 1.2x with 2-3.  On a
+    single-core runner the process pool serializes anyway and the
+    cold/warm delta is dominated by noise — the gate skips with an
+    explicit notice and exit 0.
+    """
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        print(
+            f"throughput gate: SKIPPED — os.cpu_count() = {cpus}; the "
+            "warm fleet cannot demonstrate its speedup without a second "
+            "core, so there is nothing to gate on this runner"
+        )
+        return 0
+    floor = 2.0 if cpus >= 4 else 1.2
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        json_out = tmp.name
+    try:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "pytest",
+                os.path.join(
+                    REPO_ROOT, "benchmarks", "test_batch_throughput.py"
+                ),
+                "-q",
+                "--benchmark-json",
+                json_out,
+            ],
+            check=True,
+            cwd=REPO_ROOT,
+            env=env,
+        )
+        with open(json_out) as f:
+            data = json.load(f)
+        means = {
+            b["name"]: b["stats"]["mean"] for b in data.get("benchmarks", [])
+        }
+        programs = {
+            b["name"]: (b.get("extra_info") or {}).get("programs")
+            for b in data.get("benchmarks", [])
+        }
+    finally:
+        os.unlink(json_out)
+    cold = means.get("test_batch_cold")
+    warm = means.get("test_batch_warm")
+    if not cold or not warm:
+        print("FAIL: throughput benchmarks missing from the recorded run")
+        return 1
+    n = programs.get("test_batch_warm") or 0
+    speedup = cold / warm
+    print(
+        f"throughput gate: cold {cold * 1e3:.1f}ms / warm "
+        f"{warm * 1e3:.1f}ms per round = {speedup:.2f}x speedup"
+        + (
+            f" ({n / warm:.1f} programs/sec warm, {n / cold:.1f} cold)"
+            if n
+            else ""
+        )
+        + f" ({cpus} cpus; floor {floor:.1f}x)"
+    )
+    if speedup < floor:
+        print(
+            f"FAIL: warm-fleet batch speedup {speedup:.2f}x below the "
+            f"{floor:.1f}x floor for {cpus} cpus"
+        )
+        return 1
+    return 0
+
+
 #: allowed end-to-end overhead of the job system (queue + fleet +
 #: receipts) over calling the execution core directly
 SERVE_OVERHEAD_LIMIT = 1.3
@@ -392,12 +472,21 @@ def main(argv=None) -> int:
         "the queue + worker fleet vs direct invocation); thread-based, "
         "so it runs on any machine",
     )
+    parser.add_argument(
+        "--throughput",
+        action="store_true",
+        help="run only the live warm-fleet throughput gate (batched "
+        "single-unit stream, warm vs cold rounds); skips with a notice "
+        "on single-core runners",
+    )
     args = parser.parse_args(argv)
 
     if args.multicore:
         return check_multicore()
     if args.serve:
         return check_serve()
+    if args.throughput:
+        return check_throughput()
 
     baseline = _load_means(args.baseline)
     baseline_info = _load_extra_info(args.baseline)

@@ -13,8 +13,11 @@ operator would:
 5. fetch each receipt and validate it with
    ``repro.service.receipts.validate_receipt`` (schema + the receipt
    must reproduce its own inputs hash);
-6. check ``GET /v1/stats`` saw the traffic;
-7. send SIGTERM and require a clean, graceful exit.
+6. ``POST /v1/batch`` with three jobs and walk every returned id to a
+   valid per-job receipt — the batched path must be indistinguishable
+   past admission;
+7. check ``GET /v1/stats`` saw the traffic;
+8. send SIGTERM and require a clean, graceful exit.
 
 Exit status 0 on success; any failure prints a diagnostic and exits 1.
 Stdlib only — run as ``python scripts/serve_smoke.py``.
@@ -164,10 +167,39 @@ def main():
                     f"(inputs {receipt['inputs']['combined'][:12]}…)"
                 )
 
+            status, batch = http(
+                "POST",
+                base + "/v1/batch",
+                {
+                    "kind": "analyze",
+                    "jobs": [
+                        {"id": i, "source": SOURCE} for i in range(3)
+                    ],
+                },
+            )
+            if status != 202 or not batch.get("ok"):
+                fail(f"batch submit rejected: {status} {batch}")
+            if len(batch.get("ids", [])) != 3:
+                fail(f"batch admitted wrong count: {batch}")
+            for i, job_id in enumerate(batch["ids"]):
+                payload = poll_done(base, job_id)
+                resp = payload.get("response") or {}
+                if payload["state"] != "done" or not resp.get("ok"):
+                    fail(f"batch job {job_id} did not succeed: {payload}")
+                if resp.get("id") != i:
+                    fail(f"batch job {job_id} lost input order: {resp}")
+                _, receipt = http("GET", f"{base}/v1/jobs/{job_id}/receipt")
+                problems = validate_receipt(receipt)
+                if problems:
+                    fail(f"batch receipt {job_id} invalid: {problems}")
+            print(f"serve-smoke: batch {batch['ids']} done, receipts valid")
+
             _, stats = http("GET", base + "/v1/stats")
             counters = stats.get("counters", {})
-            if counters.get("queue.submitted", 0) < 2:
+            if counters.get("queue.submitted", 0) < 5:
                 fail(f"stats lost the traffic: {counters}")
+            if counters.get("queue.batches", 0) < 1:
+                fail(f"stats lost the batch submit: {counters}")
 
             proc.send_signal(signal.SIGTERM)
             code = proc.wait(timeout=EXIT_TIMEOUT_S)

@@ -63,7 +63,7 @@ def _guard_ok(pred: Predicate, clobbered: FrozenSet[str]) -> bool:
 
 #: memoized SummarySet.covers — containment tests repeat heavily across
 #: dedup calls (cleared by perf.reset_all_caches like every oracle table)
-_COVERS = perf.memo_table("pred.oracle.covers")
+_COVERS = perf.memo_table("pred.oracle.covers", cap=32768)
 
 
 def _covers(a: SummarySet, b: SummarySet) -> bool:

@@ -50,8 +50,8 @@ MAX_CONSTRAINTS = 600
 # canonical forms (and rendered predicates) match the unswept pipeline.
 SIMPLIFY_THRESHOLD = 32
 
-_ELIM = perf.memo_table("fm.eliminate")
-_ELIM_ALL = perf.memo_table("fm.eliminate_all")
+_ELIM = perf.memo_table("fm.eliminate", cap=8192)
+_ELIM_ALL = perf.memo_table("fm.eliminate_all", cap=8192)
 
 perf.declare("fm.fallback_drop")
 

@@ -19,7 +19,7 @@ from repro.linalg.system import LinearSystem
 #: switch is in dependency-free `repro.perf`) because `linalg` must not
 #: import the predicates layer; `_drop_entailed_linear` and
 #: `remove_redundant` both route through it
-_ENTAILS = perf.memo_table("pred.oracle.entails")
+_ENTAILS = perf.memo_table("pred.oracle.entails", cap=32768)
 
 
 def entails(system: LinearSystem, constraint: Constraint) -> bool:

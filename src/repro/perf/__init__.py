@@ -17,12 +17,16 @@ from repro.perf.counters import (
     absorb_snapshot,
     analysis_context,
     bump,
+    bump_epoch,
     bytecode_enabled,
     counter,
     current_context,
     declare,
     dep_screen_enabled,
+    enforce_memo_caps,
+    epoch,
     exempt_cache,
+    memo_caps,
     memo_table,
     on_reset,
     packed_kernel_enabled,
@@ -34,14 +38,17 @@ from repro.perf.counters import (
     reset_counters,
     set_bytecode,
     set_dep_screen,
+    set_memo_cap,
     set_packed_kernel,
     set_pred_oracle,
+    set_warm_fleet,
     snapshot,
     snapshot_delta,
     snapshot_max,
     total_ops,
     track_cache_object,
     tracked_cache,
+    warm_fleet_enabled,
 )
 
 __all__ = [
@@ -50,12 +57,16 @@ __all__ = [
     "absorb_snapshot",
     "analysis_context",
     "bump",
+    "bump_epoch",
     "bytecode_enabled",
     "counter",
     "current_context",
     "declare",
     "dep_screen_enabled",
+    "enforce_memo_caps",
+    "epoch",
     "exempt_cache",
+    "memo_caps",
     "memo_table",
     "on_reset",
     "packed_kernel_enabled",
@@ -67,12 +78,15 @@ __all__ = [
     "reset_counters",
     "set_bytecode",
     "set_dep_screen",
+    "set_memo_cap",
     "set_packed_kernel",
     "set_pred_oracle",
+    "set_warm_fleet",
     "snapshot",
     "snapshot_delta",
     "snapshot_max",
     "total_ops",
     "track_cache_object",
     "tracked_cache",
+    "warm_fleet_enabled",
 ]

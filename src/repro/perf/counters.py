@@ -19,6 +19,7 @@ import os
 import threading
 import time
 from contextlib import contextmanager
+from itertools import islice
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 #: sentinel for memo lookups (``None`` is a legitimate cached value)
@@ -31,15 +32,22 @@ class Memo:
     Hot paths access ``data``/``hits``/``misses`` directly instead of
     going through method calls; the object exists so the registry can
     clear and report every table uniformly.
+
+    *cap*, when set, bounds the table for long-lived warm workers:
+    :func:`enforce_memo_caps` trims capped tables back down in
+    insertion order.  Enforcement runs at run/chunk/job boundaries —
+    never per insert — so the direct ``data[key] = value`` hot paths
+    stay method-call free.
     """
 
-    __slots__ = ("name", "data", "hits", "misses")
+    __slots__ = ("name", "data", "hits", "misses", "cap")
 
-    def __init__(self, name: str) -> None:
+    def __init__(self, name: str, cap: Optional[int] = None) -> None:
         self.name = name
         self.data: Dict = {}
         self.hits = 0
         self.misses = 0
+        self.cap = cap
 
     def get(self, key, default=None):
         hit = self.data.get(key, MISS)
@@ -53,6 +61,17 @@ class Memo:
         self.data.clear()
         self.hits = 0
         self.misses = 0
+
+    def trim(self) -> int:
+        """Drop oldest entries down to ``cap``; returns entries dropped."""
+        cap = self.cap
+        if cap is None or len(self.data) <= cap:
+            return 0
+        data = self.data
+        drop = len(data) - cap
+        for key in list(islice(iter(data), drop)):
+            del data[key]
+        return drop
 
     def stats(self) -> Dict[str, float]:
         total = self.hits + self.misses
@@ -117,13 +136,46 @@ def _context_stack() -> List[str]:
     return stack
 
 
-def memo_table(name: str) -> Memo:
-    """Create (or return) the registered memo table *name*."""
+def memo_table(name: str, cap: Optional[int] = None) -> Memo:
+    """Create (or return) the registered memo table *name*.
+
+    *cap* (optional) registers a boundedness cap at the declaration
+    site; see :func:`enforce_memo_caps`.
+    """
     table = _memos.get(name)
     if table is None:
-        table = _memos[name] = Memo(name)
+        table = _memos[name] = Memo(name, cap=cap)
         track_cache_object(table, name, "memo")
+    elif cap is not None:
+        table.cap = cap
     return table
+
+
+def set_memo_cap(name: str, cap: Optional[int]) -> None:
+    """(Re)bound the registered memo table *name* at *cap* entries."""
+    _memos[name].cap = cap
+
+
+def memo_caps() -> Dict[str, int]:
+    """Every capped memo table, mapped to its registered cap."""
+    return {n: t.cap for n, t in _memos.items() if t.cap is not None}
+
+
+def enforce_memo_caps() -> int:
+    """Trim every capped memo table back down to its cap.
+
+    Long-lived warm workers keep memo tables alive across runs; this is
+    the boundedness half of that bargain.  Trimming is insertion-ordered
+    (oldest entries first) and runs only at run/chunk/job boundaries, so
+    per-lookup hot paths never pay for it.  Returns (and counts, as
+    ``perf.memo_trims``) the entries dropped.
+    """
+    trimmed = 0
+    for table in _memos.values():
+        trimmed += table.trim()
+    if trimmed:
+        bump("perf.memo_trims", trimmed)
+    return trimmed
 
 
 def register_cache(
@@ -153,8 +205,11 @@ def reset_all_caches() -> None:
 
     The one entry point benchmarks use to measure cold paths honestly.
     Module singletons are re-interned afterwards so identity stays
-    canonical across resets.
+    canonical across resets.  Bumps the fleet epoch: warm pool workers
+    holding pre-reset memos or interned values must not serve them to
+    post-reset runs (§ the warm-fleet contract in ``docs/EXECUTION.md``).
     """
+    bump_epoch()
     for table in _memos.values():
         table.clear()
     for _stats, clear in _external.values():
@@ -162,6 +217,37 @@ def reset_all_caches() -> None:
     _foreign.clear()
     for callback in _reseeders:
         callback()
+
+
+# ----------------------------------------------------------------------
+# the fleet epoch
+# ----------------------------------------------------------------------
+# One monotonic integer versions every process-wide cache in the
+# substrate: memo/intern tables, the predicate-oracle tiers, the
+# worker-side analysis engines.  Anything that can change what those
+# caches would hold — a semantic-knob flip, a cache reset — bumps it;
+# pool workers compare the epoch shipped with each task against the one
+# their warm state was built under and drop everything on a mismatch.
+# That is the entire invalidation story for the warm fleet: state is
+# valid exactly as long as the epoch it was built under is current.
+# (Budgets need no bump: they ship per task, degraded results are never
+# cached, and a degraded worker engine is evicted — pinned by
+# tests/pipeline/test_warm_fleet.py.)
+
+_epoch = 0
+
+
+def epoch() -> int:
+    """The current fleet epoch (monotonic, process-local)."""
+    return _epoch
+
+
+def bump_epoch() -> int:
+    """Invalidate every warm fleet's caches; returns the new epoch."""
+    global _epoch
+    _epoch += 1
+    bump("perf.epoch_bumps")
+    return _epoch
 
 
 # ----------------------------------------------------------------------
@@ -190,6 +276,8 @@ def pred_oracle_enabled() -> bool:
 def set_pred_oracle(enabled: Optional[bool]) -> None:
     """Force the oracle on/off; ``None`` re-reads the environment."""
     global _pred_oracle
+    if _pred_oracle != enabled:
+        bump_epoch()  # knob change: warm fleets must not serve old-knob memos
     _pred_oracle = enabled
 
 
@@ -221,6 +309,8 @@ def packed_kernel_enabled() -> bool:
 def set_packed_kernel(enabled: Optional[bool]) -> None:
     """Force the packed kernel on/off; ``None`` re-reads the environment."""
     global _packed_kernel
+    if _packed_kernel != enabled:
+        bump_epoch()
     _packed_kernel = enabled
 
 
@@ -255,6 +345,8 @@ def bytecode_enabled() -> bool:
 def set_bytecode(enabled: Optional[bool]) -> None:
     """Force the bytecode runtime on/off; ``None`` re-reads the environment."""
     global _bytecode
+    if _bytecode != enabled:
+        bump_epoch()
     _bytecode = enabled
 
 
@@ -288,7 +380,43 @@ def dep_screen_enabled() -> bool:
 def set_dep_screen(enabled: Optional[bool]) -> None:
     """Force the dependence screen on/off; ``None`` re-reads the environment."""
     global _dep_screen
+    if _dep_screen != enabled:
+        bump_epoch()
     _dep_screen = enabled
+
+
+# ----------------------------------------------------------------------
+# warm-fleet switch
+# ----------------------------------------------------------------------
+# The warm fleet (docs/EXECUTION.md §7) lets pool workers keep the
+# interned substrate, the pred.oracle.* / fm.* / region-algebra memo
+# tables and content-keyed analysis engines alive *across runs* within
+# one fleet epoch, instead of rebuilding per (worker, run).  It is a
+# pure cost optimization: warm or cold, every decision row is byte-
+# identical — the epoch above invalidates everything a knob change
+# could have affected, and degraded state is never retained.  Controlled
+# by the REPRO_WARM_FLEET environment variable ("0"/"off"/"false"/"no"
+# restore the per-run-nonce engine keys of the cold fleet) or
+# programmatically via set_warm_fleet().
+
+_warm_fleet: Optional[bool] = None
+
+
+def warm_fleet_enabled() -> bool:
+    """May pool workers reuse substrate and engines across runs?"""
+    global _warm_fleet
+    if _warm_fleet is None:
+        raw = os.environ.get("REPRO_WARM_FLEET", "1").strip().lower()
+        _warm_fleet = raw not in ("0", "off", "false", "no")
+    return _warm_fleet
+
+
+def set_warm_fleet(enabled: Optional[bool]) -> None:
+    """Force the warm fleet on/off; ``None`` re-reads the environment."""
+    global _warm_fleet
+    if _warm_fleet != enabled:
+        bump_epoch()
+    _warm_fleet = enabled
 
 
 def bump(name: str, n: int = 1) -> None:
@@ -478,3 +606,9 @@ def snapshot() -> Dict:
         "caches": {k: caches[k] for k in sorted(caches)},
         "total_ops": total_ops(),
     }
+
+
+# epoch bumps and bounded-memo evictions are this module's own events;
+# declared so they appear in snapshots (and the namespace table) at zero
+declare("perf.epoch_bumps")
+declare("perf.memo_trims")

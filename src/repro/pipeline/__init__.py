@@ -71,6 +71,7 @@ __all__ = [
     "analysis_passes",
     "executor_kind",
     "pipeline_enabled",
+    "resolve_batch_chunk",
     "resolve_jobs",
     "run_pipeline",
     "run_pipeline_batch",
@@ -100,6 +101,8 @@ def pipeline_enabled() -> bool:
 def set_pipeline(enabled: Optional[bool]) -> None:
     """Force the pipeline on/off; ``None`` re-reads the environment."""
     global _pipeline
+    if _pipeline != enabled:
+        perf.bump_epoch()  # knob change invalidates warm fleet state
     _pipeline = enabled
 
 
@@ -180,12 +183,33 @@ def run_pipeline(
 # ----------------------------------------------------------------------
 # whole-suite fan-out
 # ----------------------------------------------------------------------
+def resolve_batch_chunk(
+    chunk: Optional[int], n_programs: int, jobs: int
+) -> int:
+    """Programs per pool task: explicit *chunk*, else ``REPRO_BATCH_CHUNK``,
+    else sized so each worker sees ~4 chunks (load balance) without any
+    chunk growing past 32 programs (latency to first merged result)."""
+    if chunk is None:
+        raw = os.environ.get("REPRO_BATCH_CHUNK", "").strip()
+        if raw:
+            try:
+                chunk = int(raw)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_BATCH_CHUNK={raw!r} is not an integer"
+                ) from None
+    if chunk is None:
+        chunk = min(32, -(-n_programs // (jobs * 4)))
+    return max(1, int(chunk))
+
+
 def run_pipeline_batch(
     programs: Sequence,
     opts: Optional[AnalysisOptions] = None,
     cache=None,
     jobs: Optional[int] = None,
     executor: Optional[str] = None,
+    chunk: Optional[int] = None,
 ) -> List:
     """Analyze many independent programs, returning their
     :class:`~repro.partests.driver.ProgramResult` objects **in input
@@ -195,12 +219,19 @@ def run_pipeline_batch(
     independent "subtrees" the executor can schedule — this is where the
     process executor pays off even for single-procedure programs, whose
     intra-program task graph has nothing to overlap.  Under
-    ``executor="process"`` each program runs its whole pipeline inside a
-    pool worker and ships back the program's decision rows (the exact
-    payload shape the program-level cache stores); the parent rebinds
-    them onto its own parse, so results are byte-identical to a serial
-    loop.  A degraded (budget-tripped) worker result is rebound as-is —
-    conservative and, as always, never written to any cache.
+    ``executor="process"`` the batch is coalesced into *chunks* of
+    consecutive programs (*chunk* per pool task; ``REPRO_BATCH_CHUNK``
+    or an auto size otherwise — see :func:`resolve_batch_chunk`), so a
+    stream of tiny programs pays one pickle/queue round trip per chunk
+    instead of per program.  Each chunk runs its programs' full
+    pipelines serially inside a pool worker — on the worker's warm
+    substrate, when the fleet is warm — and ships back per-program
+    decision rows (the exact payload shape the program-level cache
+    stores); the parent rebinds them onto its own parses in input
+    order, so results are byte-identical to a serial loop *and* to any
+    other chunking.  A degraded (budget-tripped) worker result is
+    rebound as-is — conservative and, as always, never written to any
+    cache.
 
     The thread executor (and ``jobs=1``) analyzes locally; thread
     workers only overlap cache/IO waits, exactly like ``--jobs`` inside
@@ -241,40 +272,49 @@ def run_pipeline_batch(
     from repro.linalg.fourier_motzkin import replay_fallback_warnings
     from repro.service.budgets import suspended
 
+    chunk = resolve_batch_chunk(chunk, len(programs), jobs)
+    chunks = [
+        programs[i : i + chunk] for i in range(0, len(programs), chunk)
+    ]
     pool = _executor_mod.process_pool(jobs)
+    cache_root = str(cache.root) if cache is not None else None
+    epoch = perf.epoch()
     futures = []
-    for program in programs:
-        perf.bump("pipeline.executor.batch_programs")
+    for group in chunks:
+        perf.bump("pipeline.executor.batch_programs", len(group))
+        perf.bump("pipeline.executor.chunks")
         perf.bump("pipeline.executor.tasks")
-        blob = pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL)
+        blob = pickle.dumps(group, protocol=pickle.HIGHEST_PROTOCOL)
         futures.append(
             pool.submit(
-                _executor_mod.run_remote_program,
+                _executor_mod.run_remote_chunk,
                 blob,
                 opts,
-                str(cache.root) if cache is not None else None,
+                cache_root,
                 _executor_mod.remaining_budget(),
+                epoch,
             )
         )
     results = []
     try:
-        for program, fut in zip(programs, futures):
+        for group, fut in zip(chunks, futures):
             out = _executor_mod.load_result(fut.result())
             _executor_mod.absorb_worker(out["pid"], out["snapshot"])
             replay_fallback_warnings(out["warnings"])
-            # rebinding a completed worker result may not re-trip the
-            # (possibly exhausted) request budget
-            with suspended(), perf.phase("driver.rebind"):
-                result = ParallelizationDriver(
-                    program, opts, cache=cache
-                )._rebind_program(out["payload"])
-            if result is None:
-                # same parse on both sides, so this cannot fail in
-                # practice; recompute locally (pure → identical)
-                perf.bump("pipeline.executor.fallback")
-                result = local(program)
-            result.analysis_seconds = out["seconds"]
-            results.append(result)
+            for program, prog_out in zip(group, out["programs"]):
+                # rebinding a completed worker result may not re-trip
+                # the (possibly exhausted) request budget
+                with suspended(), perf.phase("driver.rebind"):
+                    result = ParallelizationDriver(
+                        program, opts, cache=cache
+                    )._rebind_program(prog_out["payload"])
+                if result is None:
+                    # same parse on both sides, so this cannot fail in
+                    # practice; recompute locally (pure → identical)
+                    perf.bump("pipeline.executor.fallback")
+                    result = local(program)
+                result.analysis_seconds = prog_out["seconds"]
+                results.append(result)
     except BaseException:
         _executor_mod.shutdown_pool()
         raise

@@ -11,8 +11,12 @@ The pass pipeline can run its unit-scope task graph on two executors:
 ``process``
     tasks run on a persistent, fork-preferred
     :class:`~concurrent.futures.ProcessPoolExecutor`.  Each worker
-    rebuilds the hash-consed substrate for the program once per run
-    (``pipeline.executor.rebuilds``), hydrates shipped callee results
+    builds the hash-consed substrate for a program it has not seen
+    (``pipeline.executor.builds``) and — under the warm fleet
+    (``REPRO_WARM_FLEET``, the default) — keeps it, with the memo
+    tables, alive across runs within a fleet epoch
+    (``pipeline.executor.reuses``; epoch invalidation and taint
+    eviction force ``.rebuilds``).  It hydrates shipped callee results
     back into interned values (``pipeline.executor.hydrations``), runs
     the ``(pass, unit)`` task under the shipped remaining budget, and
     returns a picklable payload the parent merges in deterministic parse
@@ -52,11 +56,21 @@ from repro.service.budgets import Budget, active_budget
 EXECUTORS = ("thread", "process")
 
 #: executor tasks shipped to pool workers (pipeline tasks and batch
-#: programs both count here)
+#: chunks both count here)
 perf.declare("pipeline.executor.tasks")
-#: per-(worker, run) substrate rebuilds: a worker unpickled the program
-#: and built a fresh ArrayDataflow engine
+#: first-touch engine builds: a worker unpickled a program it had never
+#: seen and built a fresh ArrayDataflow engine
+perf.declare("pipeline.executor.builds")
+#: invalidation-forced rebuilds: a worker rebuilt an engine for a
+#: program it had already built once (epoch sync, taint eviction, or
+#: LRU pressure dropped the warm engine)
 perf.declare("pipeline.executor.rebuilds")
+#: warm-fleet engine reuses: a task was served by an engine a previous
+#: run of the same program/options left behind
+perf.declare("pipeline.executor.reuses")
+#: a worker dropped its warm state because a task arrived from a newer
+#: fleet epoch (knob change or cache reset in the parent)
+perf.declare("pipeline.executor.epoch_syncs")
 #: shipped payloads hydrated back into interned summaries inside a
 #: worker (the cache-hydration alternative to rebuilding from source)
 perf.declare("pipeline.executor.hydrations")
@@ -65,6 +79,9 @@ perf.declare("pipeline.executor.hydrations")
 perf.declare("pipeline.executor.fallback")
 #: whole programs fanned out by run_pipeline_batch
 perf.declare("pipeline.executor.batch_programs")
+#: coalesced batch chunks shipped to the pool (one pickle/queue round
+#: trip each; see run_remote_chunk)
+perf.declare("pipeline.executor.chunks")
 
 
 # ----------------------------------------------------------------------
@@ -125,12 +142,16 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 
 _pool = None
 _pool_jobs = 0
-#: parent snapshot at pool creation — forked workers inherit these
-#: counts, so it is the delta base for a worker's first shipped snapshot
-_pool_base: Optional[Dict] = None
 #: per-PID maximum of shipped worker snapshots (worker counters only
 #: grow, so the max is the latest state already folded into the parent)
 _pool_absorbed: Dict[int, Dict] = {}
+#: worker-side: this process's snapshot at fork, so shipped snapshots
+#: are deltas of the worker's own work only.  Captured in the worker's
+#: initializer — not guessed parent-side at pool creation — because
+#: under fork the workers spawn lazily during the submit loop, *after*
+#: the parent has already bumped per-task counters for the work it is
+#: submitting; a parent-side base would double count those bumps
+_worker_snap_base: Optional[Dict] = None
 
 
 def _worker_init() -> None:
@@ -142,16 +163,30 @@ def _worker_init() -> None:
     killing the worker.  Tasks carry their own shipped remaining budget
     instead.  The engine memo is cleared for the same reason: worker
     engines must be built (and counted) worker-side.
+
+    The worker also disowns the parent's pool handle: a later
+    worker-side ``perf.reset_all_caches()`` (epoch sync) runs the
+    ``shutdown_pool`` reset hook, which must not tear down the *parent's*
+    fork-inherited executor object from inside a worker.  And it adopts
+    the inherited :func:`perf.epoch` as the epoch its warm state is
+    current for — under fork that state is a faithful copy of the parent
+    at pool creation; under spawn both start at zero and cold.
     """
+    global _pool, _pool_jobs, _worker_epoch, _worker_snap_base
     from repro.service import budgets
 
     budgets.clear_thread_budget()
     _worker_engines.clear()
+    _pool = None
+    _pool_jobs = 0
+    _pool_absorbed.clear()
+    _worker_epoch = perf.epoch()
+    _worker_snap_base = perf.snapshot()
 
 
 def process_pool(jobs: int):
     """The shared fork-preferred pool, (re)sized to *jobs* workers."""
-    global _pool, _pool_jobs, _pool_base
+    global _pool, _pool_jobs
     if _pool is not None and _pool_jobs != jobs:
         shutdown_pool()
     if _pool is None:
@@ -160,7 +195,6 @@ def process_pool(jobs: int):
 
         methods = mp.get_all_start_methods()
         ctx = mp.get_context("fork" if "fork" in methods else None)
-        _pool_base = perf.snapshot()
         _pool = ProcessPoolExecutor(
             max_workers=jobs, mp_context=ctx, initializer=_worker_init
         )
@@ -171,11 +205,10 @@ def process_pool(jobs: int):
 
 def shutdown_pool() -> None:
     """Tear the pool down (reset hook, error recovery, interpreter exit)."""
-    global _pool, _pool_jobs, _pool_base
+    global _pool, _pool_jobs
     pool = _pool
     _pool = None
     _pool_jobs = 0
-    _pool_base = None
     _pool_absorbed.clear()
     if pool is not None:
         pool.shutdown(wait=True, cancel_futures=True)
@@ -188,13 +221,13 @@ atexit.register(shutdown_pool)
 def absorb_worker(pid: int, snap: Dict) -> None:
     """Fold one worker's shipped snapshot into the parent's perf tables.
 
-    Incremental per PID: only the delta beyond what this worker already
-    shipped (or inherited at fork) is absorbed, so task results may be
-    processed in any completion order without double counting.
+    Workers ship deltas from their own fork-time base (*snap* contains
+    the worker's work only — see :func:`_ship_snapshot`).  Incremental
+    per PID: only the delta beyond what this worker already shipped is
+    absorbed, so task results may be processed in any completion order
+    without double counting.
     """
-    prev = _pool_absorbed.get(pid)
-    if prev is None:
-        prev = _pool_base or {}
+    prev = _pool_absorbed.get(pid) or {}
     perf.absorb_snapshot(perf.snapshot_delta(snap, prev))
     _pool_absorbed[pid] = perf.snapshot_max(prev, snap) if prev else snap
 
@@ -237,15 +270,26 @@ _run_nonce = count()
 class TaskHeader:
     """Everything a worker needs to (re)build the substrate for one run.
 
-    ``engine_key`` includes a per-run nonce, so one scheduled region's
-    tasks share a worker-side engine while distinct runs never see each
-    other's mutable engine state (taint, unit keys).
+    Under the warm fleet (``REPRO_WARM_FLEET``, the default)
+    ``engine_key`` is a pure content hash of (program, options, cache
+    root): two runs of the same inputs share a worker-side engine, so a
+    fleet re-analyzing the same program pays the substrate build once
+    per worker per *epoch* instead of once per run.  What made the
+    per-run nonce necessary — mutable engine state leaking between runs
+    — is handled by construction instead: degraded (tainted) engines
+    are evicted after the task that degraded them, every other piece of
+    engine state is a pure function of the key's content, and ``epoch``
+    (the :func:`repro.perf.epoch` at submit) invalidates all warm state
+    when any semantic knob changes.  With the warm fleet off the key
+    keeps the per-run nonce, restoring the cold per-(worker, run)
+    behavior byte for byte.
     """
 
     engine_key: str
     program_blob: bytes
     opts: Any
     cache_root: Optional[str]
+    epoch: int = 0
 
 
 def make_header(program, opts, cache) -> TaskHeader:
@@ -253,35 +297,101 @@ def make_header(program, opts, cache) -> TaskHeader:
     import hashlib
 
     blob = pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL)
-    key = (
-        hashlib.sha256(blob).hexdigest()[:16] + f":{next(_run_nonce)}"
-    )
     root = str(cache.root) if cache is not None else None
-    return TaskHeader(key, blob, opts, root)
+    h = hashlib.sha256(blob)
+    h.update(pickle.dumps(opts, protocol=pickle.HIGHEST_PROTOCOL))
+    h.update(repr(root).encode())
+    if perf.warm_fleet_enabled():
+        key = h.hexdigest()[:24]
+    else:
+        key = h.hexdigest()[:16] + f":{next(_run_nonce)}"
+    return TaskHeader(key, blob, opts, root, perf.epoch())
 
 
 #: worker-side engines keyed by TaskHeader.engine_key (bounded: a
 #: long-lived worker serving many runs drops the oldest engine)
 _worker_engines: Dict[str, Any] = {}
 _WORKER_ENGINE_MAX = 4
+#: content keys this worker has built an engine for at least once —
+#: distinguishes first-touch builds from invalidation-forced rebuilds.
+#: A plain set of short digests (bounded below), deliberately *not*
+#: cleared on epoch sync: post-sync rebuilds are exactly the rebuilds
+#: the counter split exists to expose.
+_worker_built_keys: set = set()
+_WORKER_BUILT_KEYS_MAX = 65536
+#: the fleet epoch this worker's warm state (engines, memo/intern
+#: tables) is current for; ``None`` only before the initializer ran
+_worker_epoch: Optional[int] = None
+
+
+def _sync_epoch(epoch: int) -> None:
+    """Drop all warm state when a task arrives from a newer fleet epoch.
+
+    The parent bumps :func:`repro.perf.epoch` on every semantic knob
+    change and cache reset; shipping the epoch with each task (header or
+    chunk) lets a long-lived worker notice and invalidate *everything* —
+    cached engines and the full memo/intern substrate — before touching
+    the task.  Within one epoch nothing is ever invalidated, which is
+    the whole warm-fleet bargain.
+    """
+    global _worker_epoch
+    if _worker_epoch == epoch:
+        return
+    _worker_engines.clear()
+    perf.reset_all_caches()
+    _worker_epoch = epoch
+    perf.bump("pipeline.executor.epoch_syncs")
+
+
+def _evict_engine_if_tainted(engine_key: str, engine) -> None:
+    """Never let a degraded engine survive into another run.
+
+    A budget-tripped task leaves conservative (tainted) summaries in the
+    engine's mutable state; under content keys a later run with a looser
+    budget would find them in ``engine.units`` and skip recomputation —
+    serving degraded rows as clean.  Evicting on taint keeps the
+    byte-identity contract: degraded state is never cached, anywhere.
+    """
+    if engine.tainted_units and _worker_engines.get(engine_key) is engine:
+        del _worker_engines[engine_key]
 
 
 def _worker_engine(header: TaskHeader):
     engine = _worker_engines.get(header.engine_key)
-    if engine is None:
-        from repro.arraydf.analysis import ArrayDataflow
-        from repro.service.cache import SummaryCache
+    if engine is not None and not engine.tainted_units:
+        perf.bump("pipeline.executor.reuses")
+        return engine
+    from repro.arraydf.analysis import ArrayDataflow
+    from repro.service.cache import SummaryCache
 
+    if header.engine_key in _worker_built_keys:
         perf.bump("pipeline.executor.rebuilds")
-        program = pickle.loads(header.program_blob)
-        cache = (
-            SummaryCache(header.cache_root) if header.cache_root else None
-        )
-        engine = ArrayDataflow(program, header.opts, cache=cache, propagated=True)
-        while len(_worker_engines) >= _WORKER_ENGINE_MAX:
-            _worker_engines.pop(next(iter(_worker_engines)))
-        _worker_engines[header.engine_key] = engine
+    else:
+        perf.bump("pipeline.executor.builds")
+        if len(_worker_built_keys) >= _WORKER_BUILT_KEYS_MAX:
+            _worker_built_keys.clear()
+        _worker_built_keys.add(header.engine_key)
+    program = pickle.loads(header.program_blob)
+    cache = (
+        SummaryCache(header.cache_root) if header.cache_root else None
+    )
+    engine = ArrayDataflow(program, header.opts, cache=cache, propagated=True)
+    while len(_worker_engines) >= _WORKER_ENGINE_MAX:
+        _worker_engines.pop(next(iter(_worker_engines)))
+    _worker_engines[header.engine_key] = engine
     return engine
+
+
+def _ship_snapshot() -> Dict:
+    """The perf snapshot a worker ships with a result: its own work only.
+
+    Deltas against the fork-time base captured by :func:`_worker_init`,
+    so fork-inherited parent counters never ride back and get absorbed
+    twice.  (After a worker-side epoch sync the memo hit/miss statistics
+    restart from zero and clamp away in the delta — cache *statistics*
+    under-report across a sync; counters are never reset and stay exact.)
+    """
+    return perf.snapshot_delta(perf.snapshot(), _worker_snap_base or {})
 
 
 def dump_task(task: Dict) -> bytes:
@@ -322,6 +432,7 @@ def run_remote_task(
     from repro.service.budgets import budget_scope, suspended
 
     start = time.perf_counter()
+    _sync_epoch(header.epoch)
     engine = _worker_engine(header)
     with suspended():
         task = pickle.loads(task_blob)
@@ -329,29 +440,40 @@ def run_remote_task(
         with budget_scope(budget):
             with perf.phase(f"pass.{p.name}"):
                 payload = p.run_remote(engine, unit, task)
+    _evict_engine_if_tainted(header.engine_key, engine)
+    perf.enforce_memo_caps()
     return pickle.dumps(
         {
             "pid": os.getpid(),
             "payload": payload,
             "seconds": time.perf_counter() - start,
             "warnings": fm_warnings,
-            "snapshot": perf.snapshot(),
+            "snapshot": _ship_snapshot(),
         },
         protocol=pickle.HIGHEST_PROTOCOL,
     )
 
 
-def run_remote_program(
-    program_blob: bytes,
+def run_remote_chunk(
+    chunk_blob: bytes,
     opts,
     cache_root: Optional[str],
     budget: Optional[Budget],
+    epoch: int = 0,
 ) -> bytes:
-    """Worker-side entry point for one whole-program batch task.
+    """Worker-side entry point for one batch *chunk* of whole programs.
 
-    Runs the full pipeline serially inside the worker and ships the
-    program's decision rows (the same payload shape the program-level
-    cache stores), which the parent rebinds onto its own parse.
+    ``run_pipeline_batch`` coalesces many small programs into one pool
+    task: *chunk_blob* unpickles to a list of programs, so a
+    fuzz-farm-shaped stream of tiny jobs pays one pickle/queue round
+    trip per chunk instead of per program.  Each program runs its full
+    pipeline serially inside the worker — under its own scope of the
+    shipped remaining *budget*, exactly as an unchunked submit would —
+    on the worker's warm substrate (memo tables persist across programs
+    and chunks within the fleet epoch).  Ships one per-program payload
+    list back: decision rows in input order, each the same shape the
+    program-level cache stores, which the parent rebinds onto its own
+    parses.
     """
     from repro.linalg.fourier_motzkin import capture_fallback_warnings
     from repro.partests.driver import _decision_rows
@@ -359,25 +481,38 @@ def run_remote_program(
     from repro.service.budgets import budget_scope
     from repro.service.cache import SummaryCache
 
-    start = time.perf_counter()
-    program = pickle.loads(program_blob)
+    _sync_epoch(epoch)
+    programs = pickle.loads(chunk_blob)
     cache = SummaryCache(cache_root) if cache_root else None
+    outs = []
     with capture_fallback_warnings() as fm_warnings:
-        with budget_scope(budget):
-            ctx = run_pipeline(program, opts, cache=cache, jobs=1)
-    result = ctx.get("result")
-    payload = [
-        (name, _decision_rows([l for l in result.loops if l.unit == name]))
-        for name in ctx.unit_names()
-    ]
+        for program in programs:
+            start = time.perf_counter()
+            with budget_scope(budget):
+                ctx = run_pipeline(program, opts, cache=cache, jobs=1)
+            result = ctx.get("result")
+            outs.append(
+                {
+                    "payload": [
+                        (
+                            name,
+                            _decision_rows(
+                                [l for l in result.loops if l.unit == name]
+                            ),
+                        )
+                        for name in ctx.unit_names()
+                    ],
+                    "degraded": ctx.degraded,
+                    "seconds": time.perf_counter() - start,
+                }
+            )
+    perf.enforce_memo_caps()
     return pickle.dumps(
         {
             "pid": os.getpid(),
-            "payload": payload,
-            "degraded": ctx.degraded,
-            "seconds": time.perf_counter() - start,
+            "programs": outs,
             "warnings": fm_warnings,
-            "snapshot": perf.snapshot(),
+            "snapshot": _ship_snapshot(),
         },
         protocol=pickle.HIGHEST_PROTOCOL,
     )

@@ -252,8 +252,9 @@ class SummarizePass(Pass):
 
         if task.get("screened"):
             return {"screened": True}
-        if task.get("elide"):
-            engine.screen_hints[unit] = frozenset(task["elide"])
+        # always assign (even empty): a warm-fleet engine reused across
+        # runs must not keep a previous task's elide hints for this unit
+        engine.screen_hints[unit] = frozenset(task.get("elide") or ())
         for name, payload, tainted, key in task["callees"]:
             if tainted:
                 engine.tainted_units.add(name)

@@ -59,11 +59,11 @@ perf.declare("pred.oracle.tier0")
 perf.declare("pred.oracle.tier1")
 perf.declare("pred.oracle.tier2")
 
-_UNSAT = perf.memo_table("pred.oracle.unsat")
-_IMPLIES = perf.memo_table("pred.oracle.implies")
-_CONJUNCT = perf.memo_table("pred.oracle.conjunct")
-_DNF = perf.memo_table("pred.oracle.dnf")
-_NEGATE = perf.memo_table("pred.oracle.negate")
+_UNSAT = perf.memo_table("pred.oracle.unsat", cap=32768)
+_IMPLIES = perf.memo_table("pred.oracle.implies", cap=32768)
+_CONJUNCT = perf.memo_table("pred.oracle.conjunct", cap=32768)
+_DNF = perf.memo_table("pred.oracle.dnf", cap=32768)
+_NEGATE = perf.memo_table("pred.oracle.negate", cap=32768)
 
 _MISS = perf.MISS
 

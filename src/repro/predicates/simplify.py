@@ -147,7 +147,7 @@ def linear_system_of(conj: Conjunct) -> LinearSystem:
     return LinearSystem(constraints)
 
 
-_SIMPLIFY = perf.memo_table("pred.oracle.simplify")
+_SIMPLIFY = perf.memo_table("pred.oracle.simplify", cap=32768)
 
 
 def simplify(pred: Predicate) -> Predicate:

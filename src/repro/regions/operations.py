@@ -14,7 +14,7 @@ from repro.linalg.implication import entails, system_implies
 from repro.linalg.system import LinearSystem
 from repro.regions.region import ArrayRegion
 
-_COALESCE = perf.memo_table("region.coalesce")
+_COALESCE = perf.memo_table("region.coalesce", cap=16384)
 
 
 def intersect_regions(a: ArrayRegion, b: ArrayRegion) -> Optional[ArrayRegion]:

@@ -158,7 +158,7 @@ def _linear_offset(extents: Sequence[int], dvs: Sequence[str]) -> AffineExpr:
     return total
 
 
-_RESHAPE = perf.memo_table("region.reshape")
+_RESHAPE = perf.memo_table("region.reshape", cap=16384)
 
 
 def _translate_region_linear(

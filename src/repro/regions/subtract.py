@@ -21,7 +21,7 @@ from repro.linalg.constraint import Constraint, Rel
 from repro.linalg.system import LinearSystem
 from repro.regions.region import ArrayRegion
 
-_SUBTRACT = perf.memo_table("region.subtract")
+_SUBTRACT = perf.memo_table("region.subtract", cap=16384)
 
 
 def _complement_pieces(constraint: Constraint) -> List[Constraint]:

@@ -31,7 +31,7 @@ REGION_BUDGET = 12
 #: may-union results keyed by the (value-hashable) operand pair and
 #: budget; warm re-analyses replay identical union chains, and the
 #: regions inside are interned so re-returning a cached set is safe
-_UNION = perf.memo_table("summary.union")
+_UNION = perf.memo_table("summary.union", cap=16384)
 
 
 class SummarySet:

@@ -11,6 +11,15 @@ job queue and a worker fleet.  The API surface:
     queue is at capacity the server answers ``429`` with a
     ``Retry-After`` header — backpressure instead of unbounded buffering.
 
+``POST /v1/batch``
+    Submit many jobs in one request: ``{"kind": ..., "priority": ...,
+    "jobs": [<request object>, ...]}``.  Answers ``202 {"ok": true,
+    "ids": [...], "state": "queued"}``.  Admission is all-or-nothing
+    against capacity (429 if the whole batch does not fit); each job is
+    then claimed, executed and receipted individually, exactly as if
+    submitted one by one — the batch path only removes per-job
+    submit/journal/wake-up overhead (see ``docs/SERVICE.md``).
+
 ``GET /v1/jobs/<id>``
     Job status: ``{"id", "state"}`` with ``state`` one of ``queued`` /
     ``running`` / ``done`` / ``failed``, plus the full ``response``
@@ -96,7 +105,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - stdlib casing
         perf.bump("http.requests")
-        if self.path.rstrip("/") != "/v1/jobs":
+        path = self.path.rstrip("/")
+        if path not in ("/v1/jobs", "/v1/batch"):
             self._send_json(404, {"ok": False, "error": "not found"})
             return
         if self.server.draining:
@@ -121,6 +131,21 @@ class ServiceHandler(BaseHTTPRequestHandler):
         kind = body.pop("kind", "analyze")
         priority = body.pop("priority", 0)
         try:
+            if path == "/v1/batch":
+                jobs = body.get("jobs")
+                if not isinstance(jobs, list) or not jobs:
+                    raise ValueError(
+                        "batch request needs a non-empty 'jobs' array"
+                    )
+                if not all(isinstance(j, dict) for j in jobs):
+                    raise ValueError("every batch job must be an object")
+                ids = self.server.queue.submit_batch(
+                    kind, jobs, priority=priority
+                )
+                self._send_json(
+                    202, {"ok": True, "ids": ids, "state": "queued"}
+                )
+                return
             job_id = self.server.queue.submit(kind, body, priority=priority)
         except QueueFull as exc:
             perf.bump("http.rejected")

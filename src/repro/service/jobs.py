@@ -286,4 +286,7 @@ def execute_job(
         timings=timings,
     )
     perf.bump("job.receipt")
+    # job boundary: a long-lived fleet keeps memo tables warm across
+    # jobs; trim the capped ones so that warmth stays bounded
+    perf.enforce_memo_caps()
     return resp, receipt

@@ -59,6 +59,7 @@ for _name in (
     "queue.recovered",
     "queue.rejected",
     "queue.scan_cached",
+    "queue.batches",
 ):
     perf.declare(_name)
 
@@ -227,9 +228,26 @@ class JobQueue:
     # journal
     # ------------------------------------------------------------------
     def _journal(self, event: str, job_id: str, **extra) -> None:
-        entry = {"ev": event, "id": job_id, "t": round(time.time(), 3)}
-        entry.update(extra)
-        line = (json.dumps(entry, sort_keys=True) + "\n").encode()
+        self._journal_many([(event, job_id, extra)])
+
+    def _journal_many(self, events: List[Tuple[str, str, Dict]]) -> None:
+        """Append per-job journal lines for *events* in **one** write.
+
+        Every event still gets its own line (per-job provenance is
+        preserved), but a batch of N submits or claims costs one
+        ``write`` on the unbuffered journal fd — one syscall, one
+        flush — instead of N.  The journal stays line-oriented, so a
+        crash mid-write tears at most the final line; recovery ignores
+        the torn tail and trusts the directory listings, which were
+        published (atomically, per job) *before* the journal write.
+        """
+        now = round(time.time(), 3)
+        lines = []
+        for event, job_id, extra in events:
+            entry = {"ev": event, "id": job_id, "t": now}
+            entry.update(extra)
+            lines.append(json.dumps(entry, sort_keys=True))
+        payload = ("\n".join(lines) + "\n").encode()
         with self._local:
             if self._journal_file is None or self._journal_file.closed:
                 # binary + unbuffered: every event must hit the OS (the
@@ -237,26 +255,27 @@ class JobQueue:
                 # processes), and ``tell`` on a raw fd is a cheap seek
                 # where text-mode tell computes an opaque cookie
                 self._journal_file = open(self._journal_path, "ab", buffering=0)
-            self._journal_file.write(line)
-            # keep the scan memo coherent for our own event instead of
+            self._journal_file.write(payload)
+            # keep the scan memo coherent for our own events instead of
             # letting the size change force a rescan: this process knows
             # exactly how each event moves the pending set
             cached = self._scan_cache
             if cached is not None:
                 _, pending, max_seq = cached
-                if event == "submit":
-                    pending.append(job_id)
-                    try:
-                        max_seq = max(max_seq, int(job_id[1:]))
-                    except ValueError:
-                        pass
-                elif event == "claim":
-                    try:
-                        pending.remove(job_id)
-                    except ValueError:
-                        pass
-                elif event == "recover" and job_id not in pending:
-                    pending.append(job_id)
+                for event, job_id, _extra in events:
+                    if event == "submit":
+                        pending.append(job_id)
+                        try:
+                            max_seq = max(max_seq, int(job_id[1:]))
+                        except ValueError:
+                            pass
+                    elif event == "claim":
+                        try:
+                            pending.remove(job_id)
+                        except ValueError:
+                            pass
+                    elif event == "recover" and job_id not in pending:
+                        pending.append(job_id)
                 self._scan_cache = (
                     self._journal_file.tell(),
                     pending,
@@ -349,31 +368,7 @@ class JobQueue:
             if len(pending) >= self.capacity:
                 perf.bump("queue.rejected")
                 raise QueueFull(len(pending), self.capacity)
-            # publish the record under the next free sequence number:
-            # the hard link is atomic and fails on a name collision, so
-            # it arbitrates between processes sharing the directory
-            # (``_local`` already serializes this process's threads)
-            seq = max_seq
-            while True:
-                seq += 1
-                job = Job(
-                    id=f"j{seq:08d}",
-                    kind=kind,
-                    body=body,
-                    priority=int(priority),
-                    seq=seq,
-                    submitted_at=round(time.time(), 3),
-                )
-                path = self.jobs_dir / f"{job.id}.json"
-                tmp = _tmp_name(path)
-                _put_bytes(tmp, json.dumps(job.record(), sort_keys=True).encode())
-                try:
-                    os.link(tmp, path)
-                    break
-                except FileExistsError:
-                    continue  # another process took this seq; retry
-                finally:
-                    os.unlink(tmp)
+            job = self._publish_record(kind, body, priority, max_seq)
         self._records[job.id] = job.record()
         self._journal("submit", job.id, kind=kind, priority=job.priority)
         perf.bump("queue.submitted")
@@ -384,6 +379,84 @@ class JobQueue:
             # the GIL) with the worker actually running the job
             self._submit_cond.notify()
         return job.id
+
+    def _publish_record(self, kind, body, priority, seq_hint: int) -> Job:
+        """Publish one job record under the next free sequence number.
+
+        The hard link is atomic and fails on a name collision, so it
+        arbitrates between processes sharing the directory (``_local``
+        already serializes this process's threads).  Caller holds
+        ``_local``.
+        """
+        seq = seq_hint
+        while True:
+            seq += 1
+            job = Job(
+                id=f"j{seq:08d}",
+                kind=kind,
+                body=body,
+                priority=int(priority),
+                seq=seq,
+                submitted_at=round(time.time(), 3),
+            )
+            path = self.jobs_dir / f"{job.id}.json"
+            tmp = _tmp_name(path)
+            _put_bytes(tmp, json.dumps(job.record(), sort_keys=True).encode())
+            try:
+                os.link(tmp, path)
+                return job
+            except FileExistsError:
+                continue  # another process took this seq; retry
+            finally:
+                os.unlink(tmp)
+
+    def submit_batch(
+        self, kind: str, bodies: List[Dict], priority: int = 0
+    ) -> List[str]:
+        """Accept many jobs in one shot; returns their queue ids in order.
+
+        Admission is all-or-nothing against capacity (a half-admitted
+        batch helps nobody), but each job is otherwise independent: its
+        record is published atomically under its own id, it is claimed
+        and finished individually, and it gets its own receipt.  What
+        the batch path saves is per-job overhead: one capacity scan, one
+        journal write/flush for all N submit events
+        (:meth:`_journal_many` — per-job events preserved) and one
+        fleet wake-up, instead of N of each.
+        """
+        if kind not in JOB_KINDS:
+            raise ValueError(
+                f"unknown job kind {kind!r} (use one of {', '.join(JOB_KINDS)})"
+            )
+        bodies = list(bodies)
+        if not bodies:
+            return []
+        jobs: List[Job] = []
+        with self._local:
+            pending, max_seq = self._scan_jobs()
+            if len(pending) + len(bodies) > self.capacity:
+                perf.bump("queue.rejected")
+                raise QueueFull(len(pending), self.capacity)
+            seq_hint = max_seq
+            for body in bodies:
+                job = self._publish_record(kind, body, priority, seq_hint)
+                seq_hint = job.seq
+                jobs.append(job)
+            for job in jobs:
+                self._records[job.id] = job.record()
+            self._journal_many(
+                [
+                    ("submit", job.id, {"kind": kind, "priority": job.priority})
+                    for job in jobs
+                ]
+            )
+        perf.bump("queue.submitted", len(jobs))
+        perf.bump("queue.batches")
+        with self._submit_cond:
+            self._submit_gen += 1
+            # a batch saturates the fleet: wake everyone
+            self._submit_cond.notify_all()
+        return [job.id for job in jobs]
 
     def submit_generation(self) -> int:
         """Read before an empty claim scan; pass to :meth:`wait_for_submit`
@@ -451,6 +524,21 @@ class JobQueue:
         ~8x the cost of a link on the queue's hot path).  The owner is
         recorded in the journal's claim event.
         """
+        jobs = self.claim_chunk(owner=owner, limit=1)
+        return jobs[0] if jobs else None
+
+    def claim_chunk(self, owner: str = "", limit: int = 1) -> List[Job]:
+        """Atomically take up to *limit* pending jobs, in claim order.
+
+        Same per-job atomic-link arbitration as :meth:`claim` — each
+        job is still won exactly once, workers may still crash holding
+        any prefix of the chunk and recovery re-enqueues those jobs
+        individually — but the N claim events land in one journal
+        write/flush, so a worker draining a deep backlog pays per-chunk
+        rather than per-job dispatch overhead.
+        """
+        limit = max(1, int(limit))
+        won: List[Job] = []
         for rec in self._ordered_pending():
             jid = rec["id"]
             try:
@@ -462,10 +550,15 @@ class JobQueue:
                 continue  # another worker won this job
             except FileNotFoundError:
                 continue  # record not visible here (foreign cleanup)
-            self._journal("claim", jid, owner=owner)
-            perf.bump("queue.claimed")
-            return Job.from_record(rec)
-        return None
+            won.append(Job.from_record(rec))
+            if len(won) >= limit:
+                break
+        if won:
+            self._journal_many(
+                [("claim", job.id, {"owner": owner}) for job in won]
+            )
+            perf.bump("queue.claimed", len(won))
+        return won
 
     def finish(self, job_id: str, response: Dict, receipt: Optional[Dict]) -> None:
         """Record a job's terminal result (and its receipt, first).

@@ -53,12 +53,14 @@ class WorkerFleet:
         pipeline_jobs: Optional[int] = 1,
         pipeline_executor: Optional[str] = None,
         idle_wait_s: float = 0.5,
+        claim_chunk_limit: int = 8,
     ) -> None:
         self.queue = queue
         self.workers = max(1, int(workers))
         self.pipeline_jobs = pipeline_jobs
         self.pipeline_executor = pipeline_executor
         self.idle_wait_s = idle_wait_s
+        self.claim_chunk_limit = max(1, int(claim_chunk_limit))
         self._threads: list = []
         self._draining = threading.Event()
         self._lock = threading.Lock()
@@ -113,42 +115,62 @@ class WorkerFleet:
         return self._draining.is_set()
 
     # ------------------------------------------------------------------
+    def _claim_limit(self) -> int:
+        """Jobs to claim in one go: chunky under a backlog, polite when
+        the queue is shallow.
+
+        Dividing the visible depth across the fleet keeps a deep
+        batch-submitted backlog from being claimed whole by whichever
+        worker scans first (the claimed = running contract means claimed
+        jobs ride out a drain), while a fuzz-farm-shaped stream still
+        amortizes claim/journal overhead across up to
+        ``claim_chunk_limit`` jobs per scan.
+        """
+        if self.claim_chunk_limit <= 1:
+            return 1
+        depth = self.queue.depth()
+        return max(1, min(self.claim_chunk_limit, depth // self.workers))
+
     def _run(self, name: str) -> None:
         gen = None
         while not self._draining.is_set():
             if gen is None:
                 gen = self.queue.submit_generation()
-            job = self.queue.claim(owner=name)
-            if job is None:
+            jobs = self.queue.claim_chunk(owner=name, limit=self._claim_limit())
+            if not jobs:
                 perf.bump("worker.idle_waits")
                 # gen was read before the empty scan: a submit that
                 # raced the scan returns the park immediately
                 gen = self.queue.wait_for_submit(self.idle_wait_s, gen)
                 continue
             gen = None
-            started = time.monotonic()
-            with self._lock:
-                self._busy[name] = job.id
-            try:
-                response, receipt = execute_job(
-                    job,
-                    worker=name,
-                    jobs=self.pipeline_jobs,
-                    executor=self.pipeline_executor,
-                )
-            except BaseException:
-                # execute_job never raises by contract; if the
-                # impossible happens, release the claim for recovery
-                # rather than wedging the job as running-forever
+            # every claimed job runs, even if a drain begins mid-chunk:
+            # claimed means running, and an orderly shutdown never
+            # abandons a running job
+            for job in jobs:
+                started = time.monotonic()
+                with self._lock:
+                    self._busy[name] = job.id
+                try:
+                    response, receipt = execute_job(
+                        job,
+                        worker=name,
+                        jobs=self.pipeline_jobs,
+                        executor=self.pipeline_executor,
+                    )
+                except BaseException:
+                    # execute_job never raises by contract; if the
+                    # impossible happens, release the claim for recovery
+                    # rather than wedging the job as running-forever
+                    with self._lock:
+                        self._busy[name] = None
+                    raise
+                self.queue.finish(job.id, response, receipt)
+                perf.bump("worker.jobs")
                 with self._lock:
                     self._busy[name] = None
-                raise
-            self.queue.finish(job.id, response, receipt)
-            perf.bump("worker.jobs")
-            with self._lock:
-                self._busy[name] = None
-                self._completed += 1
-                self._busy_s += time.monotonic() - started
+                    self._completed += 1
+                    self._busy_s += time.monotonic() - started
 
     # ------------------------------------------------------------------
     def stats(self) -> Dict:

@@ -139,6 +139,25 @@ def test_job_system_namespaces_are_documented(registry):
         assert registry.get(name) == "counter", name
 
 
+def test_warm_fleet_namespaces_are_documented(registry):
+    """The PR-10 names: warm-fleet lifecycle counters, batch chunking,
+    queue batch submits and the perf layer's own events."""
+    prefixes = _documented_prefixes()
+    assert "perf" in prefixes
+    for name in (
+        "pipeline.executor.builds",
+        "pipeline.executor.rebuilds",
+        "pipeline.executor.reuses",
+        "pipeline.executor.epoch_syncs",
+        "pipeline.executor.chunks",
+        "pipeline.executor.batch_programs",
+        "queue.batches",
+        "perf.epoch_bumps",
+        "perf.memo_trims",
+    ):
+        assert registry.get(name) == "counter", name
+
+
 def test_registered_names_report_their_kind(registry):
     assert registry.get("pipeline.executor.tasks") == "counter"
     assert registry.get("affine.intern") == "memo"

@@ -120,6 +120,26 @@ class TestEndpoints:
         assert stats["counters"]["queue.submitted"] >= 1
         assert "caches" in stats
 
+    def test_batch_lifecycle(self, service):
+        base, queue, _, _ = service
+        code, sub, _ = _post(
+            base,
+            "/v1/batch",
+            {
+                "kind": "analyze",
+                "jobs": [{"id": i, "source": SRC} for i in range(3)],
+            },
+        )
+        assert code == 202 and sub["ok"] and sub["state"] == "queued"
+        assert len(sub["ids"]) == 3
+        for i, jid in enumerate(sub["ids"]):
+            payload = _wait_done(base, jid)
+            assert payload["state"] == "done"
+            assert payload["response"]["id"] == i  # input order preserved
+            # per-job receipts survive the batch path
+            code, receipt, _ = _get(base, f"/v1/jobs/{jid}/receipt")
+            assert code == 200 and receipt["job"]["id"] == jid
+
     def test_unknown_budget_key_fails_the_job(self, service):
         """The strict-budget contract travels the whole HTTP path."""
         base, *_ = service
@@ -169,6 +189,19 @@ class TestErrors:
         assert _get(base, "/v1/nope")[0] == 404
         assert _post(base, "/v1/nope", {})[0] == 404
 
+    def test_batch_validation_400(self, service):
+        base, *_ = service
+        code, payload, _ = _post(base, "/v1/batch", {"kind": "analyze"})
+        assert code == 400 and "jobs" in payload["error"]
+        code, payload, _ = _post(base, "/v1/batch", {"jobs": []})
+        assert code == 400 and "jobs" in payload["error"]
+        code, payload, _ = _post(base, "/v1/batch", {"jobs": [1, 2]})
+        assert code == 400 and "object" in payload["error"]
+        code, payload, _ = _post(
+            base, "/v1/batch", {"kind": "bogus", "jobs": [{}]}
+        )
+        assert code == 400 and "bogus" in payload["error"]
+
 
 class TestBackpressure:
     def test_429_with_retry_after_when_full(self, tmp_path):
@@ -187,6 +220,31 @@ class TestBackpressure:
             assert code == 429
             assert not payload["ok"]
             assert int(headers["Retry-After"]) >= 1
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_batch_429_is_all_or_nothing(self, tmp_path):
+        queue = JobQueue(tmp_path / "q", capacity=2)
+        server = ServiceServer(("127.0.0.1", 0), queue, None)
+        t = threading.Thread(target=server.serve_forever, daemon=True)
+        t.start()
+        base = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            code, payload, headers = _post(
+                base,
+                "/v1/batch",
+                {"jobs": [{"id": i, "source": SRC} for i in range(3)]},
+            )
+            assert code == 429 and not payload["ok"]
+            assert int(headers["Retry-After"]) >= 1
+            assert queue.depth() == 0  # nothing half-admitted
+            code, payload, _ = _post(
+                base,
+                "/v1/batch",
+                {"jobs": [{"id": i, "source": SRC} for i in range(2)]},
+            )
+            assert code == 202 and len(payload["ids"]) == 2
         finally:
             server.shutdown()
             server.server_close()

@@ -50,6 +50,117 @@ class TestSubmit:
         assert events == ["submit", "claim", "done"]
 
 
+class _CountingJournal:
+    """Wraps the queue's raw journal file to count write() calls."""
+
+    def __init__(self, f):
+        self._f = f
+        self.writes = 0
+
+    def write(self, payload):
+        self.writes += 1
+        return self._f.write(payload)
+
+    def tell(self):
+        return self._f.tell()
+
+    @property
+    def closed(self):
+        return self._f.closed
+
+
+class TestSubmitBatch:
+    def test_ids_ordered_and_claimable_fifo(self, tmp_path):
+        q = JobQueue(tmp_path)
+        ids = q.submit_batch("analyze", [BODY] * 3)
+        assert ids == ["j00000001", "j00000002", "j00000003"]
+        assert all(q.state(i) == "queued" for i in ids)
+        assert [q.claim().id for _ in range(3)] == ids
+
+    def test_empty_batch_is_a_noop(self, tmp_path):
+        q = JobQueue(tmp_path)
+        assert q.submit_batch("analyze", []) == []
+        assert q.depth() == 0
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        q = JobQueue(tmp_path)
+        with pytest.raises(ValueError, match="bogus"):
+            q.submit_batch("bogus", [BODY])
+
+    def test_one_journal_write_per_batch(self, tmp_path):
+        q = JobQueue(tmp_path)
+        q.submit("analyze", BODY)  # opens the journal handle
+        spy = q._journal_file = _CountingJournal(q._journal_file)
+        base = perf.counter("queue.batches")
+        q.submit_batch("analyze", [BODY] * 5)
+        assert spy.writes == 1  # five events, one write/flush
+        assert perf.counter("queue.batches") == base + 1
+        # per-job provenance preserved: every job has its own line
+        submits = [e for e in q.journal_events() if e["ev"] == "submit"]
+        assert len(submits) == 6
+
+    def test_admission_is_all_or_nothing(self, tmp_path):
+        q = JobQueue(tmp_path, capacity=4)
+        q.submit("analyze", BODY)
+        base = perf.counter("queue.rejected")
+        with pytest.raises(QueueFull):
+            q.submit_batch("analyze", [BODY] * 4)  # 1 + 4 > 4
+        assert perf.counter("queue.rejected") == base + 1
+        assert q.depth() == 1  # nothing half-admitted
+        # a batch that fits exactly is admitted
+        assert len(q.submit_batch("analyze", [BODY] * 3)) == 3
+
+    def test_interleaves_with_single_submits(self, tmp_path):
+        q = JobQueue(tmp_path)
+        first = q.submit("analyze", BODY)
+        batch = q.submit_batch("analyze", [BODY] * 2, priority=5)
+        order = [q.claim().id for _ in range(3)]
+        assert order == batch + [first]  # priority, then FIFO
+
+
+class TestClaimChunk:
+    def test_respects_limit_and_order(self, tmp_path):
+        q = JobQueue(tmp_path)
+        ids = q.submit_batch("analyze", [BODY] * 5)
+        first = q.claim_chunk(owner="w0", limit=2)
+        assert [j.id for j in first] == ids[:2]
+        rest = q.claim_chunk(owner="w1", limit=99)
+        assert [j.id for j in rest] == ids[2:]
+        assert q.claim_chunk(owner="w2", limit=2) == []
+
+    def test_chunk_claims_are_exclusive_across_threads(self, tmp_path):
+        q = JobQueue(tmp_path)
+        q.submit_batch("analyze", [BODY] * 12)
+        got, lock = [], threading.Lock()
+
+        def worker():
+            while True:
+                jobs = q.claim_chunk(owner="t", limit=3)
+                if not jobs:
+                    return
+                with lock:
+                    got.extend(j.id for j in jobs)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(got) == 12
+        assert len(set(got)) == 12  # exactly-once survives chunking
+
+    def test_chunk_journal_is_one_write(self, tmp_path):
+        q = JobQueue(tmp_path)
+        q.submit_batch("analyze", [BODY] * 4)
+        spy = q._journal_file = _CountingJournal(q._journal_file)
+        jobs = q.claim_chunk(owner="w0", limit=4)
+        assert len(jobs) == 4
+        assert spy.writes == 1
+        claims = [e for e in q.journal_events() if e["ev"] == "claim"]
+        assert [e["id"] for e in claims] == [j.id for j in jobs]
+        assert all(e["owner"] == "w0" for e in claims)
+
+
 class TestClaim:
     def test_fifo_within_priority(self, tmp_path):
         q = JobQueue(tmp_path)
@@ -206,6 +317,26 @@ class TestRecovery:
         assert len(list(q2.receipts_dir.glob("*.json"))) == 1
         events = [e["ev"] for e in q2.journal_events(jid)]
         assert events == ["submit", "claim", "recover", "claim", "done"]
+
+    def test_torn_batch_submit_recovers_from_directory(self, tmp_path):
+        """Crash mid-way through a batch's single journal write: the
+        job records were published (atomically, per job) before the
+        journal append, so every admitted job survives and runs exactly
+        once — the journal is provenance, not the source of truth."""
+        q = JobQueue(tmp_path)
+        ids = q.submit_batch("analyze", [BODY] * 3)
+        journal = tmp_path / "journal.jsonl"
+        lines = journal.read_bytes().splitlines(keepends=True)
+        assert len(lines) == 3  # one line per job from the one write
+        # keep the first submit line and tear the second mid-character
+        journal.write_bytes(lines[0] + lines[1][: len(lines[1]) // 2])
+
+        q2 = JobQueue(tmp_path)
+        assert [q2.state(i) for i in ids] == ["queued"] * 3
+        claimed = [q2.claim().id for _ in range(3)]
+        assert claimed == ids  # all three, in order, exactly once
+        assert q2.claim() is None
+        assert json.dumps(q2.journal_events())  # tail stays parseable
 
     def test_torn_journal_tail_is_ignored(self, tmp_path):
         q = JobQueue(tmp_path)

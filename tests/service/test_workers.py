@@ -45,6 +45,32 @@ class TestFleet:
             assert q.state(jid) == "done"
             assert q.receipt(jid) is not None
 
+    def test_claim_limit_divides_depth_across_the_fleet(self, tmp_path):
+        q = JobQueue(tmp_path)
+        fleet = WorkerFleet(q, workers=4, claim_chunk_limit=8)
+        # shallow queue: stay polite (one at a time)
+        q.submit_batch("analyze", [{"source": INDEPENDENT}] * 3)
+        assert fleet._claim_limit() == 1
+        # deep backlog: chunk up to the cap, never the whole backlog
+        q.submit_batch("analyze", [{"source": INDEPENDENT}] * 13)
+        assert fleet._claim_limit() == 4  # 16 pending / 4 workers
+        q.submit_batch("analyze", [{"source": INDEPENDENT}] * 64)
+        assert fleet._claim_limit() == 8  # capped at claim_chunk_limit
+        # limit <= 1 disables chunking entirely
+        assert WorkerFleet(q, workers=4, claim_chunk_limit=1)._claim_limit() == 1
+
+    def test_batch_submit_drains_with_chunked_claims(self, tmp_path):
+        q = JobQueue(tmp_path)
+        ids = q.submit_batch(
+            "analyze", [{"id": i, "source": INDEPENDENT} for i in range(10)]
+        )
+        with WorkerFleet(q, workers=2, claim_chunk_limit=4):
+            responses = [q.wait(i, timeout=60.0) for i in ids]
+        assert all(r is not None and r["ok"] for r in responses)
+        assert [r["id"] for r in responses] == list(range(10))
+        for jid in ids:  # chunked claims still receipt per job
+            assert q.receipt(jid) is not None
+
     def test_failed_job_recorded_not_fatal(self, tmp_path):
         q = JobQueue(tmp_path)
         bad = q.submit("analyze", {"id": 0, "source": "not fortran"})
